@@ -1,0 +1,81 @@
+// Command mcpcompare regenerates the paper's Table 1: the empirical
+// comparison of the mutable-checkpoint algorithm against Koo–Toueg
+// (blocking, min-process) and Elnozahy–Johnson–Zwaenepoel (nonblocking,
+// all-process), and the §3.1.1 avalanche ablation.
+//
+// Usage:
+//
+//	mcpcompare
+//	mcpcompare -rate 0.01 -seeds 5
+//	mcpcompare -ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mutablecp/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcpcompare", flag.ContinueOnError)
+	rate := fs.Float64("rate", 0.01, "per-process message sending rate (msgs/s)")
+	seeds := fs.Int("seeds", 3, "number of independent simulation seeds")
+	ablation := fs.Bool("ablation", false, "run the §3.1.1 avalanche ablation instead of Table 1")
+	fanout := fs.Bool("fanout", false, "run the §3.3.5 commit-dissemination ablation (doze-mode wakeups)")
+	dozing := fs.Int("dozing", 8, "number of dozing hosts for -fanout")
+	scale := fs.Bool("scale", false, "sweep system size N: message-complexity comparison")
+	intervals := fs.Bool("intervals", false, "sweep the checkpoint interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seedList := harness.QuickSeeds(*seeds)
+
+	if *scale {
+		rows, err := harness.ScaleSweep(nil, *rate, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatScale(*rate, rows))
+		return nil
+	}
+	if *intervals {
+		rows, err := harness.IntervalSweep(nil, *rate, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatIntervals(*rate, rows))
+		return nil
+	}
+
+	if *fanout {
+		rows, err := harness.CommitFanout(*rate, *dozing, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatFanout(*rate, *dozing, rows))
+		return nil
+	}
+	if *ablation {
+		rows, err := harness.Ablation(*rate, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatAblation(*rate, rows))
+		return nil
+	}
+	rows, err := harness.Table1(*rate, seedList)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.FormatTable1(*rate, rows))
+	return nil
+}

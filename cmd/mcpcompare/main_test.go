@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	if err := run([]string{"-rate", "0.02", "-seeds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	if err := run([]string{"-ablation", "-rate", "0.02", "-seeds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Command mcpfig regenerates the figures of the paper's evaluation
+// section (§5.2): Fig. 5 (point-to-point communication) and both panels
+// of Fig. 6 (group communication), printing the tentative and redundant
+// mutable checkpoint series per message sending rate.
+//
+// Usage:
+//
+//	mcpfig -fig 5
+//	mcpfig -fig 6 -ratio 10000
+//	mcpfig -all -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mutablecp/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcpfig", flag.ContinueOnError)
+	fig := fs.Int("fig", 5, "figure to regenerate: 5 or 6")
+	ratio := fs.Float64("ratio", 1000, "Fig. 6 intra/inter rate ratio (1000 or 10000)")
+	all := fs.Bool("all", false, "regenerate Fig. 5 and both Fig. 6 panels")
+	seeds := fs.Int("seeds", 3, "number of independent simulation seeds")
+	rateList := fs.String("rates", "", "comma-separated sending rates (msgs/s); default sweep")
+	csv := fs.Bool("csv", false, "emit comma-separated values for plotting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	emit := func(series *harness.FigSeries) {
+		if *csv {
+			fmt.Print(series.CSV())
+			return
+		}
+		fmt.Println(series.Format())
+	}
+
+	rates, err := parseRates(*rateList)
+	if err != nil {
+		return err
+	}
+	seedList := harness.QuickSeeds(*seeds)
+
+	if *all {
+		series, err := harness.Fig5(seedList, rates)
+		if err != nil {
+			return err
+		}
+		emit(series)
+		for _, r := range []float64{1000, 10000} {
+			s6, err := harness.Fig6(r, seedList, rates)
+			if err != nil {
+				return err
+			}
+			emit(s6)
+		}
+		return nil
+	}
+	switch *fig {
+	case 5:
+		series, err := harness.Fig5(seedList, rates)
+		if err != nil {
+			return err
+		}
+		emit(series)
+		return nil
+	case 6:
+		series, err := harness.Fig6(*ratio, seedList, rates)
+		if err != nil {
+			return err
+		}
+		emit(series)
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d (want 5 or 6)", *fig)
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", p, err)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}

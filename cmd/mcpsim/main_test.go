@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunMutable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-algo", "mutable", "-rate", "0.05", "-horizon", "2h"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGroupWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-workload", "group", "-rate", "0.05", "-horizon", "2h"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if err := run([]string{"-workload", "mesh"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	if err := run([]string{"-algo", "nope", "-horizon", "1h"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

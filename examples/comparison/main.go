@@ -1,0 +1,43 @@
+// Comparison: a compact rendition of the paper's Table 1 — the mutable
+// checkpoint algorithm versus Koo–Toueg (blocking, min-process) and
+// Elnozahy–Johnson–Zwaenepoel (nonblocking, all-process) under an
+// identical workload.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mutablecp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rate := 0.01
+	rows, err := mutablecp.Table1(rate, []uint64{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 1 reproduction (N=16 hosts on a 2 Mbps wireless LAN, %g msg/s/process)\n\n", rate)
+	fmt.Printf("%-15s %-12s %-14s %-19s %-11s %-11s\n",
+		"algorithm", "ckpts/init", "blocking (s)", "output commit (s)", "msgs/init", "distributed")
+	for _, r := range rows {
+		fmt.Printf("%-15s %-12.2f %-14.2f %-19.2f %-11.1f %-11v\n",
+			r.Algorithm, r.Checkpoints, r.BlockingSec, r.OutputCommit, r.SysMsgs, r.Distributed)
+	}
+	fmt.Println("\npaper's analytic entries:")
+	for _, r := range rows {
+		fmt.Printf("  %-15s %s\n", r.Algorithm, r.Formula)
+	}
+	fmt.Println("\nreading: the mutable algorithm matches Koo–Toueg's minimum checkpoint")
+	fmt.Println("count with zero blocking, and beats Elnozahy's all-process checkpointing")
+	fmt.Println("whenever the dependency set is smaller than N.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module mutablecp
+
+go 1.22

@@ -1,0 +1,165 @@
+package elnozahy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mutablecp/internal/algorithms/elnozahy"
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/enginetest"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/xrand"
+)
+
+func newWorld(t *testing.T, n int) *enginetest.World {
+	return enginetest.NewWorld(t, n, func(env protocol.Env) protocol.Engine {
+		return elnozahy.New(env)
+	})
+}
+
+func TestAllProcessesCheckpoint(t *testing.T) {
+	w := newWorld(t, 4)
+	if err := w.Engines[1].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if !w.Envs[1].LastCommitted {
+		t.Fatal("round did not commit")
+	}
+	for i := 0; i < 4; i++ {
+		if w.Envs[i].TentativeTaken != 1 {
+			t.Fatalf("P%d tentative = %d, want 1 (EJZ checkpoints everyone)", i, w.Envs[i].TentativeTaken)
+		}
+		if got := w.Envs[i].Stable.Permanent().State.CSN; got != 1 {
+			t.Fatalf("P%d permanent csn = %d, want 1", i, got)
+		}
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOverheadIsTwoBroadcastsPlusReplies(t *testing.T) {
+	w := newWorld(t, 5)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	// Initiator: request broadcast + commit broadcast = 2 sends; each
+	// other process: one reply.
+	if got := w.Envs[0].SysSent; got != 2 {
+		t.Fatalf("initiator sent %d system messages, want 2 broadcasts", got)
+	}
+	for i := 1; i < 5; i++ {
+		if got := w.Envs[i].SysSent; got != 1 {
+			t.Fatalf("P%d sent %d system messages, want 1 reply", i, got)
+		}
+	}
+}
+
+func TestPiggybackedCSNForcesEarlyCheckpoint(t *testing.T) {
+	// P0 initiates; before P2 sees the request it receives a computation
+	// message from P1 (already checkpointed) carrying the new csn. P2 must
+	// checkpoint before processing it — and the final line is consistent.
+	w := newWorld(t, 3)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver request to P1 only.
+	if m := w.DeliverMatching(func(m *protocol.Message) bool {
+		return m.Kind == protocol.KindRequest && m.To == 1
+	}); m == nil {
+		t.Fatal("no request to P1")
+	}
+	if w.Envs[1].TentativeTaken != 1 {
+		t.Fatal("P1 did not checkpoint on request")
+	}
+	// P1 sends to P2; P2 hasn't seen the request yet.
+	m := w.Send(1, 2)
+	w.Deliver(m)
+	if w.Envs[2].TentativeTaken != 1 {
+		t.Fatal("P2 did not checkpoint on piggybacked csn")
+	}
+	// P2's checkpoint must precede the message processing.
+	if got := w.Envs[2].Stable.Tentative; got == nil {
+		t.Fatal("nil accessor")
+	}
+	w.Pump()
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("round did not commit")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Envs[2].Stable.Permanent().State.RecvFrom[1]; got != 0 {
+		t.Fatalf("P2's checkpoint records the late message (recv=%d)", got)
+	}
+	// Everyone still checkpoints exactly once per round.
+	for i := 0; i < 3; i++ {
+		if w.Envs[i].TentativeTaken != 1 {
+			t.Fatalf("P%d tentative = %d", i, w.Envs[i].TentativeTaken)
+		}
+	}
+}
+
+func TestSequentialRounds(t *testing.T) {
+	w := newWorld(t, 3)
+	for round := 1; round <= 3; round++ {
+		init := round % 3
+		if err := w.Engines[init].Initiate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		w.Pump()
+		for i := 0; i < 3; i++ {
+			if got := w.Envs[i].Stable.Permanent().State.CSN; got != round {
+				t.Fatalf("round %d: P%d csn = %d", round, i, got)
+			}
+		}
+	}
+}
+
+func TestInitiateWhilePendingRejected(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Engines[0].Initiate(); err == nil {
+		t.Fatal("second initiate accepted")
+	}
+	w.Pump()
+}
+
+func TestRandomizedConsistency(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := xrand.New(seed)
+			w := newWorld(t, 5)
+			for round := 0; round < 5; round++ {
+				for s := 0; s < 10; s++ {
+					from := rng.Intn(w.N)
+					to := rng.Intn(w.N - 1)
+					if to >= from {
+						to++
+					}
+					w.Send(from, to)
+					for len(w.Queue) > 0 && rng.Float64() < 0.5 {
+						w.Deliver(w.Queue[0])
+					}
+				}
+				init := rng.Intn(w.N)
+				if w.Engines[init].InProgress() {
+					w.Pump()
+				}
+				if err := w.Engines[init].Initiate(); err != nil {
+					w.Pump()
+					continue
+				}
+				w.Pump()
+				if err := consistency.Check(w.Line()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package kootoueg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mutablecp/internal/algorithms/kootoueg"
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/enginetest"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/xrand"
+)
+
+func newWorld(t *testing.T, n int) *enginetest.World {
+	return enginetest.NewWorld(t, n, func(env protocol.Env) protocol.Engine {
+		return kootoueg.New(env)
+	})
+}
+
+func TestNoDependenciesCommitsAlone(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Envs[0].DoneCount != 1 || !w.Envs[0].LastCommitted {
+		t.Fatal("lonely initiator did not commit immediately")
+	}
+	if w.Envs[0].Blocked {
+		t.Fatal("still blocked after decision")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksUntilDecision(t *testing.T) {
+	w := newWorld(t, 2)
+	w.Deliver(w.Send(1, 0))
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Envs[0].Blocked {
+		t.Fatal("initiator not blocked during first phase")
+	}
+	// Deliver the request: P1 checkpoints and blocks too.
+	if m := w.DeliverMatching(func(m *protocol.Message) bool { return m.Kind == protocol.KindRequest }); m == nil {
+		t.Fatal("no request")
+	}
+	if !w.Envs[1].Blocked {
+		t.Fatal("participant not blocked")
+	}
+	w.Pump()
+	if w.Envs[0].Blocked || w.Envs[1].Blocked {
+		t.Fatal("blocking not lifted by the decision")
+	}
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("did not commit")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependencyTreePropagation(t *testing.T) {
+	// Chain: P2 -> P1 -> P0; initiating at P0 must checkpoint all three.
+	w := newWorld(t, 3)
+	w.Deliver(w.Send(2, 1))
+	w.Deliver(w.Send(1, 0))
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	for i := 0; i < 3; i++ {
+		if w.Envs[i].TentativeTaken != 1 {
+			t.Fatalf("P%d tentative = %d, want 1", i, w.Envs[i].TentativeTaken)
+		}
+		if len(w.Envs[i].Stable.History()) != 2 {
+			t.Fatalf("P%d checkpoint not committed", i)
+		}
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveredDependencySkipsCheckpoint(t *testing.T) {
+	// P1's send to P0 is already recorded in P1's last committed
+	// checkpoint, so a request must not force a new one.
+	w := newWorld(t, 2)
+	w.Deliver(w.Send(1, 0))
+	// First instance from P1 itself records the send.
+	if err := w.Engines[1].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if w.Envs[1].TentativeTaken != 1 {
+		t.Fatal("P1 did not checkpoint its own instance")
+	}
+	// Now P0 initiates; its dependency on P1 is covered.
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if w.Envs[1].TentativeTaken != 1 {
+		t.Fatalf("P1 took an unnecessary checkpoint (total %d)", w.Envs[1].TentativeTaken)
+	}
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("P0's instance did not commit")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInitiationRefused(t *testing.T) {
+	// Two initiators overlapping: the request into a busy process is
+	// refused and that instance aborts (Koo–Toueg semantics).
+	w := newWorld(t, 4)
+	w.Deliver(w.Send(1, 0)) // P0 depends on P1
+	w.Deliver(w.Send(1, 2)) // P2 depends on P1
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	// P1 joins P0's instance.
+	if m := w.DeliverMatching(func(m *protocol.Message) bool {
+		return m.Kind == protocol.KindRequest && m.To == 1
+	}); m == nil {
+		t.Fatal("no request to P1")
+	}
+	// P2 initiates while P1 is busy.
+	if err := w.Engines[2].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("P0's instance should commit")
+	}
+	if w.Envs[2].LastCommitted {
+		t.Fatal("P2's instance should abort after P1's refusal")
+	}
+	if len(w.Envs[2].Stable.History()) != 1 {
+		t.Fatal("P2's aborted tentative was committed")
+	}
+	if w.Envs[2].Blocked {
+		t.Fatal("P2 still blocked after abort")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+	// P2 can retry successfully afterwards.
+	if err := w.Engines[2].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if !w.Envs[2].LastCommitted {
+		t.Fatal("P2's retry did not commit")
+	}
+}
+
+func TestDiamondDependencyNoDeadlock(t *testing.T) {
+	// P0 depends on P1 and P2; both depend on P3. P3 gets two requests:
+	// the tree must still terminate with single checkpoints.
+	w := newWorld(t, 4)
+	w.Deliver(w.Send(3, 1))
+	w.Deliver(w.Send(3, 2))
+	w.Deliver(w.Send(1, 0))
+	w.Deliver(w.Send(2, 0))
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("diamond instance did not commit")
+	}
+	for i := 0; i < 4; i++ {
+		if got := w.Envs[i].TentativeTaken; got != 1 {
+			t.Fatalf("P%d tentative = %d, want 1", i, got)
+		}
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleNoDeadlock(t *testing.T) {
+	// Mutual dependency P0 <-> P1 must not deadlock the wait-for-replies
+	// logic.
+	w := newWorld(t, 2)
+	w.Deliver(w.Send(0, 1))
+	w.Deliver(w.Send(1, 0))
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("cyclic instance did not commit")
+	}
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedConsistencyAndTermination(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := xrand.New(seed * 17)
+			w := newWorld(t, 5)
+			for round := 0; round < 6; round++ {
+				for s := 0; s < 12; s++ {
+					from := rng.Intn(w.N)
+					if w.Envs[from].Blocked {
+						continue
+					}
+					to := rng.Intn(w.N - 1)
+					if to >= from {
+						to++
+					}
+					w.Send(from, to)
+					for len(w.Queue) > 0 && rng.Float64() < 0.5 {
+						w.Deliver(w.Queue[0])
+					}
+				}
+				w.Pump() // Koo–Toueg assumes quiesced instances here
+				init := rng.Intn(w.N)
+				if err := w.Engines[init].Initiate(); err != nil {
+					continue
+				}
+				w.Pump()
+				if w.Envs[init].DoneCount == 0 {
+					t.Fatalf("round %d: no termination", round)
+				}
+				if err := consistency.Check(w.Line()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				for i := 0; i < w.N; i++ {
+					if w.Envs[i].Blocked {
+						t.Fatalf("round %d: P%d left blocked", round, i)
+					}
+				}
+			}
+		})
+	}
+}

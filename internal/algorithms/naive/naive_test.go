@@ -1,0 +1,194 @@
+package naive_test
+
+import (
+	"testing"
+
+	"mutablecp/internal/algorithms/naive"
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/enginetest"
+	"mutablecp/internal/protocol"
+)
+
+func newWorld(t *testing.T, mode naive.Mode) *enginetest.World {
+	return enginetest.NewWorld(t, 4, func(env protocol.Env) protocol.Engine {
+		return naive.New(env, mode)
+	})
+}
+
+// TestFig1NoCSNProducesOrphan reproduces the paper's Fig. 1: without csn
+// piggybacking, the interleaving where P1 checkpoints and then sends m1 to
+// P3 — which P3 processes before its own request arrives — records m1's
+// receive without its send: an orphan.
+func TestFig1NoCSNProducesOrphan(t *testing.T) {
+	w := newWorld(t, naive.ModeNoCSN)
+	p1, p2, p3 := 0, 1, 2
+
+	// P2 depends on P1 and P3.
+	w.Deliver(w.Send(p1, p2))
+	w.Deliver(w.Send(p3, p2))
+
+	if err := w.Engines[p2].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	// Request reaches P1 first; P1 checkpoints, then sends m1 to P3.
+	if m := w.DeliverMatching(func(m *protocol.Message) bool {
+		return m.Kind == protocol.KindRequest && m.To == p1
+	}); m == nil {
+		t.Fatal("no request to P1")
+	}
+	m1 := w.Send(p1, p3)
+	w.Deliver(m1) // P3 processes m1 before its request
+	w.Pump()      // request to P3 arrives; P3 checkpoints with m1 recorded
+
+	err := consistency.Check(w.Line())
+	if err == nil {
+		t.Fatal("Fig. 1 interleaving did not produce an orphan — the broken scheme looks correct")
+	}
+	var ie *consistency.InconsistencyError
+	if !asInconsistency(err, &ie) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	found := false
+	for _, o := range ie.Orphans {
+		if o.Sender == p1 && o.Receiver == p3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected orphan P1->P3, got %v", ie.Orphans)
+	}
+}
+
+func asInconsistency(err error, out **consistency.InconsistencyError) bool {
+	ie, ok := err.(*consistency.InconsistencyError)
+	if ok {
+		*out = ie
+	}
+	return ok
+}
+
+// TestSimpleSchemeCheckpointsOnHigherCSN: ModeSimple takes a stable
+// checkpoint whenever a higher csn arrives, even with nothing sent.
+func TestSimpleSchemeCheckpointsOnHigherCSN(t *testing.T) {
+	w := newWorld(t, naive.ModeSimple)
+	// P0 initiates alone (csn 1).
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	if w.Envs[0].TentativeTaken != 1 {
+		t.Fatal("initiator did not checkpoint")
+	}
+	// P0 sends to P1: higher csn forces a stable checkpoint at P1 even
+	// though P1 never sent anything.
+	w.Deliver(w.Send(0, 1))
+	if w.Envs[1].TentativeTaken != 1 {
+		t.Fatalf("P1 tentative = %d, want 1 (simple scheme)", w.Envs[1].TentativeTaken)
+	}
+}
+
+// TestRevisedSchemeRequiresSentFlag: ModeRevised checkpoints only when the
+// receiver sent a message in its current interval (the paper's first
+// refinement).
+func TestRevisedSchemeRequiresSentFlag(t *testing.T) {
+	w := newWorld(t, naive.ModeRevised)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	// P1 has sent nothing: no checkpoint on higher csn.
+	w.Deliver(w.Send(0, 1))
+	if w.Envs[1].TentativeTaken != 0 {
+		t.Fatalf("P1 tentative = %d, want 0 (nothing sent)", w.Envs[1].TentativeTaken)
+	}
+	// P2 sent this interval: it must checkpoint.
+	w.Deliver(w.Send(2, 3))
+	w.Deliver(w.Send(0, 2))
+	if w.Envs[2].TentativeTaken != 1 {
+		t.Fatalf("P2 tentative = %d, want 1 (sent flag set)", w.Envs[2].TentativeTaken)
+	}
+}
+
+// TestAvalancheCascade: in the simple scheme an induced checkpoint raises
+// the taker's csn, so its next message induces another checkpoint
+// downstream — the cascade the mutable scheme eliminates.
+func TestAvalancheCascade(t *testing.T) {
+	w := newWorld(t, naive.ModeSimple)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Pump()
+	// P0 -> P1 induces a checkpoint at P1 (csn 1 -> P1 checkpoints, its
+	// own csn becomes 1).
+	w.Deliver(w.Send(0, 1))
+	// P1 -> P2 now induces a checkpoint at P2 purely because of the
+	// cascade.
+	w.Deliver(w.Send(1, 2))
+	if w.Envs[2].TentativeTaken != 1 {
+		t.Fatalf("cascade did not propagate: P2 tentative = %d", w.Envs[2].TentativeTaken)
+	}
+	// And P2 -> P3 keeps it going.
+	w.Deliver(w.Send(2, 3))
+	if w.Envs[3].TentativeTaken != 1 {
+		t.Fatalf("cascade did not reach P3: %d", w.Envs[3].TentativeTaken)
+	}
+	w.Pump()
+}
+
+// TestSimpleSchemeStillConsistent: the simple scheme is wasteful but not
+// incorrect — its csn rule prevents orphans in the Fig. 1 interleaving.
+func TestSimpleSchemeConsistentOnFig1(t *testing.T) {
+	w := newWorld(t, naive.ModeSimple)
+	p1, p2, p3 := 0, 1, 2
+	w.Deliver(w.Send(p1, p2))
+	w.Deliver(w.Send(p3, p2))
+	if err := w.Engines[p2].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := w.DeliverMatching(func(m *protocol.Message) bool {
+		return m.Kind == protocol.KindRequest && m.To == p1
+	}); m == nil {
+		t.Fatal("no request to P1")
+	}
+	m1 := w.Send(p1, p3)
+	w.Deliver(m1)
+	w.Pump()
+	if err := consistency.Check(w.Line()); err != nil {
+		t.Fatalf("simple scheme produced an orphan: %v", err)
+	}
+}
+
+// TestInitiationTerminates: the weighted request tree of an initiation
+// terminates and reports completion.
+func TestInitiationTerminates(t *testing.T) {
+	for _, mode := range []naive.Mode{naive.ModeSimple, naive.ModeRevised, naive.ModeNoCSN} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			w := newWorld(t, mode)
+			w.Deliver(w.Send(1, 0))
+			w.Deliver(w.Send(2, 1))
+			if err := w.Engines[0].Initiate(); err != nil {
+				t.Fatal(err)
+			}
+			w.Pump()
+			if w.Envs[0].DoneCount != 1 {
+				t.Fatal("initiation did not terminate")
+			}
+			if err := w.Engines[0].Initiate(); err != nil {
+				t.Fatal("cannot re-initiate after completion")
+			}
+			w.Pump()
+		})
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if naive.ModeSimple.String() != "naive-simple" ||
+		naive.ModeRevised.String() != "naive-revised" ||
+		naive.ModeNoCSN.String() != "naive-nocsn" {
+		t.Fatal("mode names")
+	}
+	if naive.Mode(0).String() != "naive?" {
+		t.Fatal("unknown mode name")
+	}
+}

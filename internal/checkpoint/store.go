@@ -1,0 +1,216 @@
+// Package checkpoint models the two classes of checkpoint storage the
+// paper distinguishes: the stable store that lives at a mobile support
+// station (reachable only over the wireless link, survives MH failure) and
+// the volatile mutable store in an MH's local memory or disk (cheap to
+// write, lost on MH failure, never required for recovery).
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mutablecp/internal/protocol"
+)
+
+// Status describes where a stored checkpoint is in its lifecycle.
+type Status int
+
+// Checkpoint lifecycle states.
+const (
+	StatusTentative Status = iota + 1
+	StatusPermanent
+	StatusMutable
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusTentative:
+		return "tentative"
+	case StatusPermanent:
+		return "permanent"
+	case StatusMutable:
+		return "mutable"
+	default:
+		return "status?"
+	}
+}
+
+// Record is one stored checkpoint.
+type Record struct {
+	State   protocol.State
+	Trigger protocol.Trigger
+	Status  Status
+	SavedAt time.Duration
+}
+
+// Errors returned by the stores.
+var (
+	ErrNoTentative       = errors.New("checkpoint: no tentative checkpoint pending")
+	ErrTentativePending  = errors.New("checkpoint: a tentative checkpoint is already pending")
+	ErrNoMutable         = errors.New("checkpoint: no mutable checkpoint stored")
+	ErrDuplicateMutable  = errors.New("checkpoint: mutable checkpoint for trigger already stored")
+	ErrNoPermanent       = errors.New("checkpoint: no permanent checkpoint recorded")
+	ErrUnknownCheckpoint = errors.New("checkpoint: unknown checkpoint")
+)
+
+// StableStore holds one process's checkpoints on stable storage. In the
+// paper's single-initiation regime a process keeps at most one permanent
+// and one tentative checkpoint at a time; to support concurrent initiations
+// (§3.5) tentative checkpoints are keyed by the trigger of their
+// initiation. The store retains the permanent history until
+// garbage-collected, which the recovery manager uses.
+type StableStore struct {
+	proc      protocol.ProcessID
+	permanent []Record
+	tentative map[protocol.Trigger]*Record
+}
+
+// NewStableStore returns a store for the given process, seeded with an
+// initial permanent checkpoint (sequence number 0, empty state): the paper
+// numbers checkpoints from C_{p,0}, the pristine process state.
+func NewStableStore(proc protocol.ProcessID, n int) *StableStore {
+	initial := Record{
+		State: protocol.State{
+			Proc:     proc,
+			CSN:      0,
+			SentTo:   make([]uint64, n),
+			RecvFrom: make([]uint64, n),
+		},
+		Trigger: protocol.NoTrigger,
+		Status:  StatusPermanent,
+	}
+	return &StableStore{
+		proc:      proc,
+		permanent: []Record{initial},
+		tentative: make(map[protocol.Trigger]*Record),
+	}
+}
+
+// SeedPermanent replaces the pristine initial checkpoint with a restored
+// one (recovery restart). It is only valid on a fresh store.
+func (st *StableStore) SeedPermanent(s protocol.State) error {
+	if len(st.permanent) != 1 || len(st.tentative) != 0 {
+		return fmt.Errorf("checkpoint: SeedPermanent on a used store (P%d)", st.proc)
+	}
+	st.permanent[0] = Record{State: s.Clone(), Trigger: protocol.NoTrigger, Status: StatusPermanent}
+	return nil
+}
+
+// SaveTentative records a tentative checkpoint for the given trigger. At
+// most one tentative checkpoint may be pending per trigger.
+func (st *StableStore) SaveTentative(s protocol.State, trig protocol.Trigger, at time.Duration) error {
+	if _, ok := st.tentative[trig]; ok {
+		return ErrTentativePending
+	}
+	rec := Record{State: s.Clone(), Trigger: trig, Status: StatusTentative, SavedAt: at}
+	st.tentative[trig] = &rec
+	return nil
+}
+
+// Tentative returns the pending tentative checkpoint for trig, if any.
+func (st *StableStore) Tentative(trig protocol.Trigger) (Record, bool) {
+	rec, ok := st.tentative[trig]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// TentativeCount reports how many tentative checkpoints are pending.
+func (st *StableStore) TentativeCount() int { return len(st.tentative) }
+
+// MakePermanent commits the pending tentative checkpoint for trig.
+func (st *StableStore) MakePermanent(trig protocol.Trigger, at time.Duration) error {
+	rec, ok := st.tentative[trig]
+	if !ok {
+		return ErrNoTentative
+	}
+	committed := *rec
+	committed.Status = StatusPermanent
+	committed.SavedAt = at
+	st.permanent = append(st.permanent, committed)
+	delete(st.tentative, trig)
+	return nil
+}
+
+// DropTentative discards the pending tentative checkpoint for trig
+// (abort path).
+func (st *StableStore) DropTentative(trig protocol.Trigger) error {
+	if _, ok := st.tentative[trig]; !ok {
+		return ErrNoTentative
+	}
+	delete(st.tentative, trig)
+	return nil
+}
+
+// Permanent returns the most recent permanent checkpoint.
+func (st *StableStore) Permanent() Record {
+	return st.permanent[len(st.permanent)-1]
+}
+
+// History returns a copy of all permanent checkpoints, oldest first.
+func (st *StableStore) History() []Record {
+	return append([]Record(nil), st.permanent...)
+}
+
+// GC discards all but the newest keep permanent checkpoints. The paper's
+// coordinated approach needs only the latest consistent line, so keep=1 is
+// the common setting.
+func (st *StableStore) GC(keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	if len(st.permanent) <= keep {
+		return 0
+	}
+	dropped := len(st.permanent) - keep
+	st.permanent = append([]Record(nil), st.permanent[dropped:]...)
+	return dropped
+}
+
+// MutableStore holds a process's mutable checkpoints, keyed by the trigger
+// of the initiation that caused them. The paper's Fig. 3 shows a process
+// holding mutable checkpoints for two concurrent initiations (C1,1 and
+// C1,2) at once, so the store is a map rather than a single slot.
+type MutableStore struct {
+	proc protocol.ProcessID
+	recs map[protocol.Trigger]Record
+}
+
+// NewMutableStore returns an empty mutable store.
+func NewMutableStore(proc protocol.ProcessID) *MutableStore {
+	return &MutableStore{proc: proc, recs: make(map[protocol.Trigger]Record)}
+}
+
+// Save stores a mutable checkpoint for the given trigger.
+func (ms *MutableStore) Save(s protocol.State, trig protocol.Trigger, at time.Duration) error {
+	if _, ok := ms.recs[trig]; ok {
+		return ErrDuplicateMutable
+	}
+	ms.recs[trig] = Record{State: s.Clone(), Trigger: trig, Status: StatusMutable, SavedAt: at}
+	return nil
+}
+
+// Take removes and returns the mutable checkpoint for trig.
+func (ms *MutableStore) Take(trig protocol.Trigger) (Record, error) {
+	rec, ok := ms.recs[trig]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: trigger %+v", ErrNoMutable, trig)
+	}
+	delete(ms.recs, trig)
+	return rec, nil
+}
+
+// Get returns the mutable checkpoint for trig without removing it.
+func (ms *MutableStore) Get(trig protocol.Trigger) (Record, bool) {
+	rec, ok := ms.recs[trig]
+	return rec, ok
+}
+
+// Len returns the number of stored mutable checkpoints.
+func (ms *MutableStore) Len() int { return len(ms.recs) }
+
+// Clear discards all mutable checkpoints (MH failure wipes them).
+func (ms *MutableStore) Clear() { ms.recs = make(map[protocol.Trigger]Record) }

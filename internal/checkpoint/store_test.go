@@ -1,0 +1,201 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/protocol"
+)
+
+func state(proc, n int) protocol.State {
+	return protocol.State{
+		Proc:     proc,
+		SentTo:   make([]uint64, n),
+		RecvFrom: make([]uint64, n),
+	}
+}
+
+func TestStableStoreInitialPermanent(t *testing.T) {
+	st := checkpoint.NewStableStore(3, 4)
+	perm := st.Permanent()
+	if perm.State.Proc != 3 || perm.State.CSN != 0 || perm.Status != checkpoint.StatusPermanent {
+		t.Fatalf("initial permanent = %+v", perm)
+	}
+	if len(st.History()) != 1 {
+		t.Fatalf("history = %d, want 1", len(st.History()))
+	}
+}
+
+func TestTentativeLifecycle(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	trig := protocol.Trigger{Pid: 1, Inum: 1}
+	s := state(0, 2)
+	s.CSN = 1
+	if err := st.SaveTentative(s, trig, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Tentative(trig); !ok {
+		t.Fatal("tentative not found")
+	}
+	if st.TentativeCount() != 1 {
+		t.Fatalf("count = %d", st.TentativeCount())
+	}
+	if err := st.MakePermanent(trig, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st.TentativeCount() != 0 {
+		t.Fatal("tentative survived commit")
+	}
+	perm := st.Permanent()
+	if perm.State.CSN != 1 || perm.SavedAt != 2*time.Second {
+		t.Fatalf("permanent = %+v", perm)
+	}
+	if len(st.History()) != 2 {
+		t.Fatalf("history = %d, want 2", len(st.History()))
+	}
+}
+
+func TestDuplicateTentativeSameTrigger(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	trig := protocol.Trigger{Pid: 1, Inum: 1}
+	if err := st.SaveTentative(state(0, 2), trig, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := st.SaveTentative(state(0, 2), trig, 0)
+	if !errors.Is(err, checkpoint.ErrTentativePending) {
+		t.Fatalf("err = %v, want ErrTentativePending", err)
+	}
+}
+
+func TestConcurrentTentativesDifferentTriggers(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	t1 := protocol.Trigger{Pid: 1, Inum: 1}
+	t2 := protocol.Trigger{Pid: 2, Inum: 1}
+	if err := st.SaveTentative(state(0, 2), t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveTentative(state(0, 2), t2, 0); err != nil {
+		t.Fatalf("second trigger rejected: %v", err)
+	}
+	if st.TentativeCount() != 2 {
+		t.Fatalf("count = %d, want 2", st.TentativeCount())
+	}
+	if err := st.DropTentative(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MakePermanent(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.TentativeCount() != 0 {
+		t.Fatal("leftover tentatives")
+	}
+}
+
+func TestMakePermanentWithoutTentative(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	err := st.MakePermanent(protocol.Trigger{Pid: 1, Inum: 1}, 0)
+	if !errors.Is(err, checkpoint.ErrNoTentative) {
+		t.Fatalf("err = %v, want ErrNoTentative", err)
+	}
+	if err := st.DropTentative(protocol.Trigger{Pid: 1, Inum: 1}); !errors.Is(err, checkpoint.ErrNoTentative) {
+		t.Fatalf("drop err = %v, want ErrNoTentative", err)
+	}
+}
+
+func TestTentativeStateIsDeepCopied(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	s := state(0, 2)
+	trig := protocol.Trigger{Pid: 1, Inum: 1}
+	if err := st.SaveTentative(s, trig, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.SentTo[1] = 99 // mutate the caller's slice after save
+	rec, _ := st.Tentative(trig)
+	if rec.State.SentTo[1] != 0 {
+		t.Fatal("store aliased the caller's state")
+	}
+}
+
+func TestGC(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	for i := 1; i <= 5; i++ {
+		trig := protocol.Trigger{Pid: 0, Inum: i}
+		s := state(0, 2)
+		s.CSN = i
+		if err := st.SaveTentative(s, trig, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MakePermanent(trig, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.GC(2); got != 4 { // initial + 5 = 6 permanents, keep 2
+		t.Fatalf("GC dropped %d, want 4", got)
+	}
+	h := st.History()
+	if len(h) != 2 || h[1].State.CSN != 5 {
+		t.Fatalf("history after GC = %+v", h)
+	}
+	if st.GC(0) != 1 { // clamp keep to 1
+		t.Fatal("GC keep<1 not clamped")
+	}
+	if st.Permanent().State.CSN != 5 {
+		t.Fatal("GC dropped the newest permanent")
+	}
+}
+
+func TestMutableStoreLifecycle(t *testing.T) {
+	ms := checkpoint.NewMutableStore(1)
+	t1 := protocol.Trigger{Pid: 2, Inum: 3}
+	t2 := protocol.Trigger{Pid: 4, Inum: 1}
+	if err := ms.Save(state(1, 2), t1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Save(state(1, 2), t2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 2 {
+		t.Fatalf("len = %d", ms.Len())
+	}
+	if _, ok := ms.Get(t1); !ok {
+		t.Fatal("Get missed stored record")
+	}
+	rec, err := ms.Take(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != checkpoint.StatusMutable || rec.SavedAt != time.Second {
+		t.Fatalf("record = %+v", rec)
+	}
+	if _, err := ms.Take(t1); !errors.Is(err, checkpoint.ErrNoMutable) {
+		t.Fatalf("double take err = %v", err)
+	}
+	ms.Clear()
+	if ms.Len() != 0 {
+		t.Fatal("clear left records")
+	}
+}
+
+func TestMutableStoreDuplicate(t *testing.T) {
+	ms := checkpoint.NewMutableStore(1)
+	trig := protocol.Trigger{Pid: 2, Inum: 3}
+	if err := ms.Save(state(1, 2), trig, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Save(state(1, 2), trig, 0); !errors.Is(err, checkpoint.ErrDuplicateMutable) {
+		t.Fatalf("err = %v, want ErrDuplicateMutable", err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if checkpoint.StatusTentative.String() != "tentative" ||
+		checkpoint.StatusPermanent.String() != "permanent" ||
+		checkpoint.StatusMutable.String() != "mutable" {
+		t.Fatal("status names wrong")
+	}
+	if checkpoint.Status(0).String() != "status?" {
+		t.Fatal("unknown status formatting")
+	}
+}

@@ -1,0 +1,108 @@
+// Package consistency verifies global checkpoints for orphan messages.
+//
+// A global checkpoint {C_0 … C_{N-1}} is consistent iff no message's
+// receive is recorded in some C_i while its send is missing from the
+// sender's C_j (the paper's orphan-message condition, §2.3). With FIFO
+// channels and cumulative per-peer counters in every snapshot, that is
+// exactly: for all i, j: recv_i[j] <= sent_j[i].
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mutablecp/internal/protocol"
+)
+
+// Orphan describes one violated channel: the receiver recorded more
+// messages from the sender than the sender's checkpoint recorded sending.
+type Orphan struct {
+	Sender   protocol.ProcessID
+	Receiver protocol.ProcessID
+	Sent     uint64 // sends recorded in the sender's checkpoint
+	Received uint64 // receives recorded in the receiver's checkpoint
+}
+
+// String renders the orphan channel.
+func (o Orphan) String() string {
+	return fmt.Sprintf("P%d->P%d: receiver recorded %d receives but sender recorded only %d sends",
+		o.Sender, o.Receiver, o.Received, o.Sent)
+}
+
+// InconsistencyError reports all orphan channels in a global checkpoint.
+type InconsistencyError struct {
+	Orphans []Orphan
+}
+
+// Error lists every orphan channel.
+func (e *InconsistencyError) Error() string {
+	parts := make([]string, len(e.Orphans))
+	for i, o := range e.Orphans {
+		parts[i] = o.String()
+	}
+	return "inconsistent global checkpoint: " + strings.Join(parts, "; ")
+}
+
+// Check verifies the global checkpoint formed by the given per-process
+// states. Every process 0..N-1 must be present. It returns nil when the
+// checkpoint is consistent and an *InconsistencyError otherwise.
+func Check(states map[protocol.ProcessID]protocol.State) error {
+	ids := make([]protocol.ProcessID, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var orphans []Orphan
+	for _, recvID := range ids {
+		recvState := states[recvID]
+		for _, sendID := range ids {
+			if sendID == recvID {
+				continue
+			}
+			sendState := states[sendID]
+			if recvID >= len(sendState.SentTo) || sendID >= len(recvState.RecvFrom) {
+				return fmt.Errorf("consistency: state vectors too short for processes %d/%d", sendID, recvID)
+			}
+			received := recvState.RecvFrom[sendID]
+			sent := sendState.SentTo[recvID]
+			if received > sent {
+				orphans = append(orphans, Orphan{
+					Sender:   sendID,
+					Receiver: recvID,
+					Sent:     sent,
+					Received: received,
+				})
+			}
+		}
+	}
+	if len(orphans) > 0 {
+		return &InconsistencyError{Orphans: orphans}
+	}
+	return nil
+}
+
+// InTransit returns, for a consistent global checkpoint, the number of
+// messages per channel that were sent before the sender's checkpoint but
+// not yet received at the receiver's checkpoint (the channel state a
+// Chandy–Lamport snapshot would record). The map is keyed by [sender,
+// receiver]. It returns an error if the checkpoint is inconsistent.
+func InTransit(states map[protocol.ProcessID]protocol.State) (map[[2]protocol.ProcessID]uint64, error) {
+	if err := Check(states); err != nil {
+		return nil, err
+	}
+	out := make(map[[2]protocol.ProcessID]uint64)
+	for sendID, sendState := range states {
+		for recvID, recvState := range states {
+			if sendID == recvID {
+				continue
+			}
+			diff := sendState.SentTo[recvID] - recvState.RecvFrom[sendID]
+			if diff > 0 {
+				out[[2]protocol.ProcessID{sendID, recvID}] = diff
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package consistency_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/protocol"
+)
+
+func mkStates(n int) map[protocol.ProcessID]protocol.State {
+	out := make(map[protocol.ProcessID]protocol.State, n)
+	for i := 0; i < n; i++ {
+		out[i] = protocol.State{
+			Proc:     i,
+			SentTo:   make([]uint64, n),
+			RecvFrom: make([]uint64, n),
+		}
+	}
+	return out
+}
+
+func TestEmptySystemConsistent(t *testing.T) {
+	if err := consistency.Check(mkStates(4)); err != nil {
+		t.Fatalf("pristine states inconsistent: %v", err)
+	}
+}
+
+func TestConsistentWithInTransit(t *testing.T) {
+	s := mkStates(3)
+	// P0 sent 5 to P1; P1 received 3: two in transit — consistent.
+	s[0].SentTo[1] = 5
+	s[1].RecvFrom[0] = 3
+	if err := consistency.Check(s); err != nil {
+		t.Fatalf("in-transit messages flagged: %v", err)
+	}
+	transit, err := consistency.InTransit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transit[[2]protocol.ProcessID{0, 1}] != 2 {
+		t.Fatalf("in-transit = %v", transit)
+	}
+	if len(transit) != 1 {
+		t.Fatalf("spurious channels: %v", transit)
+	}
+}
+
+func TestOrphanDetected(t *testing.T) {
+	s := mkStates(3)
+	// P2 recorded receiving 4 from P1, but P1 recorded sending only 2.
+	s[1].SentTo[2] = 2
+	s[2].RecvFrom[1] = 4
+	err := consistency.Check(s)
+	if err == nil {
+		t.Fatal("orphan not detected")
+	}
+	var ie *consistency.InconsistencyError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(ie.Orphans) != 1 {
+		t.Fatalf("orphans = %+v", ie.Orphans)
+	}
+	o := ie.Orphans[0]
+	if o.Sender != 1 || o.Receiver != 2 || o.Sent != 2 || o.Received != 4 {
+		t.Fatalf("orphan = %+v", o)
+	}
+	if !strings.Contains(err.Error(), "P1->P2") {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+func TestMultipleOrphans(t *testing.T) {
+	s := mkStates(3)
+	s[0].RecvFrom[1] = 1
+	s[0].RecvFrom[2] = 1
+	err := consistency.Check(s)
+	var ie *consistency.InconsistencyError
+	if !errors.As(err, &ie) || len(ie.Orphans) != 2 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInTransitRejectsInconsistent(t *testing.T) {
+	s := mkStates(2)
+	s[1].RecvFrom[0] = 1
+	if _, err := consistency.InTransit(s); err == nil {
+		t.Fatal("InTransit accepted inconsistent states")
+	}
+}
+
+func TestShortVectorsError(t *testing.T) {
+	s := mkStates(2)
+	st := s[1]
+	st.RecvFrom = nil
+	s[1] = st
+	if err := consistency.Check(s); err == nil {
+		t.Fatal("short vectors accepted")
+	}
+}
+
+func TestPropConsistencyIffNoOrphanPair(t *testing.T) {
+	// Random counter matrices: Check must flag exactly the pairs where
+	// recv > sent.
+	f := func(sent, recv [3][3]uint8) bool {
+		n := 3
+		s := mkStates(n)
+		expectOrphan := false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				s[i].SentTo[j] = uint64(sent[i][j])
+				s[j].RecvFrom[i] = uint64(recv[j][i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && uint64(recv[j][i]) > uint64(sent[i][j]) {
+					expectOrphan = true
+				}
+			}
+		}
+		err := consistency.Check(s)
+		return (err != nil) == expectOrphan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInTransitMatchesDifference(t *testing.T) {
+	f := func(sent [2][2]uint8, delivered [2][2]uint8) bool {
+		n := 2
+		s := mkStates(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				sj := uint64(sent[i][j])
+				dj := uint64(delivered[i][j])
+				if dj > sj {
+					dj = sj // keep consistent
+				}
+				s[i].SentTo[j] = sj
+				s[j].RecvFrom[i] = dj
+			}
+		}
+		transit, err := consistency.InTransit(s)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				want := s[i].SentTo[j] - s[j].RecvFrom[i]
+				got := transit[[2]protocol.ProcessID{i, j}]
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,578 @@
+// Package core implements the Cao–Singhal mutable-checkpoint algorithm
+// (§3.3 of the paper): a nonblocking coordinated checkpointing protocol
+// that forces only a minimum number of processes to write checkpoints to
+// stable storage.
+//
+// The engine follows the paper's pseudocode with two documented repairs,
+// both required to make the published transcription executable (see
+// DESIGN.md §4):
+//
+//  1. MR entries carry an explicit covered flag ("a request has already
+//     been sent to this process"). The literal pseudocode suppresses a
+//     request whenever max(MR[k].csn, csn_i[k]) == MR[k].csn, which is
+//     vacuously true in a fresh system where both are zero — the first
+//     initiation would never request anything. The paper's prose ("if P_i
+//     knows by MR some other process has sent the request to P_k with
+//     req_csn >= csn_i[k]") states the intended condition, which is what
+//     we implement.
+//  2. A process stores mutable and tentative checkpoints keyed by trigger
+//     rather than in a single slot: the paper's own Fig. 3 walk-through has
+//     P1 holding mutable checkpoints C1,1 and C1,2 for two concurrent
+//     initiations.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+)
+
+// ErrCheckpointInProgress is returned by Initiate when this process is
+// already inside a checkpointing instance.
+var ErrCheckpointInProgress = errors.New("core: checkpointing already in progress")
+
+// CommitDissemination selects how the second phase reaches the system
+// (§3.3.5): one radio broadcast, or targeted commits to repliers with
+// forwarding along the "sent while cp_state=1" sets (the update approach
+// of [6]). Broadcast is cheaper when the last interval had many
+// communications; targeted avoids waking dozing hosts.
+type CommitDissemination int
+
+// Dissemination modes.
+const (
+	CommitBroadcast CommitDissemination = iota + 1
+	CommitTargeted
+)
+
+// Options tunes the engine beyond the paper's defaults.
+type Options struct {
+	// Dissemination selects the second-phase fan-out; zero means
+	// CommitBroadcast (what the paper's evaluation uses).
+	Dissemination CommitDissemination
+}
+
+// mutableCP is the engine-side bookkeeping for one mutable checkpoint: the
+// dependency vector and sent flag captured when it was taken, needed both
+// for prop_cp on promotion and for restoration on discard.
+type mutableCP struct {
+	r    []bool
+	sent bool
+}
+
+// savedContext remembers the variables a tentative checkpoint clobbers so
+// an abort (§3.6) can restore them.
+type savedContext struct {
+	r      []bool
+	sent   bool
+	oldCSN int
+}
+
+// Engine is the per-process state machine of the mutable-checkpoint
+// algorithm. It is not safe for concurrent use; the runtime serializes all
+// calls.
+type Engine struct {
+	env protocol.Env
+	id  protocol.ProcessID
+	n   int
+
+	csn        []int            // csn_i[*]
+	r          []bool           // R_i[*]
+	sent       bool             // sent_i
+	cpState    bool             // cp_state_i
+	oldCSN     int              // old_csn_i
+	ownTrigger protocol.Trigger // trigger_i
+
+	mutables map[protocol.Trigger]*mutableCP
+
+	opts Options
+	// repliers are the processes whose replies the initiator received
+	// (targeted dissemination sends commits exactly there).
+	repliers map[protocol.ProcessID]bool
+	// notifySet are the peers this process sent computation messages to
+	// while cp_state=1; the update approach forwards commits along it.
+	notifySet map[protocol.ProcessID]bool
+	// seenCommits suppresses forwarding loops in targeted dissemination.
+	seenCommits map[protocol.Trigger]bool
+
+	// Initiator-side state for the instance this process started.
+	initiating bool
+	weight     dyadic.Weight
+	// participantDeps collects each participant's dependency vector from
+	// its reply, enabling Kim–Park partial commit on failure (§3.6).
+	participantDeps map[protocol.ProcessID][]bool
+
+	// Pending tentative checkpoints (normally at most one) with the saved
+	// context needed by the abort path.
+	pending map[protocol.Trigger]savedContext
+}
+
+var (
+	_ protocol.Engine   = (*Engine)(nil)
+	_ protocol.Blocking = (*Engine)(nil)
+)
+
+// New returns an engine for the process identified by env, in a
+// computation of env.N() processes, with the paper's default options.
+func New(env protocol.Env) *Engine {
+	return NewWithOptions(env, Options{})
+}
+
+// NewWithOptions returns an engine with explicit tuning options.
+func NewWithOptions(env protocol.Env, opts Options) *Engine {
+	if opts.Dissemination == 0 {
+		opts.Dissemination = CommitBroadcast
+	}
+	n := env.N()
+	return &Engine{
+		env:         env,
+		id:          env.ID(),
+		n:           n,
+		csn:         make([]int, n),
+		r:           make([]bool, n),
+		ownTrigger:  protocol.Trigger{Pid: env.ID(), Inum: 0},
+		mutables:    make(map[protocol.Trigger]*mutableCP),
+		pending:     make(map[protocol.Trigger]savedContext),
+		opts:        opts,
+		repliers:    make(map[protocol.ProcessID]bool),
+		notifySet:   make(map[protocol.ProcessID]bool),
+		seenCommits: make(map[protocol.Trigger]bool),
+	}
+}
+
+// Name identifies the algorithm.
+func (e *Engine) Name() string { return "mutable" }
+
+// BlocksComputation reports that this algorithm never blocks.
+func (e *Engine) BlocksComputation() bool { return false }
+
+// InProgress reports the paper's cp_state.
+func (e *Engine) InProgress() bool { return e.cpState }
+
+// CSN exposes a copy of the csn vector (tests and tools).
+func (e *Engine) CSN() []int { return append([]int(nil), e.csn...) }
+
+// DependencyVector exposes a copy of R (tests and tools).
+func (e *Engine) DependencyVector() []bool { return append([]bool(nil), e.r...) }
+
+// MutableCount reports how many mutable checkpoints are currently held.
+func (e *Engine) MutableCount() int { return len(e.mutables) }
+
+// Sent exposes the sent_i flag (tests).
+func (e *Engine) Sent() bool { return e.sent }
+
+// OwnTrigger exposes the current trigger (tests).
+func (e *Engine) OwnTrigger() protocol.Trigger { return e.ownTrigger }
+
+// PrepareSend implements the paper's "actions taken when P_i sends a
+// computation message": piggyback csn_i[i], and the trigger when inside a
+// checkpointing instance.
+func (e *Engine) PrepareSend(m *protocol.Message) {
+	m.Kind = protocol.KindComputation
+	m.CSN = e.csn[e.id]
+	if e.cpState {
+		m.Trigger = e.ownTrigger
+		if e.opts.Dissemination == CommitTargeted {
+			e.notifySet[m.To] = true
+		}
+	} else {
+		m.Trigger = protocol.NoTrigger
+	}
+	e.sent = true
+}
+
+// Initiate starts a checkpointing instance at this process (§3.3.1).
+func (e *Engine) Initiate() error {
+	if e.cpState {
+		return ErrCheckpointInProgress
+	}
+	e.csn[e.id]++
+	e.ownTrigger = protocol.Trigger{Pid: e.id, Inum: e.csn[e.id]}
+	e.cpState = true
+	e.initiating = true
+	e.env.Trace(trace.KindInitiate, -1, "trigger=%v", e.ownTrigger)
+
+	mr := make([]protocol.MREntry, e.n)
+	mr[e.id] = protocol.MREntry{CSN: e.csn[e.id], R: true}
+	e.recordParticipantDeps(e.id, depsToMR(e.r))
+	e.weight = e.propCP(e.r, mr, e.ownTrigger, dyadic.One())
+
+	e.takeTentative(e.ownTrigger)
+
+	// A dependency-free initiator terminates immediately.
+	e.maybeCommit()
+	return nil
+}
+
+// takeTentative captures the process state, writes it to stable storage,
+// and performs the post-checkpoint variable updates shared by the
+// initiator and request-inheriting paths.
+func (e *Engine) takeTentative(trig protocol.Trigger) {
+	e.pending[trig] = savedContext{
+		r:      append([]bool(nil), e.r...),
+		sent:   e.sent,
+		oldCSN: e.oldCSN,
+	}
+	st := e.env.CaptureState()
+	st.CSN = e.csn[e.id]
+	e.env.SaveTentative(st, trig)
+	e.env.Trace(trace.KindTentative, -1, "csn=%d trigger=%v", st.CSN, trig)
+	e.oldCSN = e.csn[e.id]
+	e.sent = false
+	e.resetR()
+}
+
+func (e *Engine) resetR() {
+	for i := range e.r {
+		e.r[i] = false
+	}
+}
+
+// propCP implements the paper's prop_cp subroutine: propagate the request
+// to every dependency not already covered by MR, halving the carried
+// weight per request, and return the remaining weight.
+func (e *Engine) propCP(r []bool, mr []protocol.MREntry, trig protocol.Trigger, recvWeight dyadic.Weight) dyadic.Weight {
+	temp := protocol.CloneMR(mr)
+	if temp == nil {
+		temp = make([]protocol.MREntry, e.n)
+	}
+	var targets []protocol.ProcessID
+	for k := 0; k < e.n; k++ {
+		if k == e.id || !r[k] {
+			continue
+		}
+		if temp[k].R && temp[k].CSN >= e.csn[k] {
+			// Someone already sent P_k a request with req_csn >= csn_i[k].
+			continue
+		}
+		targets = append(targets, k)
+		if e.csn[k] > temp[k].CSN {
+			temp[k].CSN = e.csn[k]
+		}
+		temp[k].R = true
+	}
+	w := recvWeight
+	for _, k := range targets {
+		w = w.Half()
+		req := &protocol.Message{
+			Kind:    protocol.KindRequest,
+			From:    e.id,
+			To:      k,
+			CSN:     e.csn[e.id],
+			Trigger: trig,
+			ReqCSN:  e.csn[k],
+			MR:      protocol.CloneMR(temp),
+			Weight:  w,
+		}
+		e.env.Trace(trace.KindRequest, k, "req_csn=%d trigger=%v w=%v", req.ReqCSN, trig, w)
+		e.env.Send(req)
+	}
+	return w
+}
+
+// HandleMessage dispatches one arriving message.
+func (e *Engine) HandleMessage(m *protocol.Message) {
+	switch m.Kind {
+	case protocol.KindComputation:
+		e.handleComputation(m)
+	case protocol.KindRequest:
+		e.handleRequest(m)
+	case protocol.KindReply:
+		if e.initiating && m.Trigger == e.ownTrigger {
+			e.repliers[m.From] = true
+			if m.MR != nil {
+				e.recordParticipantDeps(m.From, m.MR)
+			}
+		}
+		e.credit(m.Trigger, m.Weight)
+	case protocol.KindCommit:
+		if len(m.MR) > e.id && m.MR[e.id].R {
+			// Kim–Park partial commit: this process is in the
+			// contaminated closure and must abort its contribution.
+			e.handleAbort(m.Trigger)
+			return
+		}
+		e.handleCommit(m.Trigger)
+	case protocol.KindAbort:
+		e.handleAbort(m.Trigger)
+	default:
+		// Unknown kinds are never routed here by the runtime.
+	}
+}
+
+// handleComputation implements "actions at P_i on receiving a computation
+// message from P_j" (§3.3.3).
+func (e *Engine) handleComputation(m *protocol.Message) {
+	j := m.From
+	e.env.Trace(trace.KindReceive, j, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	if m.CSN <= e.csn[j] {
+		e.r[j] = true
+		e.env.DeliverApp(m)
+		return
+	}
+	if !m.Trigger.IsNone() && e.csn[m.Trigger.Pid] == m.Trigger.Inum {
+		// Fast path: P_i already knows about this initiation (it has taken
+		// a checkpoint for it or saw its commit), so m cannot be an orphan.
+		e.csn[j] = m.CSN
+		e.r[j] = true
+		e.env.DeliverApp(m)
+		return
+	}
+	e.csn[j] = m.CSN
+
+	if !m.Trigger.IsNone() && e.sent && m.Trigger != e.ownTrigger {
+		if _, have := e.mutables[m.Trigger]; !have {
+			// Conditions 1–3 of §3.3.3 hold: take a mutable checkpoint
+			// before processing m.
+			e.takeMutable(m.Trigger)
+		}
+	}
+	if !m.Trigger.IsNone() && !e.cpState {
+		e.cpState = true
+		e.csn[e.id]++
+		e.ownTrigger = m.Trigger
+	}
+	e.r[j] = true
+	e.env.DeliverApp(m)
+}
+
+// takeMutable captures the process state into cheap local storage.
+func (e *Engine) takeMutable(trig protocol.Trigger) {
+	st := e.env.CaptureState()
+	st.CSN = e.csn[e.id]
+	e.env.SaveMutable(st, trig)
+	e.env.Trace(trace.KindMutable, -1, "csn=%d trigger=%v", st.CSN, trig)
+	e.mutables[trig] = &mutableCP{
+		r:    append([]bool(nil), e.r...),
+		sent: e.sent,
+	}
+	e.sent = false
+	e.resetR()
+}
+
+// handleRequest implements "actions at P_i on receiving a checkpoint
+// request from P_j" (§3.3.2).
+func (e *Engine) handleRequest(m *protocol.Message) {
+	j := m.From
+	e.csn[j] = m.CSN
+	initiator := m.Trigger.Pid
+
+	if e.oldCSN > m.ReqCSN {
+		// The send that created the dependency is already recorded in our
+		// current tentative/permanent checkpoint (§3.1.3, Fig. 4).
+		e.reply(initiator, m.Trigger, m.Weight, nil)
+		return
+	}
+	e.cpState = true
+
+	if cp, ok := e.mutables[m.Trigger]; ok {
+		// Promote the mutable checkpoint to a tentative checkpoint and
+		// propagate the request along its saved dependency vector.
+		remaining := e.propCP(cp.r, m.MR, m.Trigger, m.Weight)
+		e.env.PromoteMutable(m.Trigger)
+		e.env.Trace(trace.KindPromote, -1, "trigger=%v", m.Trigger)
+		delete(e.mutables, m.Trigger)
+		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN}
+		e.oldCSN = e.csn[e.id]
+		e.reply(initiator, m.Trigger, remaining, cp.r)
+		return
+	}
+	if m.Trigger == e.ownTrigger {
+		// Already took (or is taking) a checkpoint for this initiation.
+		e.reply(initiator, m.Trigger, m.Weight, nil)
+		return
+	}
+
+	// Inherit the request: take a tentative checkpoint.
+	e.csn[e.id]++
+	e.ownTrigger = m.Trigger
+	deps := append([]bool(nil), e.r...)
+	remaining := e.propCP(e.r, m.MR, m.Trigger, m.Weight)
+	e.takeTentative(m.Trigger)
+	e.reply(initiator, m.Trigger, remaining, deps)
+}
+
+// reply sends the carried weight back to the initiator; when this process
+// is itself the initiator the weight is credited directly. A non-nil deps
+// vector reports the dependency set of the checkpoint this process
+// contributed, which the initiator needs for Kim–Park partial commit.
+func (e *Engine) reply(initiator protocol.ProcessID, trig protocol.Trigger, w dyadic.Weight, deps []bool) {
+	var mr []protocol.MREntry
+	if deps != nil {
+		mr = depsToMR(deps)
+	}
+	if initiator == e.id {
+		if deps != nil && e.initiating && trig == e.ownTrigger {
+			e.recordParticipantDeps(e.id, mr)
+		}
+		e.credit(trig, w)
+		return
+	}
+	e.env.Trace(trace.KindReply, initiator, "w=%v", w)
+	e.env.Send(&protocol.Message{
+		Kind:    protocol.KindReply,
+		From:    e.id,
+		To:      initiator,
+		Trigger: trig,
+		Weight:  w,
+		MR:      mr,
+	})
+}
+
+// credit implements the initiator's second phase (§3.3.4): accumulate
+// returned weight and commit when it reaches exactly 1.
+func (e *Engine) credit(trig protocol.Trigger, w dyadic.Weight) {
+	if !e.initiating || trig != e.ownTrigger {
+		// Stale reply for an instance that already terminated.
+		return
+	}
+	e.weight = e.weight.Add(w)
+	e.maybeCommit()
+}
+
+func (e *Engine) maybeCommit() {
+	if !e.initiating || !e.weight.IsOne() {
+		return
+	}
+	trig := e.ownTrigger
+	e.initiating = false
+	e.weight = dyadic.Zero()
+	e.participantDeps = nil
+	if e.opts.Dissemination == CommitTargeted {
+		// §3.3.5 update approach: commit only to the processes that
+		// replied; they forward along their notify sets.
+		e.env.Trace(trace.KindCommit, -1, "targeted trigger=%v to=%d repliers", trig, len(e.repliers))
+		for p := range e.repliers {
+			e.env.Send(&protocol.Message{
+				Kind:    protocol.KindCommit,
+				From:    e.id,
+				To:      p,
+				Trigger: trig,
+			})
+		}
+		e.repliers = make(map[protocol.ProcessID]bool)
+	} else {
+		e.env.Trace(trace.KindCommit, -1, "broadcast trigger=%v", trig)
+		e.env.Broadcast(&protocol.Message{
+			Kind:    protocol.KindCommit,
+			From:    e.id,
+			Trigger: trig,
+		})
+	}
+	e.handleCommit(trig)
+	e.env.CheckpointingDone(trig, true)
+}
+
+// handleCommit implements "actions at other process P_j on receiving a
+// broadcast message" (§3.3.4).
+func (e *Engine) handleCommit(trig protocol.Trigger) {
+	if e.opts.Dissemination == CommitTargeted && !e.seenCommits[trig] {
+		e.seenCommits[trig] = true
+		if len(e.seenCommits) > 1024 {
+			e.seenCommits = map[protocol.Trigger]bool{trig: true}
+		}
+		// Forward the commit to everyone we sent computation messages to
+		// while inside the instance, so they clear cp_state and discard
+		// mutable checkpoints (the update approach's notification duty).
+		for p := range e.notifySet {
+			if p == trig.Pid {
+				continue
+			}
+			e.env.Send(&protocol.Message{
+				Kind:    protocol.KindCommit,
+				From:    e.id,
+				To:      p,
+				Trigger: trig,
+			})
+		}
+		e.notifySet = make(map[protocol.ProcessID]bool)
+	}
+	e.csn[trig.Pid] = trig.Inum
+	e.cpState = false
+	if cp, ok := e.mutables[trig]; ok {
+		// Discard the mutable checkpoint: its interval merges back into
+		// the current one, so restore the R and sent unions.
+		e.sent = e.sent || cp.sent
+		for i, v := range cp.r {
+			if v {
+				e.r[i] = true
+			}
+		}
+		delete(e.mutables, trig)
+		e.env.DiscardMutable(trig)
+		e.env.Trace(trace.KindDiscardMutable, -1, "trigger=%v", trig)
+	}
+	if _, ok := e.pending[trig]; ok {
+		e.env.MakePermanent(trig)
+		e.env.Trace(trace.KindPermanent, -1, "trigger=%v", trig)
+		delete(e.pending, trig)
+	}
+}
+
+// AbortCurrent aborts the instance this process initiated (§3.6): the
+// initiator broadcasts abort and every participant restores its state.
+func (e *Engine) AbortCurrent() error {
+	if !e.initiating {
+		return fmt.Errorf("core: process %d is not an active initiator", e.id)
+	}
+	trig := e.ownTrigger
+	e.initiating = false
+	e.weight = dyadic.Zero()
+	e.participantDeps = nil
+	e.env.Trace(trace.KindAbort, -1, "broadcast trigger=%v", trig)
+	e.env.Broadcast(&protocol.Message{
+		Kind:    protocol.KindAbort,
+		From:    e.id,
+		Trigger: trig,
+	})
+	e.handleAbort(trig)
+	e.env.CheckpointingDone(trig, false)
+	return nil
+}
+
+// handleAbort discards checkpoints taken for the aborted instance and
+// restores the clobbered variables (§3.6).
+func (e *Engine) handleAbort(trig protocol.Trigger) {
+	e.cpState = false
+	if cp, ok := e.mutables[trig]; ok {
+		e.sent = e.sent || cp.sent
+		for i, v := range cp.r {
+			if v {
+				e.r[i] = true
+			}
+		}
+		delete(e.mutables, trig)
+		e.env.DiscardMutable(trig)
+		e.env.Trace(trace.KindDiscardMutable, -1, "abort trigger=%v", trig)
+	}
+	if saved, ok := e.pending[trig]; ok {
+		e.env.DropTentative(trig)
+		e.env.Trace(trace.KindAbort, -1, "drop tentative trigger=%v", trig)
+		delete(e.pending, trig)
+		// Restore the variables the tentative checkpoint reset.
+		e.sent = e.sent || saved.sent
+		for i, v := range saved.r {
+			if v {
+				e.r[i] = true
+			}
+		}
+		e.oldCSN = saved.oldCSN
+	}
+}
+
+// Weight exposes the initiator's accumulated termination-detection weight
+// (tests).
+func (e *Engine) Weight() dyadic.Weight { return e.weight }
+
+// Initiating reports whether this process is the active initiator (tests).
+func (e *Engine) Initiating() bool { return e.initiating }
+
+// OldCSN exposes the csn of the current tentative/permanent checkpoint
+// (tests).
+func (e *Engine) OldCSN() int { return e.oldCSN }
+
+// PendingTentatives reports how many tentative checkpoints await a
+// commit/abort decision (tests).
+func (e *Engine) PendingTentatives() int { return len(e.pending) }

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"mutablecp/internal/xrand"
+)
+
+// BenchmarkInstance runs complete checkpointing instances (random
+// dependency graphs, full request trees, commit) through the pure engine
+// with no network model: the protocol's CPU cost in isolation.
+func BenchmarkInstance(b *testing.B) {
+	rng := xrand.New(1)
+	tb := &testing.T{}
+	w := newWorld(tb, 16)
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			from := rng.Intn(w.n)
+			to := rng.Intn(w.n - 1)
+			if to >= from {
+				to++
+			}
+			w.deliver(w.send(from, to))
+		}
+		init := rng.Intn(w.n)
+		if err := w.engines[init].Initiate(); err != nil {
+			b.Fatal(err)
+		}
+		w.pump()
+	}
+}
+
+// BenchmarkPrepareSend measures the per-message piggybacking cost on the
+// application send path.
+func BenchmarkPrepareSend(b *testing.B) {
+	tb := &testing.T{}
+	w := newWorld(tb, 16)
+	for i := 0; i < b.N; i++ {
+		m := w.send(0, 1)
+		_ = m
+		if len(w.queue) > 1024 {
+			w.pump()
+		}
+	}
+}

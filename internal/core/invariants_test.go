@@ -1,0 +1,302 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/xrand"
+)
+
+// randomTraffic issues k random sends and delivers a random prefix of the
+// queue (respecting FIFO: only the earliest message per channel may be
+// delivered, which deliverMatching with a first-match scan guarantees).
+func randomTraffic(w *world, rng *xrand.Stream, sends int) {
+	for s := 0; s < sends; s++ {
+		from := rng.Intn(w.n)
+		to := rng.Intn(w.n - 1)
+		if to >= from {
+			to++
+		}
+		w.send(from, to)
+		// Deliver ~half of the queued messages, earliest-first.
+		for len(w.queue) > 0 && rng.Float64() < 0.5 {
+			w.deliver(w.queue[0])
+		}
+	}
+}
+
+// TestTheorem1RandomizedConsistency: under random traffic and random
+// initiators, every committed recovery line is orphan-free.
+func TestTheorem1RandomizedConsistency(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := xrand.New(seed)
+			w := newWorld(t, 6)
+			for round := 0; round < 8; round++ {
+				randomTraffic(w, rng, 10)
+				init := rng.Intn(w.n)
+				if w.engines[init].InProgress() {
+					w.pump()
+				}
+				if err := w.engines[init].Initiate(); err != nil {
+					w.pump()
+					continue
+				}
+				w.pump() // run the instance (and deliver lingering traffic)
+				if w.envs[init].doneCount == 0 {
+					t.Fatalf("round %d: instance never terminated (Theorem 2)", round)
+				}
+				if err := consistency.Check(w.line()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem2TerminationUnderPartialDelivery: the instance must
+// terminate as soon as all system messages are delivered, even while
+// computation messages linger in flight.
+func TestTheorem2TerminationUnderPartialDelivery(t *testing.T) {
+	rng := xrand.New(99)
+	w := newWorld(t, 6)
+	randomTraffic(w, rng, 40)
+	// Leave computation messages queued; deliver only system traffic.
+	if err := w.engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	w.pumpSystem()
+	if w.envs[0].doneCount != 1 {
+		t.Fatal("instance did not terminate with only system messages delivered")
+	}
+	if !w.engines[0].Weight().IsZero() {
+		t.Fatalf("initiator retains weight %v after commit", w.engines[0].Weight())
+	}
+	w.pump()
+	if err := consistency.Check(w.line()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma2WeightConservation: at every step of an instance, the weight
+// held by the initiator plus the weight in flight equals exactly 1.
+func TestLemma2WeightConservation(t *testing.T) {
+	rng := xrand.New(7)
+	w := newWorld(t, 8)
+	randomTraffic(w, rng, 60)
+	// Quiesce computation traffic so the instance is the only activity.
+	w.pump()
+
+	init := 3
+	if err := w.engines[init].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for w.envs[init].doneCount == 0 {
+		total := w.engines[init].Weight().Add(w.queuedWeight())
+		if !total.IsOne() {
+			t.Fatalf("step %d: initiator %v + in-flight %v != 1",
+				steps, w.engines[init].Weight(), w.queuedWeight())
+		}
+		if len(w.queue) == 0 {
+			t.Fatal("queue drained but instance not done")
+		}
+		w.deliver(w.queue[0])
+		steps++
+	}
+	// After commit the initiator's weight resets and no request/reply
+	// weight remains in flight.
+	if !w.queuedWeight().IsZero() {
+		t.Fatalf("weight still in flight after commit: %v", w.queuedWeight())
+	}
+}
+
+// minimalSet computes the Theorem 3 oracle: the transitive closure of
+// "P_j received, since its last stable checkpoint, a message from P_k that
+// P_k's last stable checkpoint does not record". The engine must
+// checkpoint exactly this set.
+type msgRecord struct {
+	from, to protocol.ProcessID
+	// sentIdx is the sender's cumulative send count to `to` after this
+	// message (1-based).
+	sentIdx uint64
+	// recvIdx is the receiver's cumulative receive count from `from`.
+	recvIdx uint64
+}
+
+// TestTheorem3Minimality: with traffic quiesced, the set of processes that
+// write stable checkpoints equals the oracle's dependency closure.
+func TestTheorem3Minimality(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := xrand.New(seed * 31)
+			w := newWorld(t, 6)
+
+			var delivered []msgRecord
+			sendAndDeliver := func(from, to protocol.ProcessID) {
+				m := w.send(from, to)
+				w.deliver(m)
+				delivered = append(delivered, msgRecord{
+					from: from, to: to,
+					sentIdx: w.envs[from].sentTo[to],
+					recvIdx: w.envs[to].recvFrom[from],
+				})
+			}
+
+			// A couple of committed instances first, so checkpoints differ.
+			for round := 0; round < 2; round++ {
+				for s := 0; s < 8; s++ {
+					from := rng.Intn(w.n)
+					to := rng.Intn(w.n - 1)
+					if to >= from {
+						to++
+					}
+					sendAndDeliver(from, to)
+				}
+				init := rng.Intn(w.n)
+				if err := w.engines[init].Initiate(); err != nil {
+					t.Fatal(err)
+				}
+				w.pump()
+			}
+
+			// Fresh traffic for the measured instance.
+			for s := 0; s < 10; s++ {
+				from := rng.Intn(w.n)
+				to := rng.Intn(w.n - 1)
+				if to >= from {
+					to++
+				}
+				sendAndDeliver(from, to)
+			}
+
+			// Oracle closure from the pre-instance stable checkpoints.
+			before := make([]protocol.State, w.n)
+			beforeCSN := make([]int, w.n)
+			for i := 0; i < w.n; i++ {
+				rec := w.envs[i].stable.Permanent()
+				before[i] = rec.State
+				beforeCSN[i] = w.envs[i].tentativeTaken
+			}
+			init := rng.Intn(w.n)
+			need := map[protocol.ProcessID]bool{init: true}
+			for changed := true; changed; {
+				changed = false
+				for _, mr := range delivered {
+					if !need[mr.to] || need[mr.from] {
+						continue
+					}
+					// Message received by a member, not recorded in the
+					// sender's pre-instance checkpoint, and received after
+					// the receiver's pre-instance checkpoint.
+					if mr.sentIdx > before[mr.from].SentTo[mr.to] &&
+						mr.recvIdx > before[mr.to].RecvFrom[mr.from] {
+						need[mr.from] = true
+						changed = true
+					}
+				}
+			}
+
+			if err := w.engines[init].Initiate(); err != nil {
+				t.Fatal(err)
+			}
+			w.pump()
+			if w.envs[init].doneCount == 0 {
+				t.Fatal("instance did not terminate")
+			}
+
+			took := map[protocol.ProcessID]bool{}
+			for i := 0; i < w.n; i++ {
+				if w.envs[i].tentativeTaken > beforeCSN[i] {
+					took[i] = true
+				}
+			}
+			// Soundness: every process in the minimal set must checkpoint.
+			for p := range need {
+				if !took[p] {
+					t.Errorf("P%d in the minimal set but took no checkpoint", p)
+				}
+			}
+			// Minimality: the algorithm may exceed the oracle by a small
+			// csn-granularity slack. A request carries req_csn = csn_i[k],
+			// which a commit broadcast can raise to exactly the target's
+			// old_csn even though the dependency message predates that
+			// checkpoint; the paper's strict `old_csn > req_csn` test then
+			// takes one extra (harmless) checkpoint. Allow at most one.
+			extra := 0
+			for p := range took {
+				if !need[p] {
+					extra++
+				}
+			}
+			if extra > 1 {
+				t.Errorf("%d checkpoints beyond the minimal set (allowed slack is 1)", extra)
+			}
+			if err := consistency.Check(w.line()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWeightNeverNegative: dyadic weights cannot go negative; a protocol
+// bug that over-credits the initiator would overflow past one instead.
+// Run a large randomized batch and confirm the final weight is exactly
+// zero (reset) after each instance.
+func TestWeightResetAfterEachInstance(t *testing.T) {
+	rng := xrand.New(1234)
+	w := newWorld(t, 5)
+	for round := 0; round < 20; round++ {
+		randomTraffic(w, rng, 12)
+		w.pump()
+		init := rng.Intn(w.n)
+		if err := w.engines[init].Initiate(); err != nil {
+			t.Fatal(err)
+		}
+		w.pump()
+		if !w.engines[init].Weight().IsZero() {
+			t.Fatalf("round %d: weight %v not reset", round, w.engines[init].Weight())
+		}
+		if w.engines[init].Initiating() {
+			t.Fatalf("round %d: still initiating", round)
+		}
+	}
+}
+
+// TestMutableBookkeeping: after any committed instance no mutable
+// checkpoints remain anywhere (promoted or discarded), and pending
+// tentatives are all resolved.
+func TestMutableBookkeeping(t *testing.T) {
+	rng := xrand.New(777)
+	w := newWorld(t, 6)
+	for round := 0; round < 15; round++ {
+		randomTraffic(w, rng, 15)
+		init := rng.Intn(w.n)
+		if w.engines[init].InProgress() {
+			w.pump()
+		}
+		if err := w.engines[init].Initiate(); err != nil {
+			w.pump()
+			continue
+		}
+		w.pump()
+		for i := 0; i < w.n; i++ {
+			if got := w.envs[i].mutable.Len(); got != 0 {
+				t.Fatalf("round %d: P%d still holds %d mutable checkpoints", round, i, got)
+			}
+			if got := w.engines[i].PendingTentatives(); got != 0 {
+				t.Fatalf("round %d: P%d has %d unresolved tentatives", round, i, got)
+			}
+			if got := w.envs[i].stable.TentativeCount(); got != 0 {
+				t.Fatalf("round %d: P%d store holds %d tentatives", round, i, got)
+			}
+		}
+	}
+	total := dyadic.Zero()
+	_ = total
+}

@@ -1,0 +1,112 @@
+package core
+
+// Kim–Park partial commit (§3.6). The paper prefers the Kim–Park approach
+// to failures during checkpointing: instead of aborting the whole
+// instance when one participant fails, processes whose checkpoints do not
+// depend (transitively) on the failed process commit, and only the
+// contaminated subtree aborts. The consistency argument mirrors
+// Theorem 1: if a committed checkpoint recorded a receive from k, the
+// receiver depends on k, so k is outside the contaminated closure and
+// committed too — the send is recorded.
+//
+// To compute the closure the initiator needs each participant's
+// dependency set; replies therefore carry the dependency vector the
+// participant propagated requests along (reusing the MR field, R bits
+// only). The partial decision is broadcast as a commit whose MR marks the
+// excluded (aborting) processes.
+
+import (
+	"fmt"
+
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+)
+
+// depsToMR encodes a dependency vector in MR entries (R bits).
+func depsToMR(deps []bool) []protocol.MREntry {
+	out := make([]protocol.MREntry, len(deps))
+	for i, d := range deps {
+		out[i].R = d
+	}
+	return out
+}
+
+// AbortPartial resolves the instance this process initiated after
+// participant `failed` crashed, using Kim–Park partial commit: the
+// contaminated closure (the failed process plus everyone depending on it,
+// transitively, among the participants) aborts; everyone else commits
+// locally. Because requests flow along dependency edges, the initiator is
+// itself contaminated whenever the failed process was a real participant
+// — it then discards its own tentative checkpoint while sibling branches
+// of the tree still advance their recovery line, which is exactly the
+// improvement over the total abort of [19]. It reports whether the
+// initiator's own checkpoint committed.
+func (e *Engine) AbortPartial(failed protocol.ProcessID) error {
+	if !e.initiating {
+		return fmt.Errorf("core: process %d is not an active initiator", e.id)
+	}
+	trig := e.ownTrigger
+	contaminated := e.contaminatedClosure(failed)
+	e.initiating = false
+	e.weight = dyadic.Zero()
+	defer func() { e.participantDeps = nil }()
+
+	excluded := make([]bool, e.n)
+	for p := range contaminated {
+		excluded[p] = true
+	}
+	e.env.Trace(trace.KindCommit, -1, "partial commit trigger=%v excluded=%v", trig, contaminated)
+	e.env.Broadcast(&protocol.Message{
+		Kind:    protocol.KindCommit,
+		From:    e.id,
+		Trigger: trig,
+		MR:      depsToMR(excluded),
+	})
+	if contaminated[e.id] {
+		e.handleAbort(trig)
+		e.env.CheckpointingDone(trig, false)
+		return nil
+	}
+	e.handleCommit(trig)
+	e.env.CheckpointingDone(trig, true)
+	return nil
+}
+
+// contaminatedClosure computes {failed} ∪ {p : p depends transitively on
+// failed} from the dependency vectors returned in replies (plus the
+// initiator's own).
+func (e *Engine) contaminatedClosure(failed protocol.ProcessID) map[protocol.ProcessID]bool {
+	closure := map[protocol.ProcessID]bool{failed: true}
+	for changed := true; changed; {
+		changed = false
+		for p, deps := range e.participantDeps {
+			if closure[p] {
+				continue
+			}
+			for q, d := range deps {
+				if d && closure[q] {
+					closure[p] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// recordParticipantDeps stores a participant's dependency vector from its
+// reply (initiator side).
+func (e *Engine) recordParticipantDeps(p protocol.ProcessID, mr []protocol.MREntry) {
+	if e.participantDeps == nil {
+		e.participantDeps = make(map[protocol.ProcessID][]bool, e.n)
+	}
+	deps := make([]bool, e.n)
+	for i := range mr {
+		if i < e.n {
+			deps[i] = mr[i].R
+		}
+	}
+	e.participantDeps[p] = deps
+}

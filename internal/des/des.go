@@ -1,0 +1,250 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// The kernel keeps a virtual clock and a priority queue of scheduled events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes every simulation run fully deterministic for a
+// given seed and schedule. All checkpointing experiments in this repository
+// run on top of this kernel so that virtual time (900-second checkpoint
+// intervals, 2-second checkpoint transfers) is cheap to simulate.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop before the horizon was reached.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// event is a single scheduled callback.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-breaker: schedule order
+	id    EventID
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all event callbacks run on the goroutine that calls
+// Run or Step.
+type Simulator struct {
+	now     time.Duration
+	seq     uint64
+	nextID  EventID
+	heap    eventHeap
+	byID    map[EventID]*event
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics.
+	executed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Executed reports how many events have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are currently scheduled.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (fire at the current instant, after already-queued events for this
+// instant). It returns an id usable with Cancel.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time. Times in the past
+// are clamped to the current instant.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) EventID {
+	if at < s.now {
+		at = s.now
+	}
+	s.nextID++
+	s.seq++
+	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn}
+	heap.Push(&s.heap, ev)
+	s.byID[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false when it already fired, was cancelled, or never existed).
+func (s *Simulator) Cancel(id EventID) bool {
+	ev, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	delete(s.byID, id)
+	if ev.index >= 0 {
+		heap.Remove(&s.heap, ev.index)
+	}
+	return true
+}
+
+// Stop makes the currently running Run call return ErrStopped after the
+// current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.heap).(*event)
+	delete(s.byID, ev.id)
+	s.now = ev.at
+	s.executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events in timestamp order until the horizon is passed, the
+// event queue drains, or Stop is called. The clock never advances beyond
+// horizon: an event scheduled after the horizon stays queued and the clock
+// is set to the horizon on return. Run returns ErrStopped only for explicit
+// stops; draining the queue or reaching the horizon returns nil.
+func (s *Simulator) Run(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.heap) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.heap[0]
+		if next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll fires events until the queue drains or Stop is called, with no
+// horizon. Use only with workloads that terminate on their own.
+func (s *Simulator) RunAll() error {
+	s.stopped = false
+	for len(s.heap) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		s.Step()
+	}
+	return nil
+}
+
+// Ticker repeatedly schedules fn every period until Stop is called on it.
+// The first firing happens one period from the moment NewTicker is called
+// (plus the optional phase offset).
+type Ticker struct {
+	sim     *Simulator
+	period  time.Duration
+	fn      func()
+	id      EventID
+	pending bool
+	stop    bool
+}
+
+// NewTicker creates and starts a ticker. phase delays the first firing by
+// phase beyond one full period when non-zero; pass 0 for a plain ticker.
+func (s *Simulator) NewTicker(period, phase time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.id = s.Schedule(period+phase, t.tick)
+	t.pending = true
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.pending = false
+	t.fn()
+	if t.stop {
+		return
+	}
+	if !t.pending {
+		// fn may have called Reschedule already; avoid double-scheduling.
+		t.id = t.sim.Schedule(t.period, t.tick)
+		t.pending = true
+	}
+}
+
+// Stop prevents any further firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.pending {
+		t.sim.Cancel(t.id)
+		t.pending = false
+	}
+}
+
+// Reschedule moves the next firing to one period from now, dropping the
+// currently pending firing. It is used by checkpoint schedulers that reset
+// their timer when a checkpoint is taken early; it is safe to call from
+// inside the ticker's own callback.
+func (t *Ticker) Reschedule() {
+	if t.stop {
+		return
+	}
+	if t.pending {
+		t.sim.Cancel(t.id)
+	}
+	t.id = t.sim.Schedule(t.period, t.tick)
+	t.pending = true
+}

@@ -1,0 +1,47 @@
+package des_test
+
+import (
+	"testing"
+	"time"
+
+	"mutablecp/internal/des"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	sim := des.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			sim.RunAll() //nolint:errcheck
+		}
+	}
+	sim.RunAll() //nolint:errcheck
+}
+
+func BenchmarkEventChurn(b *testing.B) {
+	sim := des.New()
+	var next func()
+	count := 0
+	next = func() {
+		count++
+		if count < b.N {
+			sim.Schedule(time.Microsecond, next)
+		}
+	}
+	sim.Schedule(time.Microsecond, next)
+	b.ResetTimer()
+	sim.RunAll() //nolint:errcheck
+}
+
+func BenchmarkCancel(b *testing.B) {
+	sim := des.New()
+	ids := make([]des.EventID, b.N)
+	for i := range ids {
+		ids[i] = sim.Schedule(time.Second, func() {})
+	}
+	b.ResetTimer()
+	for _, id := range ids {
+		sim.Cancel(id)
+	}
+}

@@ -1,0 +1,282 @@
+package dyadic_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mutablecp/internal/dyadic"
+)
+
+func TestZeroAndOne(t *testing.T) {
+	if !dyadic.Zero().IsZero() {
+		t.Fatal("Zero is not zero")
+	}
+	if !dyadic.One().IsOne() {
+		t.Fatal("One is not one")
+	}
+	if dyadic.One().IsZero() || dyadic.Zero().IsOne() {
+		t.Fatal("One/Zero confusion")
+	}
+}
+
+func TestHalvesSumBackToOne(t *testing.T) {
+	// Simulate the paper's weight distribution: the initiator halves its
+	// weight per request; every halved share eventually returns. The sum
+	// must be exactly 1 no matter how deep the tree.
+	w := dyadic.One()
+	var shares []dyadic.Weight
+	for i := 0; i < 400; i++ { // far deeper than float64 could track
+		w = w.Half()
+		shares = append(shares, w)
+	}
+	total := w // the retained remainder
+	for _, s := range shares {
+		total = total.Add(s)
+	}
+	if !total.IsOne() {
+		t.Fatalf("sum of halves = %v, want exactly 1", total)
+	}
+}
+
+func TestFloat64WouldLoseDeepShares(t *testing.T) {
+	// Documents why the package exists: with float64 the 2^-200 share
+	// vanishes, with dyadic it does not.
+	f := 1.0
+	for i := 0; i < 200; i++ {
+		f /= 2
+	}
+	if 1.0+f != 1.0 {
+		t.Skip("platform float64 unexpectedly precise")
+	}
+	w := dyadic.One()
+	for i := 0; i < 200; i++ {
+		w = w.Half()
+	}
+	if dyadic.One().Add(w).Equal(dyadic.One()) {
+		t.Fatal("dyadic lost a deep share like float64 would")
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	a := dyadic.FromFraction(3, 4) // 3/16
+	b := dyadic.FromFraction(5, 7) // 5/128
+	sum := a.Add(b)
+	if got := sum.Sub(b); !got.Equal(a) {
+		t.Fatalf("(a+b)-b = %v, want %v", got, a)
+	}
+	if got := sum.Sub(a); !got.Equal(b) {
+		t.Fatalf("(a+b)-a = %v, want %v", got, b)
+	}
+}
+
+func TestSubNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative result")
+		}
+	}()
+	dyadic.FromFraction(1, 4).Sub(dyadic.FromFraction(1, 1))
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b dyadic.Weight
+		want int
+	}{
+		{dyadic.Zero(), dyadic.Zero(), 0},
+		{dyadic.Zero(), dyadic.One(), -1},
+		{dyadic.One(), dyadic.Zero(), 1},
+		{dyadic.FromFraction(1, 1), dyadic.FromFraction(2, 2), 0}, // 1/2 == 2/4
+		{dyadic.FromFraction(1, 2), dyadic.FromFraction(1, 1), -1},
+		{dyadic.FromFraction(3, 2), dyadic.FromFraction(1, 1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	// 4/2^2 == 1: normalization must make equal values identical.
+	a := dyadic.FromFraction(4, 2)
+	if !a.IsOne() {
+		t.Fatalf("4/2^2 = %v, want 1", a)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		w    dyadic.Weight
+		want string
+	}{
+		{dyadic.Zero(), "0"},
+		{dyadic.One(), "1"},
+		{dyadic.FromFraction(1, 1), "1/2^1"},
+		{dyadic.FromFraction(3, 3), "3/2^3"},
+	}
+	for _, c := range cases {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.w, got, c.want)
+		}
+	}
+}
+
+func TestFloat64Approximation(t *testing.T) {
+	if got := dyadic.FromFraction(1, 1).Float64(); got != 0.5 {
+		t.Fatalf("1/2 as float = %v", got)
+	}
+	if got := dyadic.FromFraction(3, 2).Float64(); got != 0.75 {
+		t.Fatalf("3/4 as float = %v", got)
+	}
+	if got := dyadic.Zero().Float64(); got != 0 {
+		t.Fatalf("0 as float = %v", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	parts := []dyadic.Weight{
+		dyadic.FromFraction(1, 1),
+		dyadic.FromFraction(1, 2),
+		dyadic.FromFraction(1, 3),
+		dyadic.FromFraction(1, 3),
+	}
+	if got := dyadic.Sum(parts...); !got.IsOne() {
+		t.Fatalf("1/2+1/4+1/8+1/8 = %v, want 1", got)
+	}
+}
+
+func TestFromFractionNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative numerator")
+		}
+	}()
+	dyadic.FromFraction(-1, 0)
+}
+
+// randomWeight builds a small random dyadic value for property tests.
+func randomWeight(r *rand.Rand) dyadic.Weight {
+	return dyadic.FromFraction(r.Int63n(1<<20), uint(r.Intn(64)))
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a1, a2 int64, e1, e2 uint8) bool {
+		if a1 < 0 {
+			a1 = -a1
+		}
+		if a2 < 0 {
+			a2 = -a2
+		}
+		a := dyadic.FromFraction(a1%1024, uint(e1%32))
+		b := dyadic.FromFraction(a2%1024, uint(e2%32))
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAddAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := randomWeight(r), randomWeight(r), randomWeight(r)
+		l := a.Add(b).Add(c)
+		rr := a.Add(b.Add(c))
+		if !l.Equal(rr) {
+			t.Fatalf("associativity failed: (%v+%v)+%v", a, b, c)
+		}
+	}
+}
+
+func TestPropHalfPlusHalfIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		w := randomWeight(r)
+		if !w.Half().Add(w.Half()).Equal(w) {
+			t.Fatalf("w/2 + w/2 != w for %v", w)
+		}
+	}
+}
+
+func TestPropConservationUnderRandomSplits(t *testing.T) {
+	// Weight-conservation invariant (the paper's Lemma 2): starting from
+	// 1, repeatedly pick a share and split it in half; the multiset always
+	// sums to exactly 1.
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		shares := []dyadic.Weight{dyadic.One()}
+		for step := 0; step < 200; step++ {
+			i := r.Intn(len(shares))
+			h := shares[i].Half()
+			shares[i] = h
+			shares = append(shares, h)
+		}
+		if got := dyadic.Sum(shares...); !got.IsOne() {
+			t.Fatalf("trial %d: sum = %v, want 1", trial, got)
+		}
+	}
+}
+
+func TestSubZeroOther(t *testing.T) {
+	a := dyadic.FromFraction(3, 2)
+	if got := a.Sub(dyadic.Zero()); !got.Equal(a) {
+		t.Fatalf("a - 0 = %v", got)
+	}
+}
+
+func TestSubFromZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	dyadic.Zero().Sub(dyadic.One())
+}
+
+func TestSubToExactZero(t *testing.T) {
+	a := dyadic.FromFraction(5, 4)
+	if got := a.Sub(a); !got.IsZero() {
+		t.Fatalf("a - a = %v", got)
+	}
+}
+
+func TestMarshalRoundTripEdgeCases(t *testing.T) {
+	for _, w := range []dyadic.Weight{
+		dyadic.Zero(), dyadic.One(), dyadic.FromFraction(1, 300),
+	} {
+		data, err := w.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got dyadic.Weight
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(w) {
+			t.Fatalf("round trip %v -> %v", w, got)
+		}
+	}
+	var w dyadic.Weight
+	if err := w.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestHalfOfZero(t *testing.T) {
+	if !dyadic.Zero().Half().IsZero() {
+		t.Fatal("0/2 != 0")
+	}
+}
+
+func TestCmpMixedExponents(t *testing.T) {
+	a := dyadic.FromFraction(1, 10)   // 1/1024 = 512/2^19
+	b := dyadic.FromFraction(511, 19) // 511/2^19, just below a
+	if a.Cmp(b) != 1 {
+		t.Fatalf("Cmp(%v, %v) = %d", a, b, a.Cmp(b))
+	}
+	if b.Cmp(a) != -1 {
+		t.Fatal("asymmetric Cmp")
+	}
+}

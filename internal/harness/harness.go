@@ -1,0 +1,306 @@
+// Package harness runs the paper's experiments: it builds simulated
+// clusters, drives the §5.1 workloads, collects per-initiation samples
+// with 95% confidence intervals, and regenerates every figure and table of
+// the evaluation section (see DESIGN.md §3 for the experiment index).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mutablecp/internal/algorithms/chandylamport"
+	"mutablecp/internal/algorithms/elnozahy"
+	"mutablecp/internal/algorithms/kootoueg"
+	"mutablecp/internal/algorithms/naive"
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/core"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/stats"
+	"mutablecp/internal/workload"
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	AlgoMutable = "mutable"
+	// AlgoMutableTargeted is the mutable algorithm with the §3.3.5
+	// "update" commit dissemination instead of the broadcast.
+	AlgoMutableTargeted = "mutable-targeted"
+	AlgoKooToueg        = "koo-toueg"
+	AlgoElnozahy        = "elnozahy"
+	AlgoChandyLamport   = "chandy-lamport"
+	AlgoNaiveSimple     = "naive-simple"
+	AlgoNaiveRevised    = "naive-revised"
+	AlgoNaiveNoCSN      = "naive-nocsn"
+)
+
+// Algorithms lists every registered algorithm name.
+func Algorithms() []string {
+	return []string{
+		AlgoMutable, AlgoMutableTargeted, AlgoKooToueg, AlgoElnozahy,
+		AlgoChandyLamport, AlgoNaiveSimple, AlgoNaiveRevised, AlgoNaiveNoCSN,
+	}
+}
+
+// NewEngine builds an engine factory for a registered algorithm name.
+func NewEngine(name string) (func(env protocol.Env) protocol.Engine, error) {
+	switch name {
+	case AlgoMutable:
+		return func(env protocol.Env) protocol.Engine { return core.New(env) }, nil
+	case AlgoMutableTargeted:
+		return func(env protocol.Env) protocol.Engine {
+			return core.NewWithOptions(env, core.Options{Dissemination: core.CommitTargeted})
+		}, nil
+	case AlgoKooToueg:
+		return func(env protocol.Env) protocol.Engine { return kootoueg.New(env) }, nil
+	case AlgoElnozahy:
+		return func(env protocol.Env) protocol.Engine { return elnozahy.New(env) }, nil
+	case AlgoChandyLamport:
+		return func(env protocol.Env) protocol.Engine { return chandylamport.New(env) }, nil
+	case AlgoNaiveSimple:
+		return func(env protocol.Env) protocol.Engine { return naive.New(env, naive.ModeSimple) }, nil
+	case AlgoNaiveRevised:
+		return func(env protocol.Env) protocol.Engine { return naive.New(env, naive.ModeRevised) }, nil
+	case AlgoNaiveNoCSN:
+		return func(env protocol.Env) protocol.Engine { return naive.New(env, naive.ModeNoCSN) }, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", name)
+	}
+}
+
+// WorkloadKind selects the communication environment of §5.1.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	WorkloadP2P WorkloadKind = iota + 1
+	WorkloadGroup
+)
+
+// Config describes one experiment run.
+type Config struct {
+	Algorithm string
+	N         int
+	Seed      uint64
+
+	Workload WorkloadKind
+	// Rate is the per-process message sending rate (msgs/s); for group
+	// workloads it is the intra-group rate.
+	Rate float64
+	// GroupRatio is the intra/inter rate ratio (group workloads only).
+	GroupRatio float64
+	// Groups is the number of groups (default 4).
+	Groups int
+
+	// Horizon is the simulated time to run. Zero means enough for
+	// MinInitiations completed instances (default 40 intervals).
+	Horizon time.Duration
+	// Interval overrides the per-process checkpoint interval (default the
+	// paper's 900 s).
+	Interval time.Duration
+	// WarmupInitiations skips the first k completed instances (cold-start
+	// csn state inflates the very first request tree).
+	WarmupInitiations int
+
+	// SkipConsistency disables the end-of-run recovery-line check (used
+	// for the deliberately broken naive-nocsn ablation).
+	SkipConsistency bool
+
+	// DozeCount puts the last DozeCount processes into doze mode for the
+	// whole run (they generate no traffic; arriving messages wake them at
+	// an energy cost). Point-to-point workloads only.
+	DozeCount int
+}
+
+func (c Config) defaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgoMutable
+	}
+	if c.N == 0 {
+		c.N = 16
+	}
+	if c.Workload == 0 {
+		c.Workload = WorkloadP2P
+	}
+	if c.GroupRatio == 0 {
+		c.GroupRatio = 1000
+	}
+	if c.Groups == 0 {
+		c.Groups = 4
+	}
+	if c.Interval == 0 {
+		c.Interval = 900 * time.Second
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 40 * c.Interval
+	}
+	if c.WarmupInitiations == 0 {
+		c.WarmupInitiations = 1
+	}
+	return c
+}
+
+// Result aggregates one experiment run. Every Sample is per completed
+// initiation.
+type Result struct {
+	Config      Config
+	Initiations int
+
+	Tentative       stats.Sample // stable checkpoints per initiation
+	Mutable         stats.Sample // mutable checkpoints taken per initiation
+	Redundant       stats.Sample // redundant (discarded) mutable checkpoints
+	SysMsgs         stats.Sample // system messages per initiation
+	DurationSec     stats.Sample // checkpointing time T_ch (seconds)
+	BlockedSec      stats.Sample // total computation blocking (seconds)
+	RedundantRatio  float64      // mean redundant / mean tentative
+	ConsistencyOK   bool
+	ConsistencyErr  error
+	ClusterErrors   []error
+	CompMsgs        uint64
+	TotalSysMsgs    uint64
+	SimulatedEvents uint64
+
+	// Global checkpoint totals over the whole run (robust even when an
+	// instance never terminates, as the naive avalanche schemes can).
+	TotalStable    uint64
+	TotalMutableCk uint64
+	Intervals      float64 // run length in checkpoint intervals
+
+	// DozeWakeups counts messages that awakened dozing hosts (energy
+	// cost; only meaningful with Config.DozeCount > 0).
+	DozeWakeups uint64
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.defaults()
+	factory, err := NewEngine(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := simrt.New(simrt.Config{
+		N:                   cfg.N,
+		Seed:                cfg.Seed,
+		NewEngine:           factory,
+		CheckpointInterval:  cfg.Interval,
+		ScheduleCheckpoints: true,
+		SingleInitiation:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var gen workload.Generator
+	switch cfg.Workload {
+	case WorkloadP2P:
+		active := 0
+		if cfg.DozeCount > 0 {
+			if cfg.DozeCount >= cfg.N-1 {
+				return nil, fmt.Errorf("harness: DozeCount %d leaves no active pair", cfg.DozeCount)
+			}
+			active = cfg.N - cfg.DozeCount
+		}
+		gen = &workload.PointToPoint{Rate: cfg.Rate, Active: active}
+	case WorkloadGroup:
+		gen = &workload.Group{Groups: cfg.Groups, IntraRate: cfg.Rate, InterRatio: cfg.GroupRatio}
+	default:
+		return nil, fmt.Errorf("harness: unknown workload kind %d", cfg.Workload)
+	}
+	gen.Install(cluster)
+	for i := cfg.N - cfg.DozeCount; cfg.DozeCount > 0 && i < cfg.N; i++ {
+		cluster.Proc(i).Doze()
+	}
+	cluster.Start()
+
+	if err := cluster.Run(cfg.Horizon); err != nil {
+		return nil, fmt.Errorf("harness: run: %w", err)
+	}
+	gen.Stop()
+	cluster.StopTimers()
+	if err := cluster.Drain(); err != nil {
+		return nil, fmt.Errorf("harness: drain: %w", err)
+	}
+
+	res := &Result{
+		Config:          cfg,
+		ConsistencyOK:   true,
+		ClusterErrors:   cluster.Errors(),
+		CompMsgs:        cluster.Metrics().CompMsgs,
+		TotalSysMsgs:    cluster.Metrics().SysMsgs,
+		SimulatedEvents: cluster.Sim().Executed(),
+		TotalStable:     cluster.Metrics().TotalTentative,
+		TotalMutableCk:  cluster.Metrics().TotalMutable,
+		Intervals:       float64(cfg.Horizon) / float64(cfg.Interval),
+	}
+	for i := cfg.N - cfg.DozeCount; cfg.DozeCount > 0 && i < cfg.N; i++ {
+		res.DozeWakeups += cluster.Proc(i).Wakeups()
+	}
+	completed := cluster.Metrics().Completed()
+	for i, rec := range completed {
+		if i < cfg.WarmupInitiations {
+			continue
+		}
+		res.Initiations++
+		res.Tentative.Add(float64(rec.Tentative))
+		res.Mutable.Add(float64(rec.Mutable))
+		res.Redundant.Add(float64(rec.Discarded))
+		res.SysMsgs.Add(float64(rec.SysMsgs))
+		res.DurationSec.Add(rec.Duration().Seconds())
+		res.BlockedSec.Add(rec.BlockedTime.Seconds())
+	}
+	if res.Tentative.Mean() > 0 {
+		res.RedundantRatio = res.Redundant.Mean() / res.Tentative.Mean()
+	}
+	if !cfg.SkipConsistency {
+		if err := consistency.Check(cluster.PermanentLine()); err != nil {
+			res.ConsistencyOK = false
+			res.ConsistencyErr = err
+		}
+	}
+	return res, nil
+}
+
+// RunSeeds runs the experiment across several seeds and merges the
+// per-initiation samples, shrinking confidence intervals the way the
+// paper's "large number of samples" does.
+func RunSeeds(cfg Config, seeds []uint64) (*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("harness: no seeds")
+	}
+	var merged *Result
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = res
+			continue
+		}
+		merged.Initiations += res.Initiations
+		merged.Tentative.Merge(&res.Tentative)
+		merged.Mutable.Merge(&res.Mutable)
+		merged.Redundant.Merge(&res.Redundant)
+		merged.SysMsgs.Merge(&res.SysMsgs)
+		merged.DurationSec.Merge(&res.DurationSec)
+		merged.BlockedSec.Merge(&res.BlockedSec)
+		merged.CompMsgs += res.CompMsgs
+		merged.TotalSysMsgs += res.TotalSysMsgs
+		merged.SimulatedEvents += res.SimulatedEvents
+		merged.TotalStable += res.TotalStable
+		merged.TotalMutableCk += res.TotalMutableCk
+		merged.Intervals += res.Intervals
+		merged.DozeWakeups += res.DozeWakeups
+		merged.ConsistencyOK = merged.ConsistencyOK && res.ConsistencyOK
+		if merged.ConsistencyErr == nil {
+			merged.ConsistencyErr = res.ConsistencyErr
+		}
+		merged.ClusterErrors = append(merged.ClusterErrors, res.ClusterErrors...)
+	}
+	if merged.Tentative.Mean() > 0 {
+		merged.RedundantRatio = merged.Redundant.Mean() / merged.Tentative.Mean()
+	}
+	return merged, nil
+}

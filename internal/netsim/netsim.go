@@ -1,0 +1,159 @@
+// Package netsim simulates the paper's mobile network substrate under
+// virtual time: a shared-medium wireless LAN (the evaluation topology of
+// §5.1) and a cellular system of mobile support stations with handoff,
+// disconnection, and reconnection (§2.2).
+//
+// All transports guarantee reliable FIFO delivery, which the paper's
+// computation model requires. The LAN gets FIFO for free (a single shared
+// medium serializes all transmissions); the cellular transport uses
+// per-channel sequence numbers and a resequencing buffer so that handoffs
+// never reorder messages.
+package netsim
+
+import (
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/protocol"
+)
+
+// Transport is what the process runtime uses to move bytes.
+type Transport interface {
+	// Unicast schedules delivery of size bytes from one process to
+	// another; deliver runs at the arrival instant.
+	Unicast(from, to protocol.ProcessID, size int, deliver func())
+	// Broadcast delivers size bytes from one process to every other
+	// process; deliver runs once per destination.
+	Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID))
+	// StableTransfer models moving a checkpoint from the process's host to
+	// stable storage at its MSS; done runs when the transfer completes.
+	StableTransfer(from protocol.ProcessID, size int, done func())
+}
+
+// Bandwidth is bits per second.
+type Bandwidth float64
+
+// Common bandwidths.
+const (
+	// WirelessLAN2Mbps is the IEEE 802.11 rate the paper simulates.
+	WirelessLAN2Mbps Bandwidth = 2_000_000
+	// Wired10Mbps is the default wired MSS-to-MSS rate.
+	Wired10Mbps Bandwidth = 10_000_000
+)
+
+// TxTime returns the transmission time of size bytes at bandwidth b.
+func TxTime(size int, b Bandwidth) time.Duration {
+	if b <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	bits := float64(size) * 8
+	return time.Duration(bits / float64(b) * float64(time.Second))
+}
+
+// Medium is a shared half-duplex channel: one transmission at a time,
+// strictly FIFO in request order. It models both the paper's wireless LAN
+// and the per-cell wireless channel of the cellular topology.
+type Medium struct {
+	sim       *des.Simulator
+	bandwidth Bandwidth
+	freeAt    time.Duration
+
+	// Totals for reports.
+	BytesCarried uint64
+	Transmits    uint64
+}
+
+// NewMedium returns a shared medium on the simulator.
+func NewMedium(sim *des.Simulator, b Bandwidth) *Medium {
+	return &Medium{sim: sim, bandwidth: b}
+}
+
+// Transmit queues size bytes on the medium and runs deliver when the
+// transmission ends. It returns the completion time.
+func (m *Medium) Transmit(size int, deliver func()) time.Duration {
+	start := m.sim.Now()
+	if m.freeAt > start {
+		start = m.freeAt
+	}
+	end := start + TxTime(size, m.bandwidth)
+	m.freeAt = end
+	m.BytesCarried += uint64(size)
+	m.Transmits++
+	if deliver != nil {
+		m.sim.ScheduleAt(end, deliver)
+	}
+	return end
+}
+
+// TransmitBroadcast queues size bytes once and runs each deliver callback
+// at the completion instant (a single radio transmission reaches every
+// station on the LAN).
+func (m *Medium) TransmitBroadcast(size int, delivers []func()) time.Duration {
+	start := m.sim.Now()
+	if m.freeAt > start {
+		start = m.freeAt
+	}
+	end := start + TxTime(size, m.bandwidth)
+	m.freeAt = end
+	m.BytesCarried += uint64(size)
+	m.Transmits++
+	for _, d := range delivers {
+		if d != nil {
+			m.sim.ScheduleAt(end, d)
+		}
+	}
+	return end
+}
+
+// Utilization returns the fraction of time the medium has been busy up to
+// now (approximate: counts scheduled transmission time).
+func (m *Medium) Utilization() float64 {
+	if m.sim.Now() == 0 {
+		return 0
+	}
+	busy := TxTime(int(m.BytesCarried), m.bandwidth)
+	return float64(busy) / float64(m.sim.Now())
+}
+
+// LAN is the §5.1 evaluation topology: N mobile hosts and the stable
+// storage all attached to one shared wireless medium. Any unicast is a
+// single transmission; a checkpoint transfer to stable storage occupies
+// the medium for size/bandwidth (2 s for the paper's 512 KB at 2 Mbps).
+type LAN struct {
+	medium *Medium
+	n      int
+}
+
+var _ Transport = (*LAN)(nil)
+
+// NewLAN builds the shared-medium topology for n processes.
+func NewLAN(sim *des.Simulator, n int, b Bandwidth) *LAN {
+	return &LAN{medium: NewMedium(sim, b), n: n}
+}
+
+// Medium exposes the underlying shared medium (tests, reports).
+func (l *LAN) Medium() *Medium { return l.medium }
+
+// Unicast implements Transport.
+func (l *LAN) Unicast(_, _ protocol.ProcessID, size int, deliver func()) {
+	l.medium.Transmit(size, deliver)
+}
+
+// Broadcast implements Transport: one transmission reaches all stations.
+func (l *LAN) Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID)) {
+	delivers := make([]func(), 0, l.n-1)
+	for to := 0; to < l.n; to++ {
+		if to == from {
+			continue
+		}
+		to := to
+		delivers = append(delivers, func() { deliver(to) })
+	}
+	l.medium.TransmitBroadcast(size, delivers)
+}
+
+// StableTransfer implements Transport: the checkpoint crosses the wireless
+// medium to the MSS.
+func (l *LAN) StableTransfer(_ protocol.ProcessID, size int, done func()) {
+	l.medium.Transmit(size, done)
+}

@@ -1,0 +1,145 @@
+package simrt_test
+
+import (
+	"testing"
+	"time"
+
+	"mutablecp/internal/algorithms/kootoueg"
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/core"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/workload"
+)
+
+// TestBlockingRuntimePaths drives Koo–Toueg through the simulation
+// runtime: BlockApp/UnblockApp, queued application sends flushed on
+// unblock, and blocking-time metrics.
+func TestBlockingRuntimePaths(t *testing.T) {
+	c, err := simrt.New(simrt.Config{
+		N:                3,
+		Seed:             9,
+		NewEngine:        func(env protocol.Env) protocol.Engine { return kootoueg.New(env) },
+		SingleInitiation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SendApp(1, 0, nil)
+	c.Run(time.Second)
+	if !c.Proc(0).MaybeInitiate() {
+		t.Fatal("initiate failed")
+	}
+	if !c.Proc(0).Blocked() {
+		t.Fatal("Koo–Toueg initiator not blocked")
+	}
+	// A send from the blocked initiator queues until the decision.
+	c.SendApp(0, 2, nil)
+	before := c.Metrics().CompMsgs
+	if before != 1 {
+		t.Fatalf("blocked send transmitted (compMsgs=%d)", before)
+	}
+	c.Drain()
+	if c.Proc(0).Blocked() {
+		t.Fatal("still blocked after decision")
+	}
+	if c.Metrics().CompMsgs != 2 {
+		t.Fatalf("queued send not flushed (compMsgs=%d)", c.Metrics().CompMsgs)
+	}
+	recs := c.Metrics().Completed()
+	if len(recs) != 1 || recs[0].BlockedTime <= 0 {
+		t.Fatalf("blocking time not recorded: %+v", recs)
+	}
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+	// Accessors.
+	if c.Proc(0).Disconnected() {
+		t.Fatal("spurious disconnect")
+	}
+	if c.Config().N != 3 {
+		t.Fatal("Config accessor broken")
+	}
+	states := c.States()
+	if len(states) != 3 || states[1].SentTo[0] != 1 {
+		t.Fatalf("States snapshot wrong: %+v", states[1])
+	}
+}
+
+// TestSkippedInitiationAccounting exercises the diagnostic counters.
+func TestSkippedInitiationAccounting(t *testing.T) {
+	c, err := simrt.New(simrt.Config{
+		N:                3,
+		Seed:             10,
+		NewEngine:        func(env protocol.Env) protocol.Engine { return core.New(env) },
+		SingleInitiation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SendApp(1, 0, nil)
+	c.Run(time.Second)
+	if !c.Proc(0).MaybeInitiate() {
+		t.Fatal("first initiate failed")
+	}
+	// Second initiation while one is active: skipped.
+	if c.Proc(2).MaybeInitiate() {
+		t.Fatal("concurrent initiation allowed under SingleInitiation")
+	}
+	// Same process again: in-progress skip.
+	if c.Proc(0).MaybeInitiate() {
+		t.Fatal("re-initiation allowed")
+	}
+	inprog, active := c.SkippedInitiations()
+	if inprog != 1 || active != 1 {
+		t.Fatalf("skip counters = %d/%d, want 1/1", inprog, active)
+	}
+	c.Drain()
+}
+
+// TestRestartWithinSimrt exercises the restart path against a live
+// workload entirely within this package.
+func TestRestartWithinSimrt(t *testing.T) {
+	first, err := simrt.New(simrt.Config{
+		N:                   4,
+		Seed:                11,
+		NewEngine:           func(env protocol.Env) protocol.Engine { return core.New(env) },
+		ScheduleCheckpoints: true,
+		SingleInitiation:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &workload.PointToPoint{Rate: 0.2}
+	gen.Install(first)
+	first.Start()
+	first.Run(time.Hour)
+	gen.Stop()
+	first.StopTimers()
+	first.Drain()
+	line := first.PermanentLine()
+
+	second, err := simrt.New(simrt.Config{
+		N:                4,
+		Seed:             12,
+		NewEngine:        func(env protocol.Env) protocol.Engine { return core.New(env) },
+		SingleInitiation: true,
+		InitialLine:      line,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := consistency.Check(second.States()); err != nil {
+		t.Fatal(err)
+	}
+	// Counters carried over.
+	for i := 0; i < 4; i++ {
+		got := second.Proc(i).Stable().Permanent().State
+		want := line[i]
+		for j := 0; j < 4; j++ {
+			if got.SentTo[j] != want.SentTo[j] {
+				t.Fatalf("P%d sentTo not restored", i)
+			}
+		}
+	}
+}

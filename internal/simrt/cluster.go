@@ -1,0 +1,299 @@
+// Package simrt is the discrete-event simulation runtime: it binds a
+// checkpointing engine per process to the simulated network, the checkpoint
+// stores, the workload, and the metrics collector. The same engines also
+// run under internal/livenet with real goroutines; simrt exists so the
+// paper's virtual-time experiments (900-second checkpoint intervals,
+// 2-second checkpoint transfers) finish in milliseconds of wall time.
+package simrt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/netsim"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+	"mutablecp/internal/xrand"
+)
+
+// Config describes one simulated cluster. Zero fields take the paper's
+// §5.1 defaults via Defaults.
+type Config struct {
+	// N is the number of processes (one per mobile host). Paper: 16.
+	N int
+	// Seed drives every random stream in the simulation.
+	Seed uint64
+
+	// NewTransport builds the network; nil means the paper's shared
+	// 2 Mbps wireless LAN.
+	NewTransport func(sim *des.Simulator, n int) netsim.Transport
+	// NewEngine builds the checkpointing algorithm for one process.
+	NewEngine func(env protocol.Env) protocol.Engine
+
+	// CompMsgBytes is the computation message size. Paper: 1 KB (4 ms).
+	CompMsgBytes int
+	// SysMsgBytes is the system message size. Paper: 50 B (0.2 ms).
+	SysMsgBytes int
+	// CheckpointBytes is the incremental checkpoint transferred to stable
+	// storage. Paper: 512 KB (2 s).
+	CheckpointBytes int
+	// MutableSaveTime is the local cost of a mutable checkpoint (and of
+	// the pre-copy for a tentative one). Paper: 2.5 ms.
+	MutableSaveTime time.Duration
+	// CheckpointInterval is the per-process checkpoint schedule. Paper:
+	// 900 s. The timer resets whenever the process takes a stable
+	// checkpoint early (inherited request), as §5.1 specifies.
+	CheckpointInterval time.Duration
+	// DozeWakeLatency is the cost of waking a dozing host on message
+	// arrival. Default 5 ms.
+	DozeWakeLatency time.Duration
+	// ScheduleCheckpoints enables the per-process checkpoint timers.
+	ScheduleCheckpoints bool
+	// SingleInitiation serializes initiations cluster-wide (the paper's
+	// evaluation regime: "concurrent initiation … not considered").
+	SingleInitiation bool
+
+	// Trace, when non-nil, records structured events for tests/tools.
+	Trace *trace.Log
+
+	// InitialLine, when non-nil, restarts the cluster from a recovery
+	// line: every process resumes from its checkpoint in the line (its
+	// stable store and channel counters are seeded from it) and messages
+	// that were in transit at the line are replayed by the reliable
+	// channel layer before the simulation starts.
+	InitialLine map[protocol.ProcessID]protocol.State
+}
+
+// Defaults fills zero fields with the paper's simulation parameters.
+func (c Config) Defaults() Config {
+	if c.N == 0 {
+		c.N = 16
+	}
+	if c.NewTransport == nil {
+		c.NewTransport = func(sim *des.Simulator, n int) netsim.Transport {
+			return netsim.NewLAN(sim, n, netsim.WirelessLAN2Mbps)
+		}
+	}
+	if c.CompMsgBytes == 0 {
+		c.CompMsgBytes = 1024
+	}
+	if c.SysMsgBytes == 0 {
+		c.SysMsgBytes = 50
+	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 512 * 1024
+	}
+	if c.MutableSaveTime == 0 {
+		c.MutableSaveTime = 2500 * time.Microsecond
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 900 * time.Second
+	}
+	if c.DozeWakeLatency == 0 {
+		c.DozeWakeLatency = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Cluster is one simulated system instance.
+type Cluster struct {
+	cfg       Config
+	sim       *des.Simulator
+	transport netsim.Transport
+	procs     []*Proc
+	metrics   *Metrics
+	rng       *xrand.Stream
+
+	// activeOwner is the pid of the process whose initiation is in flight,
+	// or -1. Used only when cfg.SingleInitiation is set.
+	activeOwner int
+
+	// Diagnostics: checkpoint-timer firings skipped and why.
+	skippedInProgress uint64
+	skippedActive     uint64
+
+	// OnDeliver, when non-nil, observes every computation-message delivery
+	// (application hook used by tests and examples).
+	OnDeliver func(to, from protocol.ProcessID, payload []byte)
+
+	errs []error
+}
+
+// New builds a cluster. The returned cluster is idle: install a workload
+// and call Start (or drive it manually in tests), then Run.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.Defaults()
+	if cfg.NewEngine == nil {
+		return nil, errors.New("simrt: Config.NewEngine is required")
+	}
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("simrt: need at least 2 processes, got %d", cfg.N)
+	}
+	sim := des.New()
+	c := &Cluster{
+		cfg:         cfg,
+		sim:         sim,
+		transport:   cfg.NewTransport(sim, cfg.N),
+		metrics:     newMetrics(),
+		rng:         xrand.New(cfg.Seed),
+		activeOwner: -1,
+	}
+	c.procs = make([]*Proc, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.procs[i] = newProc(c, i)
+	}
+	for _, p := range c.procs {
+		p.engine = cfg.NewEngine(p)
+	}
+	if cfg.InitialLine != nil {
+		if err := c.restoreLine(cfg.InitialLine); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// restoreLine seeds every process from its checkpoint in the line and
+// replays in-transit messages (sent before the sender's checkpoint,
+// unreceived at the receiver's) so the restored global state is exactly
+// the consistent line.
+func (c *Cluster) restoreLine(line map[protocol.ProcessID]protocol.State) error {
+	for i, p := range c.procs {
+		st, ok := line[i]
+		if !ok {
+			return fmt.Errorf("simrt: InitialLine missing process %d", i)
+		}
+		if len(st.SentTo) != c.cfg.N || len(st.RecvFrom) != c.cfg.N {
+			return fmt.Errorf("simrt: InitialLine state for P%d has wrong arity", i)
+		}
+		copy(p.sentTo, st.SentTo)
+		copy(p.recvFrom, st.RecvFrom)
+		if err := p.stable.SeedPermanent(st); err != nil {
+			return fmt.Errorf("simrt: %w", err)
+		}
+	}
+	// Replay channel deficits: these messages were sent before the line
+	// and must still arrive (reliable channels). They carry csn 0 and no
+	// trigger, so engines simply record the dependency and deliver.
+	for from := 0; from < c.cfg.N; from++ {
+		for to := 0; to < c.cfg.N; to++ {
+			if from == to {
+				continue
+			}
+			sent := line[from].SentTo[to]
+			recv := line[to].RecvFrom[from]
+			if recv > sent {
+				return fmt.Errorf("simrt: InitialLine inconsistent on channel P%d->P%d", from, to)
+			}
+			for k := recv; k < sent; k++ {
+				m := &protocol.Message{
+					Kind: protocol.KindComputation,
+					From: from,
+					To:   to,
+					Size: c.cfg.CompMsgBytes,
+				}
+				c.procs[to].engine.HandleMessage(m)
+			}
+		}
+	}
+	return nil
+}
+
+// Sim exposes the simulator for workloads and tests.
+func (c *Cluster) Sim() *des.Simulator { return c.sim }
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Proc returns process i's runtime.
+func (c *Cluster) Proc(i protocol.ProcessID) *Proc { return c.procs[i] }
+
+// Metrics returns the collector.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Rand returns a derived random stream for the given label.
+func (c *Cluster) Rand(label uint64) *xrand.Stream { return c.rng.Derive(label) }
+
+// Errors returns internal invariant violations observed during the run
+// (always empty for a correct protocol).
+func (c *Cluster) Errors() []error { return append([]error(nil), c.errs...) }
+
+func (c *Cluster) fail(err error) { c.errs = append(c.errs, err) }
+
+// Start arms the per-process checkpoint timers with random phases, if
+// ScheduleCheckpoints is set.
+func (c *Cluster) Start() {
+	if !c.cfg.ScheduleCheckpoints {
+		return
+	}
+	phases := c.rng.Derive(0xC0FFEE)
+	for _, p := range c.procs {
+		p := p
+		// Spread first initiations uniformly across one interval.
+		phase := time.Duration(phases.Float64() * float64(c.cfg.CheckpointInterval))
+		offset := phase - c.cfg.CheckpointInterval // ticker fires at period+phase
+		p.ticker = c.sim.NewTicker(c.cfg.CheckpointInterval, offset, func() {
+			p.MaybeInitiate()
+		})
+	}
+}
+
+// Run advances the simulation to the horizon.
+func (c *Cluster) Run(horizon time.Duration) error {
+	return c.sim.Run(horizon)
+}
+
+// Drain runs remaining events with no new horizon (used after stopping the
+// workload and tickers to let in-flight checkpointing terminate).
+func (c *Cluster) Drain() error { return c.sim.RunAll() }
+
+// StopTimers stops every checkpoint timer.
+func (c *Cluster) StopTimers() {
+	for _, p := range c.procs {
+		if p.ticker != nil {
+			p.ticker.Stop()
+		}
+	}
+}
+
+// SendApp sends one computation message from one process to another. It is
+// the entry point workload generators use.
+func (c *Cluster) SendApp(from, to protocol.ProcessID, payload []byte) {
+	if from == to {
+		c.fail(fmt.Errorf("simrt: self-send from P%d", from))
+		return
+	}
+	c.procs[from].sendApp(to, payload)
+}
+
+// States captures every process's current counters (not a checkpoint —
+// a live view used by tests).
+func (c *Cluster) States() map[protocol.ProcessID]protocol.State {
+	out := make(map[protocol.ProcessID]protocol.State, c.cfg.N)
+	for _, p := range c.procs {
+		out[p.id] = p.CaptureState()
+	}
+	return out
+}
+
+// PermanentLine returns the latest permanent checkpoint state of every
+// process: the recovery line a failure right now would roll back to.
+func (c *Cluster) PermanentLine() map[protocol.ProcessID]protocol.State {
+	out := make(map[protocol.ProcessID]protocol.State, c.cfg.N)
+	for _, p := range c.procs {
+		out[p.id] = p.stable.Permanent().State
+	}
+	return out
+}
+
+// SkippedInitiations reports checkpoint-timer firings that did not start
+// an initiation, split by cause: the process already inside an instance,
+// and another instance in flight under SingleInitiation.
+func (c *Cluster) SkippedInitiations() (inProgress, activeElsewhere uint64) {
+	return c.skippedInProgress, c.skippedActive
+}

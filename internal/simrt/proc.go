@@ -1,0 +1,462 @@
+package simrt
+
+import (
+	"fmt"
+	"time"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/des"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+)
+
+// queuedSend is a computation send deferred because the process is blocked
+// (blocking algorithms) or disconnected.
+type queuedSend struct {
+	to      protocol.ProcessID
+	payload []byte
+}
+
+// Proc is one simulated process: it owns the engine, the checkpoint
+// stores, the per-peer counters, and implements protocol.Env.
+type Proc struct {
+	c  *Cluster
+	id protocol.ProcessID
+
+	engine  protocol.Engine
+	stable  *checkpoint.StableStore
+	mutable *checkpoint.MutableStore
+
+	sentTo   []uint64
+	recvFrom []uint64
+	seq      uint64
+
+	ticker    *des.Ticker
+	busyUntil time.Duration
+
+	blocked      bool
+	blockedSince time.Duration
+	disconnected bool
+	failed       bool
+	dozing       bool
+	wakeups      uint64
+	queue        []queuedSend
+	inbox        []*protocol.Message // computation messages buffered while disconnected
+}
+
+var _ protocol.Env = (*Proc)(nil)
+
+func newProc(c *Cluster, id protocol.ProcessID) *Proc {
+	return &Proc{
+		c:        c,
+		id:       id,
+		stable:   checkpoint.NewStableStore(id, c.cfg.N),
+		mutable:  checkpoint.NewMutableStore(id),
+		sentTo:   make([]uint64, c.cfg.N),
+		recvFrom: make([]uint64, c.cfg.N),
+	}
+}
+
+// Engine returns the process's checkpointing engine.
+func (p *Proc) Engine() protocol.Engine { return p.engine }
+
+// Stable returns the process's stable checkpoint store.
+func (p *Proc) Stable() *checkpoint.StableStore { return p.stable }
+
+// Mutable returns the process's mutable checkpoint store.
+func (p *Proc) Mutable() *checkpoint.MutableStore { return p.mutable }
+
+// Blocked reports whether the computation is currently blocked.
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Disconnected reports whether the host is voluntarily disconnected.
+func (p *Proc) Disconnected() bool { return p.disconnected }
+
+// MaybeInitiate starts a checkpointing instance if allowed: the process
+// must not already be inside one and, under SingleInitiation, no other
+// instance may be in flight. It reports whether an initiation started.
+func (p *Proc) MaybeInitiate() bool {
+	if p.engine.InProgress() {
+		p.c.skippedInProgress++
+		return false
+	}
+	if p.c.cfg.SingleInitiation && p.c.activeOwner >= 0 {
+		p.c.skippedActive++
+		return false
+	}
+	p.c.activeOwner = p.id
+	if err := p.engine.Initiate(); err != nil {
+		p.c.activeOwner = -1
+		p.c.skippedInProgress++
+		return false
+	}
+	return true
+}
+
+// --- application side ---
+
+func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
+	if p.failed {
+		return
+	}
+	if p.blocked || p.disconnected || p.dozing {
+		p.queue = append(p.queue, queuedSend{to: to, payload: payload})
+		return
+	}
+	m := &protocol.Message{From: p.id, To: to, Payload: payload}
+	p.engine.PrepareSend(m)
+	p.seq++
+	m.Seq = p.seq
+	m.Size = p.c.cfg.CompMsgBytes
+	p.sentTo[to]++
+	p.c.metrics.CompMsgs++
+	p.c.metrics.CompBytes += uint64(m.Size)
+	p.Trace(trace.KindSend, to, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	dst := p.c.procs[to]
+	p.c.transport.Unicast(p.id, to, m.Size, func() { dst.receive(m) })
+}
+
+func (p *Proc) flushQueue() {
+	q := p.queue
+	p.queue = nil
+	for _, s := range q {
+		p.sendApp(s.to, s.payload)
+	}
+}
+
+// receive handles an arriving message, honouring local busy time (a
+// mutable-checkpoint memory copy makes the host briefly unresponsive),
+// doze-mode wakeup latency, and fail-stop semantics.
+func (p *Proc) receive(m *protocol.Message) {
+	if p.failed {
+		return // fail-stop: messages to a crashed host are lost
+	}
+	now := p.c.sim.Now()
+	if p.dozing {
+		// §1: the MH in doze mode is awakened on receiving a message.
+		p.wakeups++
+		p.busyUntil = now + p.c.cfg.DozeWakeLatency
+		p.Trace(trace.KindNote, m.From, "wakeup for %v", m.Kind)
+	}
+	if now < p.busyUntil {
+		p.c.sim.ScheduleAt(p.busyUntil, func() { p.deliverNow(m) })
+		return
+	}
+	p.deliverNow(m)
+}
+
+func (p *Proc) deliverNow(m *protocol.Message) {
+	if p.failed {
+		return
+	}
+	if p.disconnected && m.Kind == protocol.KindComputation {
+		// §2.2: the MSS buffers computation messages for a disconnected MH.
+		p.inbox = append(p.inbox, m)
+		return
+	}
+	p.engine.HandleMessage(m)
+}
+
+// --- protocol.Env implementation ---
+
+// ID implements protocol.Env.
+func (p *Proc) ID() protocol.ProcessID { return p.id }
+
+// N implements protocol.Env.
+func (p *Proc) N() int { return p.c.cfg.N }
+
+// Now implements protocol.Env.
+func (p *Proc) Now() time.Duration { return p.c.sim.Now() }
+
+// Send implements protocol.Env for system messages.
+func (p *Proc) Send(m *protocol.Message) {
+	m.From = p.id
+	m.Size = p.c.cfg.SysMsgBytes
+	p.countSys(m, 1)
+	dst := p.c.procs[m.To]
+	p.c.transport.Unicast(p.id, m.To, m.Size, func() { dst.receive(m) })
+}
+
+// Broadcast implements protocol.Env: one radio transmission reaching every
+// other process.
+func (p *Proc) Broadcast(m *protocol.Message) {
+	m.From = p.id
+	m.To = -1
+	m.Size = p.c.cfg.SysMsgBytes
+	p.countSys(m, 1)
+	p.c.transport.Broadcast(p.id, m.Size, func(to protocol.ProcessID) {
+		// Each destination gets its own shallow copy so engines may not
+		// alias each other's MR slices.
+		cp := *m
+		p.c.procs[to].receive(&cp)
+	})
+}
+
+func (p *Proc) countSys(m *protocol.Message, n int) {
+	p.c.metrics.SysMsgs += uint64(n)
+	p.c.metrics.SysBytes += uint64(n * m.Size)
+	rec := p.recordFor(m.Trigger)
+	if rec == nil {
+		return
+	}
+	rec.SysMsgs += n
+	rec.SysBytes += n * m.Size
+	switch m.Kind {
+	case protocol.KindRequest:
+		rec.Requests += n
+	case protocol.KindReply:
+		rec.Replies += n
+	case protocol.KindCommit, protocol.KindAbort, protocol.KindDecision:
+		rec.Commits += n
+	}
+}
+
+// recordFor resolves the initiation record a message or event belongs to:
+// its trigger when present, otherwise the single active initiation.
+func (p *Proc) recordFor(trig protocol.Trigger) *InitiationRecord {
+	if !trig.IsNone() {
+		return p.c.metrics.record(trig, p.c.sim.Now())
+	}
+	if p.c.activeOwner >= 0 {
+		// Attribute trigger-less traffic (e.g. markers) to the in-flight
+		// instance.
+		for _, t := range p.c.metrics.order {
+			rec := p.c.metrics.byTrigger[t]
+			if !rec.Done && rec.Initiator == p.c.activeOwner {
+				return rec
+			}
+		}
+	}
+	return nil
+}
+
+// CaptureState implements protocol.Env.
+func (p *Proc) CaptureState() protocol.State {
+	return protocol.State{
+		Proc:     p.id,
+		SentTo:   append([]uint64(nil), p.sentTo...),
+		RecvFrom: append([]uint64(nil), p.recvFrom...),
+		At:       p.c.sim.Now(),
+	}
+}
+
+// SaveTentative implements protocol.Env: a pre-copy pause plus the 512 KB
+// transfer to stable storage at the MSS.
+func (p *Proc) SaveTentative(s protocol.State, trig protocol.Trigger) {
+	if err := p.stable.SaveTentative(s, trig, p.c.sim.Now()); err != nil {
+		p.c.fail(fmt.Errorf("P%d save tentative: %w", p.id, err))
+		return
+	}
+	p.c.metrics.TotalTentative++
+	rec := p.recordFor(trig)
+	if rec != nil {
+		rec.Tentative++
+	}
+	p.busyUntil = p.c.sim.Now() + p.c.cfg.MutableSaveTime
+	if !p.disconnected {
+		p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+	}
+	if p.ticker != nil {
+		// §5.1: an early checkpoint pushes the next scheduled one out a
+		// full interval.
+		p.ticker.Reschedule()
+	}
+}
+
+// SaveMutable implements protocol.Env: a local memory copy only.
+func (p *Proc) SaveMutable(s protocol.State, trig protocol.Trigger) {
+	if err := p.mutable.Save(s, trig, p.c.sim.Now()); err != nil {
+		p.c.fail(fmt.Errorf("P%d save mutable: %w", p.id, err))
+		return
+	}
+	p.c.metrics.TotalMutable++
+	if rec := p.recordFor(trig); rec != nil {
+		rec.Mutable++
+	}
+	p.busyUntil = p.c.sim.Now() + p.c.cfg.MutableSaveTime
+}
+
+// PromoteMutable implements protocol.Env: the stored snapshot crosses the
+// wireless medium to stable storage.
+func (p *Proc) PromoteMutable(trig protocol.Trigger) {
+	rec, err := p.mutable.Take(trig)
+	if err != nil {
+		p.c.fail(fmt.Errorf("P%d promote: %w", p.id, err))
+		return
+	}
+	if err := p.stable.SaveTentative(rec.State, trig, p.c.sim.Now()); err != nil {
+		p.c.fail(fmt.Errorf("P%d promote: %w", p.id, err))
+		return
+	}
+	p.c.metrics.TotalTentative++
+	if r := p.recordFor(trig); r != nil {
+		r.Tentative++
+		r.Promoted++
+	}
+	if !p.disconnected {
+		p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+	}
+	if p.ticker != nil {
+		p.ticker.Reschedule()
+	}
+}
+
+// DiscardMutable implements protocol.Env.
+func (p *Proc) DiscardMutable(trig protocol.Trigger) {
+	if _, err := p.mutable.Take(trig); err != nil {
+		p.c.fail(fmt.Errorf("P%d discard: %w", p.id, err))
+		return
+	}
+	p.c.metrics.TotalDiscarded++
+	if rec := p.recordFor(trig); rec != nil {
+		rec.Discarded++
+	}
+}
+
+// MakePermanent implements protocol.Env.
+func (p *Proc) MakePermanent(trig protocol.Trigger) {
+	if err := p.stable.MakePermanent(trig, p.c.sim.Now()); err != nil {
+		p.c.fail(fmt.Errorf("P%d make permanent: %w", p.id, err))
+		return
+	}
+	p.c.metrics.TotalPermanent++
+}
+
+// DropTentative implements protocol.Env.
+func (p *Proc) DropTentative(trig protocol.Trigger) {
+	if err := p.stable.DropTentative(trig); err != nil {
+		p.c.fail(fmt.Errorf("P%d drop tentative: %w", p.id, err))
+	}
+}
+
+// DeliverApp implements protocol.Env.
+func (p *Proc) DeliverApp(m *protocol.Message) {
+	p.recvFrom[m.From]++
+	if p.c.OnDeliver != nil {
+		p.c.OnDeliver(p.id, m.From, m.Payload)
+	}
+}
+
+// BlockApp implements protocol.Env.
+func (p *Proc) BlockApp() {
+	if p.blocked {
+		return
+	}
+	p.blocked = true
+	p.blockedSince = p.c.sim.Now()
+	p.Trace(trace.KindBlock, -1, "")
+}
+
+// UnblockApp implements protocol.Env.
+func (p *Proc) UnblockApp() {
+	if !p.blocked {
+		return
+	}
+	p.blocked = false
+	blockedFor := p.c.sim.Now() - p.blockedSince
+	if rec := p.recordFor(protocol.NoTrigger); rec != nil {
+		rec.BlockedTime += blockedFor
+	}
+	p.Trace(trace.KindUnblock, -1, "blocked=%v", blockedFor)
+	p.flushQueue()
+}
+
+// CheckpointingDone implements protocol.Env.
+func (p *Proc) CheckpointingDone(trig protocol.Trigger, committed bool) {
+	rec := p.c.metrics.record(trig, p.c.sim.Now())
+	rec.End = p.c.sim.Now()
+	rec.Done = true
+	rec.Committed = committed
+	if p.c.activeOwner == p.id {
+		p.c.activeOwner = -1
+	}
+}
+
+// Trace implements protocol.Env.
+func (p *Proc) Trace(kind trace.Kind, peer int, format string, args ...any) {
+	if p.c.cfg.Trace == nil {
+		return
+	}
+	p.c.cfg.Trace.Addf(p.c.sim.Now(), kind, p.id, peer, format, args...)
+}
+
+// --- mobility operations (§2.2) ---
+
+// Disconnect voluntarily disconnects the host: it leaves a
+// disconnect_checkpoint at its MSS (one stable transfer) and stops sending
+// and receiving computation messages.
+func (p *Proc) Disconnect() {
+	if p.disconnected {
+		return
+	}
+	p.disconnected = true
+	p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+	p.Trace(trace.KindNote, -1, "disconnect")
+}
+
+// Reconnect ends the disconnection: buffered computation messages are
+// processed in order.
+func (p *Proc) Reconnect() {
+	if !p.disconnected {
+		return
+	}
+	p.disconnected = false
+	p.Trace(trace.KindNote, -1, "reconnect (%d buffered)", len(p.inbox))
+	buffered := p.inbox
+	p.inbox = nil
+	for _, m := range buffered {
+		p.receive(m)
+	}
+	p.flushQueue()
+}
+
+// --- failure injection and doze mode (§1, §3.6) ---
+
+// Fail crashes the mobile host (fail-stop): every volatile structure —
+// including mutable checkpoints — is lost, in-flight and future messages
+// to it are dropped, and it generates no further traffic. Stable
+// checkpoints survive at the MSS.
+func (p *Proc) Fail() {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	p.mutable.Clear()
+	p.queue = nil
+	p.inbox = nil
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
+	p.Trace(trace.KindNote, -1, "fail-stop")
+}
+
+// Failed reports whether the host has crashed.
+func (p *Proc) Failed() bool { return p.failed }
+
+// Doze puts the host into the paper's doze mode: it powers down and is
+// awakened only by an arriving message, each wakeup costing the
+// configured latency. Application sends are deferred until Wake.
+func (p *Proc) Doze() {
+	if p.dozing || p.failed {
+		return
+	}
+	p.dozing = true
+	p.Trace(trace.KindNote, -1, "doze")
+}
+
+// Wake returns the host to active mode and flushes deferred sends.
+func (p *Proc) Wake() {
+	if !p.dozing {
+		return
+	}
+	p.dozing = false
+	p.Trace(trace.KindNote, -1, "wake")
+	p.flushQueue()
+}
+
+// Dozing reports whether the host is in doze mode.
+func (p *Proc) Dozing() bool { return p.dozing }
+
+// Wakeups reports how many times a message awakened this host from doze
+// mode (the energy cost the paper's minimal-synchronization goal bounds).
+func (p *Proc) Wakeups() uint64 { return p.wakeups }

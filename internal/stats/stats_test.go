@@ -1,0 +1,163 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mutablecp/internal/stats"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s stats.Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample has non-zero statistics")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s stats.Sample
+	s.Add(5)
+	if s.N() != 1 || !almost(s.Mean(), 5) || s.Variance() != 0 {
+		t.Fatalf("single obs: n=%d mean=%v var=%v", s.N(), s.Mean(), s.Variance())
+	}
+	if s.Min() != 5 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestKnownMoments(t *testing.T) {
+	var s stats.Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !almost(s.Mean(), 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if !almost(s.Variance(), 32.0/7.0) {
+		t.Fatalf("variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var a, b stats.Sample
+	a.AddN(3, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || !almost(a.Mean(), b.Mean()) || !almost(a.Variance(), b.Variance()) {
+		t.Fatal("AddN differs from repeated Add")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var small, large stats.Sample
+	for i := 0; i < 30; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 3000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}
+
+func TestCI95Relative(t *testing.T) {
+	var s stats.Sample
+	for i := 0; i < 100; i++ {
+		s.Add(10)
+	}
+	if s.CI95Relative() != 0 {
+		t.Fatalf("constant sample relative CI = %v, want 0", s.CI95Relative())
+	}
+	var z stats.Sample
+	z.Add(0)
+	if z.CI95Relative() != 0 {
+		t.Fatal("zero-mean relative CI not 0")
+	}
+}
+
+func TestMergeMatchesCombined(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		var a, b, all stats.Sample
+		na, nb := r.Intn(50)+1, r.Intn(50)+1
+		for i := 0; i < na; i++ {
+			v := r.NormFloat64()*3 + 1
+			a.Add(v)
+			all.Add(v)
+		}
+		for i := 0; i < nb; i++ {
+			v := r.NormFloat64()*2 - 4
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			t.Fatalf("merged n=%d want %d", a.N(), all.N())
+		}
+		if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+			t.Fatalf("merged mean=%v want %v", a.Mean(), all.Mean())
+		}
+		if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+			t.Fatalf("merged var=%v want %v", a.Variance(), all.Variance())
+		}
+		if a.Min() != all.Min() || a.Max() != all.Max() {
+			t.Fatal("merged min/max mismatch")
+		}
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b stats.Sample
+	a.Add(1)
+	a.Merge(&b) // empty other: no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed sample")
+	}
+	var c stats.Sample
+	c.Merge(&a) // empty receiver adopts other
+	if c.N() != 1 || !almost(c.Mean(), 1) {
+		t.Fatal("empty receiver did not adopt")
+	}
+}
+
+func TestPropMeanWithinMinMax(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s stats.Sample
+		any := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-6 && s.Mean() <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s stats.Sample
+	s.Add(1)
+	s.Add(3)
+	got := s.String()
+	if got == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,128 @@
+package trace_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mutablecp/internal/trace"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := trace.New()
+	l.Addf(time.Second, trace.KindSend, 1, 2, "csn=%d", 7)
+	l.Addf(2*time.Second, trace.KindReceive, 2, 1, "")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != trace.KindSend || evs[0].Process != 1 || evs[0].Peer != 2 {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+	if evs[0].Detail != "csn=7" {
+		t.Fatalf("detail = %q", evs[0].Detail)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := trace.NewRing(3)
+	for i := 0; i < 10; i++ {
+		l.Addf(time.Duration(i), trace.KindNote, i, -1, "")
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Process != 7+i {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if l.Len() != 10 {
+		t.Fatalf("total count = %d, want 10", l.Len())
+	}
+}
+
+func TestRingPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	trace.NewRing(0)
+}
+
+func TestCountAndFilter(t *testing.T) {
+	l := trace.New()
+	l.Addf(0, trace.KindTentative, 1, -1, "")
+	l.Addf(0, trace.KindTentative, 2, -1, "")
+	l.Addf(0, trace.KindMutable, 1, -1, "")
+	if got := l.Count(trace.KindTentative); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if got := l.CountFor(trace.KindTentative, 1); got != 1 {
+		t.Fatalf("CountFor = %d, want 1", got)
+	}
+	got := l.Filter(func(e trace.Event) bool { return e.Process == 1 })
+	if len(got) != 2 {
+		t.Fatalf("Filter = %d events, want 2", len(got))
+	}
+}
+
+func TestDumpAndString(t *testing.T) {
+	l := trace.New()
+	l.Addf(time.Second, trace.KindRequest, 3, 4, "w=1/2")
+	l.Addf(time.Second, trace.KindCommit, 3, -1, "done")
+	dump := l.Dump()
+	if !strings.Contains(dump, "P3 request P4 w=1/2") {
+		t.Fatalf("dump missing peer event: %q", dump)
+	}
+	if !strings.Contains(dump, "P3 commit done") {
+		t.Fatalf("dump missing peerless event: %q", dump)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []trace.Kind{
+		trace.KindSend, trace.KindReceive, trace.KindTentative, trace.KindMutable,
+		trace.KindPromote, trace.KindDiscardMutable, trace.KindPermanent,
+		trace.KindRequest, trace.KindReply, trace.KindCommit, trace.KindAbort,
+		trace.KindBlock, trace.KindUnblock, trace.KindInitiate, trace.KindNote,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if trace.Kind(999).String() != "kind(999)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := trace.New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Addf(0, trace.KindNote, i, -1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 8000 {
+		t.Fatalf("len = %d, want 8000", l.Len())
+	}
+}

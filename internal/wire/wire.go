@@ -1,0 +1,109 @@
+// Package wire serializes protocol messages for transports that cross a
+// real byte stream (the TCP runtime in internal/livenet). Frames are
+// length-prefixed gob: a 4-byte big-endian length followed by the encoded
+// message. Gob handles the dyadic weights through their BinaryMarshaler
+// implementations, so weight exactness survives the wire.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"mutablecp/internal/protocol"
+)
+
+// MaxFrame bounds a single encoded message; anything larger indicates
+// corruption (the largest legitimate message is a request carrying an MR
+// vector, far below this).
+const MaxFrame = 1 << 20
+
+// Encoder writes framed messages to a stream. It is safe for concurrent
+// use.
+type Encoder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf bytes.Buffer
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode writes one message frame and flushes.
+func (e *Encoder) Encode(m *protocol.Message) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buf.Reset()
+	// A fresh gob encoder per frame keeps frames self-contained so a
+	// reader can resynchronize after reconnecting; the type overhead is
+	// acceptable at checkpointing message rates.
+	if err := gob.NewEncoder(&e.buf).Encode(m); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if e.buf.Len() > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", e.buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(e.buf.Len()))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := e.w.Write(e.buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads framed messages from a stream.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads one message frame. It returns io.EOF on a clean stream
+// end.
+func (d *Decoder) Decode() (*protocol.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m protocol.Message
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// RoundTrip encodes and decodes a message through memory (tests and
+// self-checks).
+func RoundTrip(m *protocol.Message) (*protocol.Message, error) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return NewDecoder(&buf).Decode()
+}

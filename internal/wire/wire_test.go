@@ -1,0 +1,170 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/wire"
+)
+
+func sampleMessage() *protocol.Message {
+	return &protocol.Message{
+		Kind:    protocol.KindRequest,
+		From:    3,
+		To:      7,
+		Seq:     42,
+		Size:    50,
+		Payload: []byte("hello"),
+		CSN:     9,
+		Trigger: protocol.Trigger{Pid: 3, Inum: 9},
+		ReqCSN:  4,
+		MR: []protocol.MREntry{
+			{CSN: 1, R: true}, {CSN: 0, R: false}, {CSN: 7, R: true},
+		},
+		Weight: dyadic.FromFraction(3, 5),
+		Commit: true,
+	}
+}
+
+func TestRoundTripAllFields(t *testing.T) {
+	in := sampleMessage()
+	out, err := wire.RoundTrip(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.MR, out.MR) {
+		t.Fatalf("MR mismatch: %+v vs %+v", in.MR, out.MR)
+	}
+	if !in.Weight.Equal(out.Weight) {
+		t.Fatalf("weight mismatch: %v vs %v", in.Weight, out.Weight)
+	}
+	in.MR, out.MR = nil, nil
+	in.Weight, out.Weight = dyadic.Weight{}, dyadic.Weight{}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("message mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestRoundTripZeroValues(t *testing.T) {
+	in := &protocol.Message{Kind: protocol.KindComputation, Trigger: protocol.NoTrigger}
+	out, err := wire.RoundTrip(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != protocol.KindComputation || !out.Trigger.IsNone() {
+		t.Fatalf("zero message mangled: %+v", out)
+	}
+	if !out.Weight.IsZero() {
+		t.Fatalf("zero weight became %v", out.Weight)
+	}
+}
+
+func TestWeightExactnessSurvivesWire(t *testing.T) {
+	// A 2^-300 share must cross the wire exactly.
+	w := dyadic.One()
+	for i := 0; i < 300; i++ {
+		w = w.Half()
+	}
+	in := &protocol.Message{Kind: protocol.KindReply, Weight: w}
+	out, err := wire.RoundTrip(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Weight.Equal(w) {
+		t.Fatalf("deep weight mangled: %v vs %v", out.Weight, w)
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	const k = 50
+	for i := 0; i < k; i++ {
+		m := sampleMessage()
+		m.Seq = uint64(i)
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := wire.NewDecoder(&buf)
+	for i := 0; i < k; i++ {
+		m, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("stream reordered: got seq %d at %d", m.Seq, i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestDecodeTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := wire.NewEncoder(&buf).Encode(sampleMessage()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := wire.NewDecoder(bytes.NewReader(trunc)).Decode(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestDecodeOversizeFrameRejected(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := wire.NewDecoder(bytes.NewReader(hdr)).Decode(); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestPropWeightMarshalRoundTrip(t *testing.T) {
+	f := func(num int64, exp uint8) bool {
+		if num < 0 {
+			num = -num
+		}
+		w := dyadic.FromFraction(num%100000, uint(exp))
+		data, err := w.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got dyadic.Weight
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMessageRoundTrip(t *testing.T) {
+	f := func(kind uint8, from, to uint8, seq uint64, csn int32, payload []byte) bool {
+		in := &protocol.Message{
+			Kind:    protocol.Kind(kind%7) + 1,
+			From:    int(from % 16),
+			To:      int(to % 16),
+			Seq:     seq,
+			CSN:     int(csn),
+			Payload: payload,
+			Trigger: protocol.Trigger{Pid: int(from % 16), Inum: int(csn)},
+		}
+		out, err := wire.RoundTrip(in)
+		if err != nil {
+			return false
+		}
+		return out.Kind == in.Kind && out.From == in.From && out.To == in.To &&
+			out.Seq == in.Seq && out.CSN == in.CSN && out.Trigger == in.Trigger &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+)
+
+// ClientServer models the asymmetric traffic common on mobile systems: a
+// few server processes (the lowest pids) receive requests from every
+// client and answer each one. Dependencies therefore concentrate on the
+// servers — a checkpoint initiation at a client touches mostly servers,
+// while one at a server can touch everyone.
+type ClientServer struct {
+	// Servers is the number of server processes (pids 0..Servers-1).
+	Servers int
+	// Rate is the per-client request rate (msgs/s).
+	Rate float64
+
+	stopped bool
+}
+
+var _ Generator = (*ClientServer)(nil)
+
+// Name implements Generator.
+func (w *ClientServer) Name() string {
+	return fmt.Sprintf("client-server(servers=%d rate=%g)", w.Servers, w.Rate)
+}
+
+// Stop implements Generator.
+func (w *ClientServer) Stop() { w.stopped = true }
+
+// Install implements Generator.
+func (w *ClientServer) Install(c *simrt.Cluster) {
+	if w.Servers < 1 || w.Servers >= c.N() {
+		panic("workload: ClientServer.Servers out of range")
+	}
+	if w.Rate <= 0 {
+		panic("workload: ClientServer.Rate must be positive")
+	}
+	n := c.N()
+	// Servers reply to every request.
+	c.OnDeliver = chainDeliver(c.OnDeliver, func(to, from protocol.ProcessID, payload []byte) {
+		if w.stopped || to >= w.Servers || len(payload) == 0 || payload[0] != reqMark {
+			return
+		}
+		c.SendApp(to, from, []byte{respMark})
+	})
+	for i := w.Servers; i < n; i++ {
+		i := i
+		rng := c.Rand(uint64(0x4000 + i))
+		var fire func()
+		fire = func() {
+			if w.stopped {
+				return
+			}
+			c.SendApp(i, rng.Intn(w.Servers), []byte{reqMark})
+			c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+		}
+		c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+	}
+}
+
+const (
+	reqMark  = 0x01
+	respMark = 0x02
+)
+
+// chainDeliver composes delivery observers.
+func chainDeliver(prev, next func(to, from protocol.ProcessID, payload []byte)) func(to, from protocol.ProcessID, payload []byte) {
+	if prev == nil {
+		return next
+	}
+	return func(to, from protocol.ProcessID, payload []byte) {
+		prev(to, from, payload)
+		next(to, from, payload)
+	}
+}
+
+// Bursty is an ON/OFF (interrupted Poisson) source per process: bursts of
+// traffic at BurstRate for ~OnTime, separated by silences of ~OffTime.
+// Mobile applications are bursty, which stresses the checkpointing
+// algorithm's sent-flag and dependency windows differently from smooth
+// Poisson traffic.
+type Bursty struct {
+	// BurstRate is the in-burst sending rate (msgs/s).
+	BurstRate float64
+	// OnTime is the mean burst duration.
+	OnTime time.Duration
+	// OffTime is the mean silence duration.
+	OffTime time.Duration
+
+	stopped bool
+}
+
+var _ Generator = (*Bursty)(nil)
+
+// Name implements Generator.
+func (w *Bursty) Name() string {
+	return fmt.Sprintf("bursty(rate=%g on=%v off=%v)", w.BurstRate, w.OnTime, w.OffTime)
+}
+
+// Stop implements Generator.
+func (w *Bursty) Stop() { w.stopped = true }
+
+// Install implements Generator.
+func (w *Bursty) Install(c *simrt.Cluster) {
+	if w.BurstRate <= 0 || w.OnTime <= 0 || w.OffTime <= 0 {
+		panic("workload: Bursty parameters must be positive")
+	}
+	n := c.N()
+	for i := 0; i < n; i++ {
+		i := i
+		rng := c.Rand(uint64(0x5000 + i))
+		var on func(until time.Duration)
+		var off func()
+		on = func(until time.Duration) {
+			if w.stopped {
+				return
+			}
+			if c.Sim().Now() >= until {
+				off()
+				return
+			}
+			dst := rng.Intn(n - 1)
+			if dst >= i {
+				dst++
+			}
+			c.SendApp(i, dst, nil)
+			c.Sim().Schedule(secs(rng.Exp(w.BurstRate)), func() { on(until) })
+		}
+		off = func() {
+			if w.stopped {
+				return
+			}
+			c.Sim().Schedule(secs(rng.Exp(1/w.OffTime.Seconds())), func() {
+				until := c.Sim().Now() + secs(rng.Exp(1/w.OnTime.Seconds()))
+				on(until)
+			})
+		}
+		off()
+	}
+}

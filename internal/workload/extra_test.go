@@ -1,0 +1,152 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/core"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/workload"
+)
+
+func TestClientServerTrafficShape(t *testing.T) {
+	c := newCluster(t, 8)
+	gen := &workload.ClientServer{Servers: 2, Rate: 0.5}
+	toServer, toClient, clientToClient := 0, 0, 0
+	c.OnDeliver = func(to, from protocol.ProcessID, payload []byte) {
+		switch {
+		case to < 2 && from >= 2:
+			toServer++
+		case to >= 2 && from < 2:
+			toClient++
+		case to >= 2 && from >= 2:
+			clientToClient++
+		}
+	}
+	gen.Install(c)
+	if err := c.Run(2000 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	c.Drain()
+	if clientToClient != 0 {
+		t.Fatalf("%d client-to-client messages", clientToClient)
+	}
+	if toServer == 0 || toClient == 0 {
+		t.Fatalf("requests=%d responses=%d", toServer, toClient)
+	}
+	// Every request gets one response (minus in-flight at stop).
+	if diff := toServer - toClient; diff < 0 || diff > 16 {
+		t.Fatalf("requests=%d responses=%d: responses unmatched", toServer, toClient)
+	}
+}
+
+func TestClientServerCheckpointingConsistent(t *testing.T) {
+	c, err := simrt.New(simrt.Config{
+		N:                   8,
+		Seed:                33,
+		NewEngine:           func(env protocol.Env) protocol.Engine { return core.New(env) },
+		ScheduleCheckpoints: true,
+		SingleInitiation:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &workload.ClientServer{Servers: 2, Rate: 0.1}
+	gen.Install(c)
+	c.Start()
+	c.Run(3 * time.Hour)
+	gen.Stop()
+	c.StopTimers()
+	c.Drain()
+	for _, e := range c.Errors() {
+		t.Errorf("cluster error: %v", e)
+	}
+	if len(c.Metrics().Completed()) < 5 {
+		t.Fatal("too few initiations")
+	}
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientServerValidation(t *testing.T) {
+	c := newCluster(t, 4)
+	for _, gen := range []*workload.ClientServer{
+		{Servers: 0, Rate: 1},
+		{Servers: 4, Rate: 1},
+		{Servers: 1, Rate: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", gen)
+				}
+			}()
+			gen.Install(c)
+		}()
+	}
+}
+
+func TestBurstyAlternates(t *testing.T) {
+	c := newCluster(t, 4)
+	count := 0
+	c.OnDeliver = func(to, from protocol.ProcessID, payload []byte) { count++ }
+	gen := &workload.Bursty{BurstRate: 10, OnTime: 10 * time.Second, OffTime: 50 * time.Second}
+	gen.Install(c)
+	if err := c.Run(2000 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	c.Drain()
+	// Duty cycle ~ 10/60: expected ≈ 4 procs * 10 msg/s * 2000s * (10/60) ≈ 13333.
+	if count < 4000 || count > 30000 {
+		t.Fatalf("bursty delivered %d messages, want duty-cycled volume", count)
+	}
+}
+
+func TestBurstyCheckpointingConsistent(t *testing.T) {
+	c, err := simrt.New(simrt.Config{
+		N:                   8,
+		Seed:                44,
+		NewEngine:           func(env protocol.Env) protocol.Engine { return core.New(env) },
+		ScheduleCheckpoints: true,
+		SingleInitiation:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &workload.Bursty{BurstRate: 2, OnTime: 30 * time.Second, OffTime: 300 * time.Second}
+	gen.Install(c)
+	c.Start()
+	c.Run(3 * time.Hour)
+	gen.Stop()
+	c.StopTimers()
+	c.Drain()
+	for _, e := range c.Errors() {
+		t.Errorf("cluster error: %v", e)
+	}
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&workload.Bursty{}).Install(newCluster(t, 4))
+}
+
+func TestExtraNames(t *testing.T) {
+	if (&workload.ClientServer{Servers: 2, Rate: 1}).Name() == "" {
+		t.Fatal("empty name")
+	}
+	if (&workload.Bursty{BurstRate: 1, OnTime: time.Second, OffTime: time.Second}).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
