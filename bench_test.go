@@ -34,6 +34,16 @@ func runOne(b *testing.B, cfg harness.Config) *harness.Result {
 	return res
 }
 
+// reportSimRate attaches the simulated-events-per-wall-second throughput of
+// the whole stack, the headline number cmd/mcpbench tracks across
+// baselines.
+func reportSimRate(b *testing.B, events uint64) {
+	b.Helper()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "simevents/sec")
+	}
+}
+
 // BenchmarkFig5 regenerates Fig. 5 (point-to-point communication): the
 // tentative and redundant-mutable checkpoint counts per initiation at
 // representative sending rates.
@@ -41,14 +51,18 @@ func BenchmarkFig5(b *testing.B) {
 	for _, rate := range []float64{0.002, 0.01, 0.05, 0.2} {
 		rate := rate
 		b.Run(formatRate(rate), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm: harness.AlgoMutable,
 					Workload:  harness.WorkloadP2P,
 					Rate:      rate,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(res.Tentative.Mean(), "tentative/init")
 			b.ReportMetric(res.Redundant.Mean(), "redundant/init")
 			b.ReportMetric(res.Mutable.Mean(), "mutable/init")
@@ -68,7 +82,9 @@ func benchFig6(b *testing.B, ratio float64) {
 	for _, rate := range []float64{0.01, 0.05, 0.2} {
 		rate := rate
 		b.Run(formatRate(rate), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm:  harness.AlgoMutable,
@@ -76,7 +92,9 @@ func benchFig6(b *testing.B, ratio float64) {
 					GroupRatio: ratio,
 					Rate:       rate,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(res.Tentative.Mean(), "tentative/init")
 			b.ReportMetric(res.Redundant.Mean(), "redundant/init")
 		})
@@ -90,14 +108,18 @@ func BenchmarkTable1(b *testing.B) {
 	for _, algo := range []string{harness.AlgoKooToueg, harness.AlgoElnozahy, harness.AlgoMutable} {
 		algo := algo
 		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm: algo,
 					Workload:  harness.WorkloadP2P,
 					Rate:      0.01,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(res.Tentative.Mean(), "ckpts/init")
 			b.ReportMetric(res.BlockedSec.Mean(), "blocking-s/init")
 			b.ReportMetric(res.DurationSec.Mean(), "outputcommit-s")
@@ -113,7 +135,9 @@ func BenchmarkAblationAvalanche(b *testing.B) {
 	for _, algo := range []string{harness.AlgoNaiveSimple, harness.AlgoNaiveRevised, harness.AlgoMutable} {
 		algo := algo
 		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm:       algo,
@@ -121,7 +145,9 @@ func BenchmarkAblationAvalanche(b *testing.B) {
 					Rate:            0.05,
 					SkipConsistency: algo != harness.AlgoMutable,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(float64(res.TotalStable)/res.Intervals, "stable/interval")
 			b.ReportMetric(float64(res.TotalMutableCk)/res.Intervals, "mutable/interval")
 		})
@@ -136,7 +162,9 @@ func BenchmarkAblationCommitFanout(b *testing.B) {
 	for _, algo := range []string{harness.AlgoMutable, harness.AlgoMutableTargeted} {
 		algo := algo
 		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm: algo,
@@ -144,7 +172,9 @@ func BenchmarkAblationCommitFanout(b *testing.B) {
 					Rate:      0.05,
 					DozeCount: 8,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(res.SysMsgs.Mean(), "msgs/init")
 			if res.Initiations > 0 {
 				b.ReportMetric(float64(res.DozeWakeups)/float64(res.Initiations), "wakeups/init")
@@ -159,14 +189,18 @@ func BenchmarkAblationMarkerFlood(b *testing.B) {
 	for _, algo := range []string{harness.AlgoMutable, harness.AlgoChandyLamport} {
 		algo := algo
 		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *harness.Result
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res = runOne(b, harness.Config{
 					Algorithm: algo,
 					Workload:  harness.WorkloadP2P,
 					Rate:      0.05,
 				})
+				events += res.SimulatedEvents
 			}
+			reportSimRate(b, events)
 			b.ReportMetric(res.SysMsgs.Mean(), "msgs/init")
 		})
 	}
@@ -175,8 +209,8 @@ func BenchmarkAblationMarkerFlood(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // events per wall second for the full stack at a busy message rate.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var events uint64
-	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		res := runOne(b, harness.Config{
 			Algorithm: harness.AlgoMutable,
@@ -185,10 +219,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		})
 		events += res.SimulatedEvents
 	}
-	elapsed := time.Since(start).Seconds()
-	if elapsed > 0 {
-		b.ReportMetric(float64(events)/elapsed, "sim-events/s")
-	}
+	reportSimRate(b, events)
 }
 
 func formatRate(rate float64) string {

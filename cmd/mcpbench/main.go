@@ -1,0 +1,103 @@
+// Command mcpbench records and compares performance baselines. It runs the
+// repository's headline benchmarks (DES kernel hot paths plus full-stack
+// simulation workloads), writes a BENCH_<date>.json report, and can diff
+// two reports against a regression threshold — exiting non-zero when any
+// tracked metric regressed, so CI and pre-merge checks can gate on it.
+//
+// Usage:
+//
+//	mcpbench -out BENCH_baseline.json            # record a baseline
+//	mcpbench -diff BENCH_baseline.json           # run now, compare vs baseline
+//	mcpbench -diff old.json,new.json             # compare two recorded files
+//	mcpbench -bench des/ -benchtime 0.2s -print  # quick filtered look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mutablecp/internal/benchreg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcpbench", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON report to this path (default BENCH_<date>.json when recording)")
+	diff := fs.String("diff", "",
+		"compare reports: \"old.json\" runs the suite now and compares against it; \"old.json,new.json\" compares two files")
+	threshold := fs.Float64("threshold", 0.20, "fractional regression threshold for -diff (0.20 = 20%)")
+	filter := fs.String("bench", "", "only run suite benchmarks whose name contains this substring")
+	benchtime := fs.String("benchtime", "0.5s", "per-benchmark measuring time (testing -benchtime syntax, e.g. 1s or 100x)")
+	print := fs.Bool("print", false, "print the report table to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *diff != "" {
+		return runDiff(*diff, *filter, *benchtime, *threshold, *out)
+	}
+
+	report, err := benchreg.RunSuite(*filter, *benchtime)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = report.DefaultFilename()
+	}
+	if err := report.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Entries))
+	if *print {
+		fmt.Print(report.Format())
+	}
+	return nil
+}
+
+func runDiff(spec, filter, benchtime string, threshold float64, out string) error {
+	parts := strings.Split(spec, ",")
+	baseline, err := benchreg.ReadFile(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	var current *benchreg.Report
+	switch len(parts) {
+	case 1:
+		current, err = benchreg.RunSuite(filter, benchtime)
+		if err != nil {
+			return err
+		}
+		if out != "" {
+			if err := current.WriteFile(out); err != nil {
+				return err
+			}
+		}
+	case 2:
+		current, err = benchreg.ReadFile(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-diff wants \"old.json\" or \"old.json,new.json\", got %q", spec)
+	}
+
+	regs := benchreg.Diff(baseline, current, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %.0f%% (baseline %s vs current %s)\n",
+			100*threshold, baseline.Date, current.Date)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Println("REGRESSION:", r)
+	}
+	return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(regs), 100*threshold)
+}

@@ -34,13 +34,16 @@ func run(args []string) error {
 	dozing := fs.Int("dozing", 8, "number of dozing hosts for -fanout")
 	scale := fs.Bool("scale", false, "sweep system size N: message-complexity comparison")
 	intervals := fs.Bool("intervals", false, "sweep the checkpoint interval")
+	parallel := fs.Int("parallel", 0,
+		"worker pool size for independent simulation cells; 0 = all CPUs, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	seedList := harness.QuickSeeds(*seeds)
+	runner := harness.Parallel(*parallel)
 
 	if *scale {
-		rows, err := harness.ScaleSweep(nil, *rate, seedList)
+		rows, err := runner.ScaleSweep(nil, *rate, seedList)
 		if err != nil {
 			return err
 		}
@@ -48,7 +51,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *intervals {
-		rows, err := harness.IntervalSweep(nil, *rate, seedList)
+		rows, err := runner.IntervalSweep(nil, *rate, seedList)
 		if err != nil {
 			return err
 		}
@@ -57,7 +60,7 @@ func run(args []string) error {
 	}
 
 	if *fanout {
-		rows, err := harness.CommitFanout(*rate, *dozing, seedList)
+		rows, err := runner.CommitFanout(*rate, *dozing, seedList)
 		if err != nil {
 			return err
 		}
@@ -65,14 +68,14 @@ func run(args []string) error {
 		return nil
 	}
 	if *ablation {
-		rows, err := harness.Ablation(*rate, seedList)
+		rows, err := runner.Ablation(*rate, seedList)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatAblation(*rate, rows))
 		return nil
 	}
-	rows, err := harness.Table1(*rate, seedList)
+	rows, err := runner.Table1(*rate, seedList)
 	if err != nil {
 		return err
 	}

@@ -35,9 +35,12 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 3, "number of independent simulation seeds")
 	rateList := fs.String("rates", "", "comma-separated sending rates (msgs/s); default sweep")
 	csv := fs.Bool("csv", false, "emit comma-separated values for plotting")
+	parallel := fs.Int("parallel", 0,
+		"worker pool size for independent (rate, seed) cells; 0 = all CPUs, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runner := harness.Parallel(*parallel)
 	emit := func(series *harness.FigSeries) {
 		if *csv {
 			fmt.Print(series.CSV())
@@ -53,13 +56,13 @@ func run(args []string) error {
 	seedList := harness.QuickSeeds(*seeds)
 
 	if *all {
-		series, err := harness.Fig5(seedList, rates)
+		series, err := runner.Fig5(seedList, rates)
 		if err != nil {
 			return err
 		}
 		emit(series)
 		for _, r := range []float64{1000, 10000} {
-			s6, err := harness.Fig6(r, seedList, rates)
+			s6, err := runner.Fig6(r, seedList, rates)
 			if err != nil {
 				return err
 			}
@@ -69,14 +72,14 @@ func run(args []string) error {
 	}
 	switch *fig {
 	case 5:
-		series, err := harness.Fig5(seedList, rates)
+		series, err := runner.Fig5(seedList, rates)
 		if err != nil {
 			return err
 		}
 		emit(series)
 		return nil
 	case 6:
-		series, err := harness.Fig6(*ratio, seedList, rates)
+		series, err := runner.Fig6(*ratio, seedList, rates)
 		if err != nil {
 			return err
 		}

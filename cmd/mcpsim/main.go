@@ -8,6 +8,7 @@
 //	mcpsim -algo mutable -rate 0.05
 //	mcpsim -algo koo-toueg -rate 0.01 -horizon 10h
 //	mcpsim -workload group -ratio 10000 -rate 0.1
+//	mcpsim -algo mutable -rate 0.05 -seeds 8 -parallel 0
 package main
 
 import (
@@ -36,9 +37,15 @@ func run(args []string) error {
 	wl := fs.String("workload", "p2p", "workload: p2p or group")
 	ratio := fs.Float64("ratio", 1000, "group workload intra/inter rate ratio")
 	horizon := fs.Duration("horizon", 10*time.Hour, "simulated time to run")
-	seed := fs.Uint64("seed", 1, "random seed")
+	seed := fs.Uint64("seed", 1, "random seed (first seed when -seeds > 1)")
+	seedCount := fs.Int("seeds", 1, "number of consecutive seeds to run and merge")
+	parallel := fs.Int("parallel", 0,
+		"worker pool size for independent per-seed runs; 0 = all CPUs, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seedCount < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
 	}
 
 	cfg := harness.Config{
@@ -59,12 +66,16 @@ func run(args []string) error {
 		return fmt.Errorf("unknown workload %q (want p2p or group)", *wl)
 	}
 
-	res, err := harness.Run(cfg)
+	seedList := make([]uint64, *seedCount)
+	for i := range seedList {
+		seedList[i] = *seed + uint64(i)
+	}
+	res, err := harness.Parallel(*parallel).RunSeeds(cfg, seedList)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("algorithm            %s\n", *algo)
-	fmt.Printf("workload             %s rate=%g\n", *wl, *rate)
+	fmt.Printf("workload             %s rate=%g seeds=%d\n", *wl, *rate, *seedCount)
 	fmt.Printf("simulated time       %v (%d events, %d comp msgs)\n",
 		*horizon, res.SimulatedEvents, res.CompMsgs)
 	fmt.Printf("completed inits      %d\n", res.Initiations)

@@ -1,0 +1,184 @@
+// Package benchreg records and compares benchmark baselines. It runs the
+// repository's headline benchmarks (the DES kernel microbenchmarks and
+// full-stack simulation workloads), serialises the results to a small JSON
+// report — ns/op, allocs/op, and throughput metrics such as events/sec and
+// simevents/sec — and diffs two reports against a regression threshold.
+// cmd/mcpbench is the CLI wrapper; BENCH_<date>.json files committed to
+// the repo form the performance trajectory over time.
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's recorded results.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	// Metrics holds throughput-style extras (events/sec, simevents/sec,
+	// cancels/sec, ...). Names ending in "/sec" are treated as
+	// higher-is-better by Diff; everything else as lower-is-better.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a full benchmark baseline.
+type Report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchtime  string  `json:"benchtime,omitempty"`
+	Entries    []Entry `json:"entries"`
+}
+
+// NewReport returns an empty report stamped with the current date and
+// toolchain.
+func NewReport() *Report {
+	return &Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// DefaultFilename returns the conventional BENCH_<date>.json name for the
+// report.
+func (r *Report) DefaultFilename() string {
+	return "BENCH_" + strings.ReplaceAll(r.Date, "-", "") + ".json"
+}
+
+// WriteFile serialises the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreg: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchreg: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that got worse past the threshold between two
+// reports.
+type Regression struct {
+	Entry  string  // benchmark name
+	Metric string  // "ns/op", "allocs/op", or a Metrics key
+	Old    float64 // baseline value
+	New    float64 // current value
+	Change float64 // fractional worsening (0.25 = 25% worse)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.1f%% worse)",
+		r.Entry, r.Metric, r.Old, r.New, 100*r.Change)
+}
+
+// higherIsBetter reports the improvement direction for a metric name.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec")
+}
+
+// worsening returns the fractional amount by which new is worse than old
+// (<= 0 when new is no worse). A zero baseline cannot regress fractionally
+// and yields 0.
+func worsening(metric string, old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	if higherIsBetter(metric) {
+		return (old - new) / old
+	}
+	return (new - old) / old
+}
+
+// Diff compares a current report against a baseline and returns every
+// metric that regressed by more than threshold (e.g. 0.20 for 20%).
+// Benchmarks present in only one report are ignored: the comparison is
+// over the intersection, so suite growth never reads as a regression.
+func Diff(baseline, current *Report, threshold float64) []Regression {
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+	var regs []Regression
+	for _, cur := range current.Entries {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		check := func(metric string, ov, nv float64) {
+			if w := worsening(metric, ov, nv); w > threshold {
+				regs = append(regs, Regression{
+					Entry: cur.Name, Metric: metric, Old: ov, New: nv, Change: w,
+				})
+			}
+		}
+		check("ns/op", old.NsPerOp, cur.NsPerOp)
+		check("allocs/op", old.AllocsPerOp, cur.AllocsPerOp)
+		// An alloc-free baseline is a hard property, not a ratio: any
+		// allocation at all is a regression there.
+		if old.AllocsPerOp == 0 && cur.AllocsPerOp > 0.5 {
+			regs = append(regs, Regression{
+				Entry: cur.Name, Metric: "allocs/op",
+				Old: 0, New: cur.AllocsPerOp, Change: cur.AllocsPerOp,
+			})
+		}
+		for metric, ov := range old.Metrics {
+			if nv, ok := cur.Metrics[metric]; ok {
+				check(metric, ov, nv)
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Entry != regs[j].Entry {
+			return regs[i].Entry < regs[j].Entry
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// Format renders the report as an aligned table for the terminal.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark baseline %s (%s %s/%s, GOMAXPROCS=%d)\n",
+		r.Date, r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-26s %14s %12s %12s  %s\n", "name", "ns/op", "allocs/op", "B/op", "metrics")
+	for _, e := range r.Entries {
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var extras []string
+		for _, k := range keys {
+			extras = append(extras, fmt.Sprintf("%s=%.4g", k, e.Metrics[k]))
+		}
+		fmt.Fprintf(&b, "%-26s %14.1f %12.2f %12.1f  %s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, strings.Join(extras, " "))
+	}
+	return b.String()
+}

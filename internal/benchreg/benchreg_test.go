@@ -1,0 +1,111 @@
+package benchreg
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(name string, ns, allocs float64, metrics map[string]float64) Entry {
+	return Entry{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs, Metrics: metrics}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport()
+	r.Entries = []Entry{
+		entry("des/event-churn", 33, 0, map[string]float64{"events/sec": 3.0e7}),
+		entry("sim/p2p-rate1.0", 1.2e8, 900, map[string]float64{"simevents/sec": 2.5e6}),
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[0].Name != "des/event-churn" {
+		t.Fatalf("round trip lost entries: %+v", back.Entries)
+	}
+	if back.Entries[0].Metrics["events/sec"] != 3.0e7 {
+		t.Fatalf("metric lost: %+v", back.Entries[0])
+	}
+	if back.GoVersion == "" || back.Date == "" {
+		t.Fatalf("environment stamp missing: %+v", back)
+	}
+	if !strings.HasPrefix(r.DefaultFilename(), "BENCH_") ||
+		!strings.HasSuffix(r.DefaultFilename(), ".json") {
+		t.Fatalf("default filename %q", r.DefaultFilename())
+	}
+}
+
+func TestDiffDetectsRegressions(t *testing.T) {
+	base := NewReport()
+	base.Entries = []Entry{
+		entry("des/event-churn", 100, 0, map[string]float64{"events/sec": 1.0e7}),
+		entry("sim/p2p-rate1.0", 1000, 5, map[string]float64{"simevents/sec": 1.0e6}),
+		entry("old-only", 50, 0, nil),
+	}
+	cur := NewReport()
+	cur.Entries = []Entry{
+		// 30% slower ns/op AND a new allocation on an alloc-free baseline.
+		entry("des/event-churn", 130, 1, map[string]float64{"events/sec": 0.99e7}),
+		// 10% slower: within a 20% threshold.
+		entry("sim/p2p-rate1.0", 1100, 5, map[string]float64{"simevents/sec": 0.95e6}),
+		entry("new-only", 999999, 42, nil),
+	}
+	regs := Diff(base, cur, 0.20)
+	var got []string
+	for _, r := range regs {
+		got = append(got, r.Entry+" "+r.Metric)
+	}
+	want := []string{"des/event-churn allocs/op", "des/event-churn ns/op"}
+	if len(got) != len(want) {
+		t.Fatalf("regressions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("regressions = %v, want %v", got, want)
+		}
+	}
+	if regs[1].Change < 0.29 || regs[1].Change > 0.31 {
+		t.Fatalf("ns/op change = %v, want ~0.30", regs[1].Change)
+	}
+}
+
+func TestDiffThroughputDirection(t *testing.T) {
+	base := NewReport()
+	base.Entries = []Entry{entry("des/event-churn", 100, 0, map[string]float64{"events/sec": 1.0e7})}
+	cur := NewReport()
+	// Throughput dropped 40%: that is a regression even though the number
+	// got smaller.
+	cur.Entries = []Entry{entry("des/event-churn", 100, 0, map[string]float64{"events/sec": 0.6e7})}
+	regs := Diff(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "events/sec" {
+		t.Fatalf("regs = %v", regs)
+	}
+	// Throughput *gain* must not flag.
+	cur.Entries[0].Metrics["events/sec"] = 5.0e7
+	if regs := Diff(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestRunSuiteFiltered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	report, err := RunSuite("des/event-churn", "10x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) != 1 || report.Entries[0].Name != "des/event-churn" {
+		t.Fatalf("entries = %+v", report.Entries)
+	}
+	if report.Entries[0].Iterations == 0 {
+		t.Fatal("benchmark did not iterate")
+	}
+	if _, err := RunSuite("no-such-benchmark", "10x"); err == nil {
+		t.Fatal("bogus filter accepted")
+	}
+}

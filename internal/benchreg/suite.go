@@ -1,0 +1,190 @@
+package benchreg
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/harness"
+)
+
+// Benchmark is one named member of the standard suite.
+type Benchmark struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// simHorizon keeps full-stack workload benchmarks to ten checkpoint
+// intervals, matching the repo's bench_test.go conventions.
+const simHorizon = 10 * 900 * time.Second
+
+// reportEventRate attaches an events/sec throughput metric.
+func reportEventRate(b *testing.B, fired uint64) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(fired)/secs, "events/sec")
+	}
+}
+
+// simBench runs one full-stack simulation per iteration and reports the
+// simulated-events-per-wall-second throughput of the whole stack.
+func simBench(cfg harness.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := cfg
+		cfg.Horizon = simHorizon
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res, err := harness.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cfg.SkipConsistency && !res.ConsistencyOK {
+				b.Fatalf("inconsistent: %v", res.ConsistencyErr)
+			}
+			events += res.SimulatedEvents
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(events)/secs, "simevents/sec")
+		}
+	}
+}
+
+// Suite returns the headline benchmarks tracked across baselines: the DES
+// kernel hot paths and representative full-stack simulation workloads.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "des/schedule-run", Run: func(b *testing.B) {
+			sim := des.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+				if i%1024 == 1023 {
+					sim.RunAll() //nolint:errcheck
+				}
+			}
+			sim.RunAll() //nolint:errcheck
+			reportEventRate(b, sim.Executed())
+		}},
+		{Name: "des/event-churn", Run: func(b *testing.B) {
+			sim := des.New()
+			count := 0
+			var next func()
+			next = func() {
+				count++
+				if count < b.N {
+					sim.Schedule(time.Microsecond, next)
+				}
+			}
+			sim.Schedule(time.Microsecond, next)
+			b.ResetTimer()
+			sim.RunAll() //nolint:errcheck
+			reportEventRate(b, sim.Executed())
+		}},
+		{Name: "des/cancel", Run: func(b *testing.B) {
+			sim := des.New()
+			ids := make([]des.EventID, b.N)
+			for i := range ids {
+				ids[i] = sim.Schedule(time.Second, func() {})
+			}
+			b.ResetTimer()
+			for _, id := range ids {
+				sim.Cancel(id)
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "cancels/sec")
+			}
+		}},
+		{Name: "des/reschedule-storm", Run: func(b *testing.B) {
+			sim := des.New()
+			tk := sim.NewTicker(time.Hour, 0, func() {})
+			for i := 0; i < 256; i++ {
+				sim.Schedule(time.Duration(i+1)*time.Hour, func() {})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk.Reschedule()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "reschedules/sec")
+			}
+			tk.Stop()
+		}},
+		{Name: "sim/p2p-rate0.05", Run: simBench(harness.Config{
+			Algorithm: harness.AlgoMutable,
+			Workload:  harness.WorkloadP2P,
+			Rate:      0.05,
+			Seed:      1,
+		})},
+		{Name: "sim/p2p-rate1.0", Run: simBench(harness.Config{
+			Algorithm: harness.AlgoMutable,
+			Workload:  harness.WorkloadP2P,
+			Rate:      1.0,
+			Seed:      1,
+		})},
+		{Name: "sim/group-rate0.05", Run: simBench(harness.Config{
+			Algorithm:  harness.AlgoMutable,
+			Workload:   harness.WorkloadGroup,
+			GroupRatio: 1000,
+			Rate:       0.05,
+			Seed:       1,
+		})},
+		{Name: "sim/koo-toueg-rate0.05", Run: simBench(harness.Config{
+			Algorithm: harness.AlgoKooToueg,
+			Workload:  harness.WorkloadP2P,
+			Rate:      0.05,
+			Seed:      1,
+		})},
+	}
+}
+
+// RunSuite executes every suite benchmark whose name contains filter
+// (empty = all) at the given benchtime (e.g. "0.5s" or "100x"; empty
+// keeps the testing default of 1s) and returns the populated report.
+func RunSuite(filter, benchtime string) (*Report, error) {
+	if benchtime != "" {
+		// testing.Benchmark honours the -test.benchtime flag; register the
+		// testing flags if the host binary has not, then set it.
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, fmt.Errorf("benchreg: bad benchtime %q: %w", benchtime, err)
+		}
+	}
+	report := NewReport()
+	report.Benchtime = benchtime
+	for _, bench := range Suite() {
+		if filter != "" && !strings.Contains(bench.Name, filter) {
+			continue
+		}
+		run := bench.Run
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			run(b)
+		})
+		if res.N == 0 {
+			return nil, fmt.Errorf("benchreg: %s did not run (panic or Fatal inside benchmark)", bench.Name)
+		}
+		entry := Entry{
+			Name:        bench.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		}
+		if len(res.Extra) > 0 {
+			entry.Metrics = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				entry.Metrics[k] = v
+			}
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+	if len(report.Entries) == 0 {
+		return nil, fmt.Errorf("benchreg: no benchmarks match filter %q", filter)
+	}
+	return report, nil
+}

@@ -6,10 +6,18 @@
 // given seed and schedule. All checkpointing experiments in this repository
 // run on top of this kernel so that virtual time (900-second checkpoint
 // intervals, 2-second checkpoint transfers) is cheap to simulate.
+//
+// The hot path is allocation-free: the priority queue stores event values
+// (not pointers) in a slice-backed quaternary-comparison binary heap, and
+// event identity is a (slot, generation) pair drawn from a free list, so
+// Schedule/Step never touch a map and never allocate once the backing
+// slices reach steady size. Cancel is lazy: it flips the slot's pending bit
+// and leaves a tombstone in the heap, which is discarded when it surfaces
+// at the root (or swept out wholesale when tombstones outnumber live
+// events), instead of paying an O(log n) heap removal per cancellation.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -18,50 +26,41 @@ import (
 // via Stop before the horizon was reached.
 var ErrStopped = errors.New("des: simulation stopped")
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. It packs the
+// event's slot index (high 32 bits) and the slot's generation (low 32
+// bits); generations start at 1, so a valid EventID is never zero.
 type EventID uint64
 
-// event is a single scheduled callback.
+func makeEventID(slot, gen uint32) EventID {
+	return EventID(uint64(slot)<<32 | uint64(gen))
+}
+
+func (id EventID) split() (slot, gen uint32) {
+	return uint32(id >> 32), uint32(id)
+}
+
+// event is a single scheduled callback, stored by value in the heap.
 type event struct {
-	at    time.Duration
-	seq   uint64 // tie-breaker: schedule order
-	id    EventID
-	fn    func()
-	index int // heap index, -1 when popped/cancelled
+	at   time.Duration
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	slot uint32
+	gen  uint32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// slot carries the out-of-heap state for one in-flight event. pending flips
+// to false when the event is cancelled (the heap entry becomes a tombstone)
+// or fires; gen increments each time the slot is recycled, invalidating any
+// stale EventID that still points at it.
+type slot struct {
+	gen     uint32
+	pending bool
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMinTombstones is the floor below which lazy cancellation never
+// bothers sweeping the heap: small queues tolerate a handful of tombstones
+// and the sweep would cost more than it saves.
+const compactMinTombstones = 64
 
 // Simulator is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all event callbacks run on the goroutine that calls
@@ -69,9 +68,10 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now     time.Duration
 	seq     uint64
-	nextID  EventID
-	heap    eventHeap
-	byID    map[EventID]*event
+	heap    []event
+	slots   []slot
+	free    []uint32 // recycled slot indices
+	dead    int      // cancelled events still sitting in heap
 	stopped bool
 
 	// Executed counts events that have fired, for diagnostics.
@@ -80,7 +80,7 @@ type Simulator struct {
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
-	return &Simulator{byID: make(map[EventID]*event)}
+	return &Simulator{}
 }
 
 // Now returns the current virtual time.
@@ -89,8 +89,14 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // Executed reports how many events have fired so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending reports how many events are currently scheduled.
-func (s *Simulator) Pending() int { return len(s.heap) }
+// Pending reports how many live (not cancelled) events are currently
+// scheduled.
+func (s *Simulator) Pending() int { return len(s.heap) - s.dead }
+
+// Tombstones reports how many cancelled events are still occupying heap
+// space awaiting lazy removal. It exists for diagnostics and leak tests;
+// the count is kept bounded by Pending() via periodic compaction.
+func (s *Simulator) Tombstones() int { return s.dead }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero (fire at the current instant, after already-queued events for this
@@ -108,26 +114,92 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) EventID {
 	if at < s.now {
 		at = s.now
 	}
-	s.nextID++
 	s.seq++
-	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn}
-	heap.Push(&s.heap, ev)
-	s.byID[ev.id] = ev
-	return ev.id
+	var idx uint32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		idx = uint32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.pending = true
+	s.push(event{at: at, seq: s.seq, fn: fn, slot: idx, gen: sl.gen})
+	return makeEventID(idx, sl.gen)
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
 // pending (false when it already fired, was cancelled, or never existed).
+// Cancellation is O(1): the heap entry is tombstoned in place and reclaimed
+// lazily.
 func (s *Simulator) Cancel(id EventID) bool {
-	ev, ok := s.byID[id]
-	if !ok {
+	idx, gen := id.split()
+	if int(idx) >= len(s.slots) {
 		return false
 	}
-	delete(s.byID, id)
-	if ev.index >= 0 {
-		heap.Remove(&s.heap, ev.index)
+	sl := &s.slots[idx]
+	if sl.gen != gen || !sl.pending {
+		return false
+	}
+	sl.pending = false
+	s.dead++
+	if s.dead >= compactMinTombstones && s.dead > len(s.heap)/2 {
+		s.compact()
 	}
 	return true
+}
+
+// freeSlot recycles a slot whose heap entry has been removed, invalidating
+// outstanding EventIDs for it.
+func (s *Simulator) freeSlot(idx uint32) {
+	s.slots[idx].gen++
+	s.free = append(s.free, idx)
+}
+
+// live reports whether a heap entry still refers to a pending event.
+func (s *Simulator) live(ev *event) bool {
+	sl := &s.slots[ev.slot]
+	return sl.pending && sl.gen == ev.gen
+}
+
+// pruneRoot pops tombstones off the heap root so that, on return, heap[0]
+// (if any) is a live event. Keeping the root live lets Run's horizon check
+// peek at heap[0].at without firing anything.
+func (s *Simulator) pruneRoot() {
+	for len(s.heap) > 0 {
+		ev := s.heap[0]
+		if s.live(&ev) {
+			return
+		}
+		s.popRoot()
+		s.dead--
+		s.freeSlot(ev.slot)
+	}
+}
+
+// compact sweeps every tombstone out of the heap in one O(n) pass and
+// re-heapifies. Amortised over the cancellations that triggered it this is
+// O(1) per Cancel, and it bounds heap memory at ~2x the live event count
+// even under pathological Reschedule storms.
+func (s *Simulator) compact() {
+	keep := s.heap[:0]
+	for i := range s.heap {
+		ev := s.heap[i]
+		if s.live(&ev) {
+			keep = append(keep, ev)
+		} else {
+			s.freeSlot(ev.slot)
+		}
+	}
+	for i := len(keep); i < len(s.heap); i++ {
+		s.heap[i] = event{} // release dropped fn closures
+	}
+	s.heap = keep
+	s.dead = 0
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
 // Stop makes the currently running Run call return ErrStopped after the
@@ -137,11 +209,14 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
+	s.pruneRoot()
 	if len(s.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.heap).(*event)
-	delete(s.byID, ev.id)
+	ev := s.heap[0]
+	s.popRoot()
+	s.slots[ev.slot].pending = false
+	s.freeSlot(ev.slot)
 	s.now = ev.at
 	s.executed++
 	ev.fn()
@@ -155,12 +230,15 @@ func (s *Simulator) Step() bool {
 // stops; draining the queue or reaching the horizon returns nil.
 func (s *Simulator) Run(horizon time.Duration) error {
 	s.stopped = false
-	for len(s.heap) > 0 {
+	for {
+		s.pruneRoot()
+		if len(s.heap) == 0 {
+			break
+		}
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.heap[0]
-		if next.at > horizon {
+		if s.heap[0].at > horizon {
 			s.now = horizon
 			return nil
 		}
@@ -176,13 +254,78 @@ func (s *Simulator) Run(horizon time.Duration) error {
 // horizon. Use only with workloads that terminate on their own.
 func (s *Simulator) RunAll() error {
 	s.stopped = false
-	for len(s.heap) > 0 {
+	for {
+		s.pruneRoot()
+		if len(s.heap) == 0 {
+			return nil
+		}
 		if s.stopped {
 			return ErrStopped
 		}
 		s.Step()
 	}
-	return nil
+}
+
+// heap ordering: earliest timestamp first, schedule order breaking ties.
+// The heap is hand-rolled over []event rather than container/heap to keep
+// the per-event path free of interface boxing and pointer indirection.
+
+func (s *Simulator) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) push(ev event) {
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// popRoot removes heap[0]; callers must copy it out first.
+func (s *Simulator) popRoot() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap[n] = event{}
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.less(&h[r], &h[child]) {
+			child = r
+		}
+		if !s.less(&h[child], &ev) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = ev
 }
 
 // Ticker repeatedly schedules fn every period until Stop is called on it.
@@ -192,6 +335,7 @@ type Ticker struct {
 	sim     *Simulator
 	period  time.Duration
 	fn      func()
+	tickFn  func() // t.tick bound once, so rescheduling never allocates
 	id      EventID
 	pending bool
 	stop    bool
@@ -204,7 +348,8 @@ func (s *Simulator) NewTicker(period, phase time.Duration, fn func()) *Ticker {
 		panic("des: ticker period must be positive")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	t.id = s.Schedule(period+phase, t.tick)
+	t.tickFn = t.tick
+	t.id = s.Schedule(period+phase, t.tickFn)
 	t.pending = true
 	return t
 }
@@ -220,7 +365,7 @@ func (t *Ticker) tick() {
 	}
 	if !t.pending {
 		// fn may have called Reschedule already; avoid double-scheduling.
-		t.id = t.sim.Schedule(t.period, t.tick)
+		t.id = t.sim.Schedule(t.period, t.tickFn)
 		t.pending = true
 	}
 }
@@ -245,6 +390,6 @@ func (t *Ticker) Reschedule() {
 	if t.pending {
 		t.sim.Cancel(t.id)
 	}
-	t.id = t.sim.Schedule(t.period, t.tick)
+	t.id = t.sim.Schedule(t.period, t.tickFn)
 	t.pending = true
 }

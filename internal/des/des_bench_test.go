@@ -1,5 +1,9 @@
 package des_test
 
+// Kernel microbenchmarks. Every benchmark reports allocations and an
+// events/sec throughput metric so cmd/mcpbench can track the per-event
+// cost of the hot path (schedule + heap push + pop + fire) over time.
+
 import (
 	"testing"
 	"time"
@@ -7,8 +11,19 @@ import (
 	"mutablecp/internal/des"
 )
 
-func BenchmarkScheduleAndRun(b *testing.B) {
+// reportEventRate attaches an events/sec metric derived from the number of
+// events the benchmark actually fired.
+func reportEventRate(b *testing.B, fired uint64) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(fired)/secs, "events/sec")
+	}
+}
+
+// BenchmarkDESScheduleAndRun interleaves scheduling with batched draining:
+// the mixed workload every simulation cluster generates.
+func BenchmarkDESScheduleAndRun(b *testing.B) {
 	sim := des.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
@@ -17,9 +32,12 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		}
 	}
 	sim.RunAll() //nolint:errcheck
+	reportEventRate(b, sim.Executed())
 }
 
-func BenchmarkEventChurn(b *testing.B) {
+// BenchmarkDESEventChurn measures the self-perpetuating single-event chain:
+// pure Step overhead with a one-element heap.
+func BenchmarkDESEventChurn(b *testing.B) {
 	sim := des.New()
 	var next func()
 	count := 0
@@ -30,18 +48,48 @@ func BenchmarkEventChurn(b *testing.B) {
 		}
 	}
 	sim.Schedule(time.Microsecond, next)
+	b.ReportAllocs()
 	b.ResetTimer()
 	sim.RunAll() //nolint:errcheck
+	reportEventRate(b, sim.Executed())
 }
 
-func BenchmarkCancel(b *testing.B) {
+// BenchmarkDESCancel schedules b.N events and cancels them all: the lazy
+// tombstone path plus its amortised compaction sweeps.
+func BenchmarkDESCancel(b *testing.B) {
 	sim := des.New()
 	ids := make([]des.EventID, b.N)
 	for i := range ids {
 		ids[i] = sim.Schedule(time.Second, func() {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for _, id := range ids {
 		sim.Cancel(id)
 	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "cancels/sec")
+	}
+}
+
+// BenchmarkDESRescheduleStorm hammers Ticker.Reschedule the way checkpoint
+// schedulers do when every message resets the interval timer: each
+// iteration is a cancel plus a re-schedule against a populated heap.
+func BenchmarkDESRescheduleStorm(b *testing.B) {
+	sim := des.New()
+	tk := sim.NewTicker(time.Hour, 0, func() {})
+	// Background events so the heap is non-trivial.
+	for i := 0; i < 256; i++ {
+		sim.Schedule(time.Duration(i+1)*time.Hour, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Reschedule()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "reschedules/sec")
+	}
+	tk.Stop()
 }

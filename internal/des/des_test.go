@@ -264,6 +264,63 @@ func TestExecutedCount(t *testing.T) {
 	}
 }
 
+// TestRescheduleStormBoundedTombstones proves lazy cancellation cannot leak:
+// a million Ticker.Reschedule calls (each a cancel + re-schedule at the same
+// virtual instant, the worst case for tombstone accumulation) must leave the
+// pending count exact and the tombstone backlog bounded by the live event
+// count, not by the number of cancellations.
+func TestRescheduleStormBoundedTombstones(t *testing.T) {
+	sim := des.New()
+	fired := 0
+	tk := sim.NewTicker(time.Hour, 0, func() { fired++ })
+	// A plausible population of live background events.
+	const background = 100
+	for i := 0; i < background; i++ {
+		sim.Schedule(time.Duration(i+2)*time.Hour, func() {})
+	}
+	const storms = 1_000_000
+	for i := 0; i < storms; i++ {
+		tk.Reschedule()
+		if p := sim.Pending(); p != background+1 {
+			t.Fatalf("after %d reschedules Pending() = %d, want %d", i+1, p, background+1)
+		}
+	}
+	// Compaction keeps cancelled entries bounded by the live population,
+	// so memory cannot grow with the number of reschedules.
+	if ts := sim.Tombstones(); ts > background+1 {
+		t.Fatalf("tombstones = %d after %d reschedules, want <= %d", ts, storms, background+1)
+	}
+	if err := sim.Run(90 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("ticker fired %d times after storm, want exactly 1", fired)
+	}
+}
+
+// TestCancelStaleIDAfterSlotReuse exercises the generation scheme: an
+// EventID held across its event's firing must not cancel an unrelated
+// event that recycled the same slot.
+func TestCancelStaleIDAfterSlotReuse(t *testing.T) {
+	sim := des.New()
+	stale := sim.Schedule(time.Second, func() {})
+	sim.Step()
+	fired := false
+	fresh := sim.Schedule(time.Second, func() { fired = true })
+	if sim.Cancel(stale) {
+		t.Fatal("stale id cancelled a recycled slot")
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event on recycled slot did not fire")
+	}
+	if sim.Cancel(fresh) {
+		t.Fatal("cancel after firing reported success")
+	}
+}
+
 func TestTickerPanicsOnBadPeriod(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -33,7 +33,13 @@ type FigSeries struct {
 // Fig5 regenerates Fig. 5: tentative and redundant mutable checkpoints per
 // initiation vs. message sending rate, point-to-point communication.
 func Fig5(seeds []uint64, rates []float64) (*FigSeries, error) {
-	return figure("Fig. 5: point-to-point communication", Config{
+	return Sequential().Fig5(seeds, rates)
+}
+
+// Fig5 is the parallel form of the package-level Fig5: every (rate, seed)
+// cell is an independent simulation fanned out over the Runner's pool.
+func (r *Runner) Fig5(seeds []uint64, rates []float64) (*FigSeries, error) {
+	return r.figure("Fig. 5: point-to-point communication", Config{
 		Algorithm: AlgoMutable,
 		Workload:  WorkloadP2P,
 	}, seeds, rates)
@@ -43,7 +49,12 @@ func Fig5(seeds []uint64, rates []float64) (*FigSeries, error) {
 // environment with the given intra/inter rate ratio (paper: 1000 left,
 // 10000 right).
 func Fig6(ratio float64, seeds []uint64, rates []float64) (*FigSeries, error) {
-	return figure(
+	return Sequential().Fig6(ratio, seeds, rates)
+}
+
+// Fig6 is the parallel form of the package-level Fig6.
+func (r *Runner) Fig6(ratio float64, seeds []uint64, rates []float64) (*FigSeries, error) {
+	return r.figure(
 		fmt.Sprintf("Fig. 6: group communication (intra/inter ratio %g)", ratio),
 		Config{
 			Algorithm:  AlgoMutable,
@@ -52,20 +63,24 @@ func Fig6(ratio float64, seeds []uint64, rates []float64) (*FigSeries, error) {
 		}, seeds, rates)
 }
 
-func figure(title string, base Config, seeds []uint64, rates []float64) (*FigSeries, error) {
+func (r *Runner) figure(title string, base Config, seeds []uint64, rates []float64) (*FigSeries, error) {
 	if len(rates) == 0 {
 		rates = DefaultRates
 	}
+	merged, err := r.runGrid(len(rates), seeds,
+		func(cell int) Config {
+			cfg := base
+			cfg.Rate = rates[cell]
+			return cfg
+		},
+		func(cell int) string { return fmt.Sprintf("rate %g", rates[cell]) })
+	if err != nil {
+		return nil, err
+	}
 	series := &FigSeries{Title: title}
-	for _, rate := range rates {
-		cfg := base
-		cfg.Rate = rate
-		res, err := RunSeeds(cfg, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("rate %g: %w", rate, err)
-		}
+	for i, res := range merged {
 		row := FigRow{
-			Rate:          rate,
+			Rate:          rates[i],
 			Tentative:     res.Tentative.Mean(),
 			TentativeCI:   res.Tentative.CI95(),
 			Redundant:     res.Redundant.Mean(),
@@ -109,6 +124,12 @@ type Table1Row struct {
 // Table1 regenerates Table 1 empirically: the three algorithms under an
 // identical workload and seed set.
 func Table1(rate float64, seeds []uint64) ([]Table1Row, error) {
+	return Sequential().Table1(rate, seeds)
+}
+
+// Table1 is the parallel form of the package-level Table1: each
+// (algorithm, seed) cell runs as an independent simulation.
+func (r *Runner) Table1(rate float64, seeds []uint64) ([]Table1Row, error) {
 	entries := []struct {
 		algo        string
 		distributed bool
@@ -118,16 +139,21 @@ func Table1(rate float64, seeds []uint64) ([]Table1Row, error) {
 		{AlgoElnozahy, false, "N ckpts; 0 blocking; 2*Cbroad + N*Cair msgs"},
 		{AlgoMutable, true, "Nmin ckpts; 0 blocking; ~2*Nmin*Cair + min(Nmin*Cair, Cbroad) msgs"},
 	}
+	merged, err := r.runGrid(len(entries), seeds,
+		func(cell int) Config {
+			return Config{
+				Algorithm: entries[cell].algo,
+				Workload:  WorkloadP2P,
+				Rate:      rate,
+			}
+		},
+		func(cell int) string { return entries[cell].algo })
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table1Row, 0, len(entries))
-	for _, e := range entries {
-		res, err := RunSeeds(Config{
-			Algorithm: e.algo,
-			Workload:  WorkloadP2P,
-			Rate:      rate,
-		}, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.algo, err)
-		}
+	for i, res := range merged {
+		e := entries[i]
 		if !res.ConsistencyOK {
 			return nil, fmt.Errorf("%s: inconsistent recovery line: %v", e.algo, res.ConsistencyErr)
 		}
@@ -177,20 +203,30 @@ type AblationRow struct {
 // schemes take stable checkpoints where the paper's algorithm takes cheap
 // mutable ones (or none).
 func Ablation(rate float64, seeds []uint64) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, 3)
-	for _, algo := range []string{AlgoNaiveSimple, AlgoNaiveRevised, AlgoMutable} {
-		res, err := RunSeeds(Config{
-			Algorithm:       algo,
-			Workload:        WorkloadP2P,
-			Rate:            rate,
-			Horizon:         10 * 900 * time.Second,
-			SkipConsistency: algo != AlgoMutable,
-		}, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", algo, err)
-		}
+	return Sequential().Ablation(rate, seeds)
+}
+
+// Ablation is the parallel form of the package-level Ablation.
+func (r *Runner) Ablation(rate float64, seeds []uint64) ([]AblationRow, error) {
+	algos := []string{AlgoNaiveSimple, AlgoNaiveRevised, AlgoMutable}
+	merged, err := r.runGrid(len(algos), seeds,
+		func(cell int) Config {
+			return Config{
+				Algorithm:       algos[cell],
+				Workload:        WorkloadP2P,
+				Rate:            rate,
+				Horizon:         10 * 900 * time.Second,
+				SkipConsistency: algos[cell] != AlgoMutable,
+			}
+		},
+		func(cell int) string { return algos[cell] })
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(algos))
+	for i, res := range merged {
 		rows = append(rows, AblationRow{
-			Algorithm:         algo,
+			Algorithm:         algos[i],
 			StablePerInterval: float64(res.TotalStable) / res.Intervals,
 			MutablePerInt:     float64(res.TotalMutableCk) / res.Intervals,
 			SysMsgsTotal:      res.TotalSysMsgs,
@@ -240,18 +276,29 @@ type FanoutRow struct {
 // dozing host on every initiation; the targeted update approach spends
 // more point-to-point messages but leaves uninvolved dozing hosts asleep.
 func CommitFanout(rate float64, dozing int, seeds []uint64) ([]FanoutRow, error) {
-	rows := make([]FanoutRow, 0, 2)
-	for _, algo := range []string{AlgoMutable, AlgoMutableTargeted} {
-		res, err := RunSeeds(Config{
-			Algorithm: algo,
-			Workload:  WorkloadP2P,
-			Rate:      rate,
-			DozeCount: dozing,
-			Horizon:   20 * 900 * time.Second,
-		}, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", algo, err)
-		}
+	return Sequential().CommitFanout(rate, dozing, seeds)
+}
+
+// CommitFanout is the parallel form of the package-level CommitFanout.
+func (r *Runner) CommitFanout(rate float64, dozing int, seeds []uint64) ([]FanoutRow, error) {
+	algos := []string{AlgoMutable, AlgoMutableTargeted}
+	merged, err := r.runGrid(len(algos), seeds,
+		func(cell int) Config {
+			return Config{
+				Algorithm: algos[cell],
+				Workload:  WorkloadP2P,
+				Rate:      rate,
+				DozeCount: dozing,
+				Horizon:   20 * 900 * time.Second,
+			}
+		},
+		func(cell int) string { return algos[cell] })
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FanoutRow, 0, len(algos))
+	for i, res := range merged {
+		algo := algos[i]
 		if !res.ConsistencyOK {
 			return nil, fmt.Errorf("%s: %v", algo, res.ConsistencyErr)
 		}

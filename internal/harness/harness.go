@@ -262,45 +262,8 @@ func Run(cfg Config) (*Result, error) {
 
 // RunSeeds runs the experiment across several seeds and merges the
 // per-initiation samples, shrinking confidence intervals the way the
-// paper's "large number of samples" does.
+// paper's "large number of samples" does. It is the sequential form of
+// Runner.RunSeeds; Parallel(n).RunSeeds produces identical results.
 func RunSeeds(cfg Config, seeds []uint64) (*Result, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("harness: no seeds")
-	}
-	var merged *Result
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		res, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		if merged == nil {
-			merged = res
-			continue
-		}
-		merged.Initiations += res.Initiations
-		merged.Tentative.Merge(&res.Tentative)
-		merged.Mutable.Merge(&res.Mutable)
-		merged.Redundant.Merge(&res.Redundant)
-		merged.SysMsgs.Merge(&res.SysMsgs)
-		merged.DurationSec.Merge(&res.DurationSec)
-		merged.BlockedSec.Merge(&res.BlockedSec)
-		merged.CompMsgs += res.CompMsgs
-		merged.TotalSysMsgs += res.TotalSysMsgs
-		merged.SimulatedEvents += res.SimulatedEvents
-		merged.TotalStable += res.TotalStable
-		merged.TotalMutableCk += res.TotalMutableCk
-		merged.Intervals += res.Intervals
-		merged.DozeWakeups += res.DozeWakeups
-		merged.ConsistencyOK = merged.ConsistencyOK && res.ConsistencyOK
-		if merged.ConsistencyErr == nil {
-			merged.ConsistencyErr = res.ConsistencyErr
-		}
-		merged.ClusterErrors = append(merged.ClusterErrors, res.ClusterErrors...)
-	}
-	if merged.Tentative.Mean() > 0 {
-		merged.RedundantRatio = merged.Redundant.Mean() / merged.Tentative.Mean()
-	}
-	return merged, nil
+	return Sequential().RunSeeds(cfg, seeds)
 }

@@ -21,23 +21,37 @@ type ScaleRow struct {
 // (Koo–Toueg O(N·Ndep) → O(N²); mutable and Elnozahy O(N)) become visible
 // as the curves diverge.
 func ScaleSweep(ns []int, rate float64, seeds []uint64) ([]ScaleRow, error) {
+	return Sequential().ScaleSweep(ns, rate, seeds)
+}
+
+// ScaleSweep is the parallel form of the package-level ScaleSweep: every
+// (N, algorithm, seed) cell is an independent simulation.
+func (r *Runner) ScaleSweep(ns []int, rate float64, seeds []uint64) ([]ScaleRow, error) {
 	if len(ns) == 0 {
 		ns = []int{4, 8, 16, 32}
 	}
-	rows := make([]ScaleRow, 0, len(ns))
-	for _, n := range ns {
-		row := ScaleRow{N: n}
-		for _, algo := range []string{AlgoKooToueg, AlgoElnozahy, AlgoMutable} {
-			res, err := RunSeeds(Config{
-				Algorithm: algo,
-				N:         n,
+	algos := []string{AlgoKooToueg, AlgoElnozahy, AlgoMutable}
+	merged, err := r.runGrid(len(ns)*len(algos), seeds,
+		func(cell int) Config {
+			return Config{
+				Algorithm: algos[cell%len(algos)],
+				N:         ns[cell/len(algos)],
 				Workload:  WorkloadP2P,
 				Rate:      rate,
 				Horizon:   15 * 900 * time.Second,
-			}, seeds)
-			if err != nil {
-				return nil, fmt.Errorf("N=%d %s: %w", n, algo, err)
 			}
+		},
+		func(cell int) string {
+			return fmt.Sprintf("N=%d %s", ns[cell/len(algos)], algos[cell%len(algos)])
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScaleRow, 0, len(ns))
+	for i, n := range ns {
+		row := ScaleRow{N: n}
+		for j, algo := range algos {
+			res := merged[i*len(algos)+j]
 			if !res.ConsistencyOK {
 				return nil, fmt.Errorf("N=%d %s: %v", n, algo, res.ConsistencyErr)
 			}
@@ -82,28 +96,37 @@ type IntervalRow struct {
 // per initiation) while the checkpointing time itself stays put, so the
 // redundant-mutable window grows in relative terms.
 func IntervalSweep(intervals []time.Duration, rate float64, seeds []uint64) ([]IntervalRow, error) {
+	return Sequential().IntervalSweep(intervals, rate, seeds)
+}
+
+// IntervalSweep is the parallel form of the package-level IntervalSweep.
+func (r *Runner) IntervalSweep(intervals []time.Duration, rate float64, seeds []uint64) ([]IntervalRow, error) {
 	if len(intervals) == 0 {
 		intervals = []time.Duration{
 			100 * time.Second, 300 * time.Second, 900 * time.Second, 2700 * time.Second,
 		}
 	}
+	merged, err := r.runGrid(len(intervals), seeds,
+		func(cell int) Config {
+			return Config{
+				Algorithm: AlgoMutable,
+				Workload:  WorkloadP2P,
+				Rate:      rate,
+				Interval:  intervals[cell],
+				Horizon:   40 * intervals[cell],
+			}
+		},
+		func(cell int) string { return fmt.Sprintf("interval %v", intervals[cell]) })
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]IntervalRow, 0, len(intervals))
-	for _, iv := range intervals {
-		res, err := RunSeeds(Config{
-			Algorithm: AlgoMutable,
-			Workload:  WorkloadP2P,
-			Rate:      rate,
-			Interval:  iv,
-			Horizon:   40 * iv,
-		}, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("interval %v: %w", iv, err)
-		}
+	for i, res := range merged {
 		if !res.ConsistencyOK {
-			return nil, fmt.Errorf("interval %v: %v", iv, res.ConsistencyErr)
+			return nil, fmt.Errorf("interval %v: %v", intervals[i], res.ConsistencyErr)
 		}
 		rows = append(rows, IntervalRow{
-			Interval:    iv,
+			Interval:    intervals[i],
 			Tentative:   res.Tentative.Mean(),
 			Redundant:   res.Redundant.Mean(),
 			DurationSec: res.DurationSec.Mean(),
