@@ -9,6 +9,8 @@
 //	mcpsim -algo koo-toueg -rate 0.01 -horizon 10h
 //	mcpsim -workload group -ratio 10000 -rate 0.1
 //	mcpsim -algo mutable -rate 0.05 -seeds 8 -parallel 0
+//	mcpsim -chaos -seeds 5
+//	mcpsim -chaos -chaos-drop 0.3 -chaos-partition 20s -chaos-crashes 2
 package main
 
 import (
@@ -41,11 +43,41 @@ func run(args []string) error {
 	seedCount := fs.Int("seeds", 1, "number of consecutive seeds to run and merge")
 	parallel := fs.Int("parallel", 0,
 		"worker pool size for independent per-seed runs; 0 = all CPUs, 1 = sequential")
+	chaos := fs.Bool("chaos", false,
+		"run the chaos gauntlet (fault-injected grid) instead of a single experiment")
+	chaosDrop := fs.Float64("chaos-drop", -1,
+		"with -chaos: run one custom point at this drop rate instead of the default grid")
+	chaosDup := fs.Float64("chaos-dup", 0.05, "with -chaos-drop: duplication probability")
+	chaosJitter := fs.Duration("chaos-jitter", 5*time.Millisecond, "with -chaos-drop: max delivery jitter")
+	chaosPartition := fs.Duration("chaos-partition", 10*time.Second, "with -chaos-drop: partition window length")
+	chaosCrashes := fs.Int("chaos-crashes", 1, "with -chaos-drop: fail-stop crashes at mid-run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seedCount < 1 {
 		return fmt.Errorf("-seeds must be >= 1")
+	}
+	seedList := make([]uint64, *seedCount)
+	for i := range seedList {
+		seedList[i] = *seed + uint64(i)
+	}
+	if *chaos {
+		var points []harness.ChaosPoint
+		if *chaosDrop >= 0 {
+			points = []harness.ChaosPoint{{
+				Label: fmt.Sprintf("drop%g", *chaosDrop*100),
+				Config: harness.ChaosConfig{
+					Drop: *chaosDrop, Dup: *chaosDup, JitterMax: *chaosJitter,
+					PartitionWindow: *chaosPartition, CrashCount: *chaosCrashes,
+				},
+			}}
+		}
+		rows, err := harness.Parallel(*parallel).ChaosGauntlet(points, seedList)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatChaos(rows))
+		return nil
 	}
 
 	cfg := harness.Config{
@@ -66,10 +98,6 @@ func run(args []string) error {
 		return fmt.Errorf("unknown workload %q (want p2p or group)", *wl)
 	}
 
-	seedList := make([]uint64, *seedCount)
-	for i := range seedList {
-		seedList[i] = *seed + uint64(i)
-	}
 	res, err := harness.Parallel(*parallel).RunSeeds(cfg, seedList)
 	if err != nil {
 		return err

@@ -20,6 +20,16 @@ func TestRunGroupWorkload(t *testing.T) {
 	}
 }
 
+func TestRunChaosCustomPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	err := run([]string{"-chaos", "-chaos-drop", "0.1", "-seeds", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownWorkloadRejected(t *testing.T) {
 	if err := run([]string{"-workload", "mesh"}); err == nil {
 		t.Fatal("unknown workload accepted")

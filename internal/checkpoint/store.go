@@ -8,6 +8,7 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mutablecp/internal/protocol"
@@ -121,6 +122,18 @@ func (st *StableStore) Tentative(trig protocol.Trigger) (Record, bool) {
 // TentativeCount reports how many tentative checkpoints are pending.
 func (st *StableStore) TentativeCount() int { return len(st.tentative) }
 
+// TentativeTriggers lists the triggers of all pending tentative
+// checkpoints in deterministic (Pid, Inum) order. The chaos gauntlet uses
+// it to attribute leaked tentatives to the instance that created them.
+func (st *StableStore) TentativeTriggers() []protocol.Trigger {
+	out := make([]protocol.Trigger, 0, len(st.tentative))
+	for trig := range st.tentative {
+		out = append(out, trig)
+	}
+	sortTriggers(out)
+	return out
+}
+
 // MakePermanent commits the pending tentative checkpoint for trig.
 func (st *StableStore) MakePermanent(trig protocol.Trigger, at time.Duration) error {
 	rec, ok := st.tentative[trig]
@@ -211,6 +224,26 @@ func (ms *MutableStore) Get(trig protocol.Trigger) (Record, bool) {
 
 // Len returns the number of stored mutable checkpoints.
 func (ms *MutableStore) Len() int { return len(ms.recs) }
+
+// Triggers lists the triggers of all stored mutable checkpoints in
+// deterministic (Pid, Inum) order.
+func (ms *MutableStore) Triggers() []protocol.Trigger {
+	out := make([]protocol.Trigger, 0, len(ms.recs))
+	for trig := range ms.recs {
+		out = append(out, trig)
+	}
+	sortTriggers(out)
+	return out
+}
+
+func sortTriggers(ts []protocol.Trigger) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Pid != ts[j].Pid {
+			return ts[i].Pid < ts[j].Pid
+		}
+		return ts[i].Inum < ts[j].Inum
+	})
+}
 
 // Clear discards all mutable checkpoints (MH failure wipes them).
 func (ms *MutableStore) Clear() { ms.recs = make(map[protocol.Trigger]Record) }

@@ -68,6 +68,11 @@ type savedContext struct {
 	r      []bool
 	sent   bool
 	oldCSN int
+	// csnAt is the csn the tentative checkpoint was taken at. An abort may
+	// roll oldCSN back only when this tentative is the one that moved it
+	// (csnAt == oldCSN); aborting an older instance while a newer tentative
+	// is pending must leave the newer instance's oldCSN in place.
+	csnAt int
 }
 
 // Engine is the per-process state machine of the mutable-checkpoint
@@ -96,6 +101,13 @@ type Engine struct {
 	notifySet map[protocol.ProcessID]bool
 	// seenCommits suppresses forwarding loops in targeted dissemination.
 	seenCommits map[protocol.Trigger]bool
+	// aborted remembers instances this process saw abort (§3.6). Under an
+	// unreliable network a propagated request or a triggered computation
+	// message can arrive AFTER the initiator's abort broadcast (they travel
+	// on different channels, so FIFO does not order them); without this
+	// memory the process would take a tentative or mutable checkpoint for a
+	// dead instance that nothing will ever commit or discard.
+	aborted map[protocol.Trigger]bool
 
 	// Initiator-side state for the instance this process started.
 	initiating bool
@@ -139,6 +151,7 @@ func NewWithOptions(env protocol.Env, opts Options) *Engine {
 		repliers:    make(map[protocol.ProcessID]bool),
 		notifySet:   make(map[protocol.ProcessID]bool),
 		seenCommits: make(map[protocol.Trigger]bool),
+		aborted:     make(map[protocol.Trigger]bool),
 	}
 }
 
@@ -214,6 +227,7 @@ func (e *Engine) takeTentative(trig protocol.Trigger) {
 		r:      append([]bool(nil), e.r...),
 		sent:   e.sent,
 		oldCSN: e.oldCSN,
+		csnAt:  e.csn[e.id],
 	}
 	st := e.env.CaptureState()
 	st.CSN = e.csn[e.id]
@@ -320,6 +334,16 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 		e.env.DeliverApp(m)
 		return
 	}
+	if !m.Trigger.IsNone() && e.aborted[m.Trigger] {
+		// The instance the sender is still inside was already aborted; its
+		// recovery line will never exist, so no checkpoint can orphan m.
+		// Taking a mutable checkpoint here would leak (no commit or abort
+		// will ever arrive again to discard it).
+		e.csn[j] = m.CSN
+		e.r[j] = true
+		e.env.DeliverApp(m)
+		return
+	}
 	e.csn[j] = m.CSN
 
 	if !m.Trigger.IsNone() && e.sent && m.Trigger != e.ownTrigger {
@@ -359,6 +383,13 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 	e.csn[j] = m.CSN
 	initiator := m.Trigger.Pid
 
+	if e.aborted[m.Trigger] {
+		// A propagated request that lost the race with the initiator's
+		// abort broadcast (§3.6). The instance is dead: checkpointing for
+		// it would leak a tentative forever, and the initiator no longer
+		// accounts weight, so do nothing.
+		return
+	}
 	if e.oldCSN > m.ReqCSN {
 		// The send that created the dependency is already recorded in our
 		// current tentative/permanent checkpoint (§3.1.3, Fig. 4).
@@ -374,7 +405,7 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 		e.env.PromoteMutable(m.Trigger)
 		e.env.Trace(trace.KindPromote, -1, "trigger=%v", m.Trigger)
 		delete(e.mutables, m.Trigger)
-		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN}
+		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN, csnAt: e.csn[e.id]}
 		e.oldCSN = e.csn[e.id]
 		e.reply(initiator, m.Trigger, remaining, cp.r)
 		return
@@ -533,9 +564,17 @@ func (e *Engine) AbortCurrent() error {
 }
 
 // handleAbort discards checkpoints taken for the aborted instance and
-// restores the clobbered variables (§3.6).
+// restores the clobbered variables (§3.6). Only state belonging to trig is
+// touched: with two overlapping initiations in flight, aborting one must
+// not clobber the other's cp_state or oldCSN.
 func (e *Engine) handleAbort(trig protocol.Trigger) {
-	e.cpState = false
+	e.aborted[trig] = true
+	if len(e.aborted) > 1024 {
+		e.aborted = map[protocol.Trigger]bool{trig: true}
+	}
+	if trig == e.ownTrigger {
+		e.cpState = false
+	}
 	if cp, ok := e.mutables[trig]; ok {
 		e.sent = e.sent || cp.sent
 		for i, v := range cp.r {
@@ -558,7 +597,9 @@ func (e *Engine) handleAbort(trig protocol.Trigger) {
 				e.r[i] = true
 			}
 		}
-		e.oldCSN = saved.oldCSN
+		if saved.csnAt == e.oldCSN {
+			e.oldCSN = saved.oldCSN
+		}
 	}
 }
 

@@ -43,11 +43,38 @@ func depsToMR(deps []bool) []protocol.MREntry {
 // improvement over the total abort of [19]. It reports whether the
 // initiator's own checkpoint committed.
 func (e *Engine) AbortPartial(failed protocol.ProcessID) error {
+	return e.abortPartial(map[protocol.ProcessID]bool{failed: true})
+}
+
+// AbortPartialStrict is AbortPartial for the case where the initiator does
+// not know the full participant set — it timed out rather than received a
+// crash notification, so some requests (and their replies) may simply be
+// lost. Any process that never replied might hold a tentative checkpoint
+// whose dependencies the initiator has not seen; committing past it could
+// orphan messages. The strict closure therefore seeds contamination with
+// the failed process AND every process that did not reply, and commits
+// only the sub-tree whose dependency vectors the initiator actually holds.
+// Bystanders that never participated receive the excluded-marked commit
+// and harmlessly no-op.
+func (e *Engine) AbortPartialStrict(failed protocol.ProcessID) error {
+	if !e.initiating {
+		return fmt.Errorf("core: process %d is not an active initiator", e.id)
+	}
+	seed := map[protocol.ProcessID]bool{failed: true}
+	for p := 0; p < e.n; p++ {
+		if _, replied := e.participantDeps[protocol.ProcessID(p)]; !replied {
+			seed[protocol.ProcessID(p)] = true
+		}
+	}
+	return e.abortPartial(seed)
+}
+
+func (e *Engine) abortPartial(seed map[protocol.ProcessID]bool) error {
 	if !e.initiating {
 		return fmt.Errorf("core: process %d is not an active initiator", e.id)
 	}
 	trig := e.ownTrigger
-	contaminated := e.contaminatedClosure(failed)
+	contaminated := e.contaminatedClosure(seed)
 	e.initiating = false
 	e.weight = dyadic.Zero()
 	defer func() { e.participantDeps = nil }()
@@ -73,11 +100,14 @@ func (e *Engine) AbortPartial(failed protocol.ProcessID) error {
 	return nil
 }
 
-// contaminatedClosure computes {failed} ∪ {p : p depends transitively on
-// failed} from the dependency vectors returned in replies (plus the
+// contaminatedClosure computes seed ∪ {p : p depends transitively on a
+// seed member} from the dependency vectors returned in replies (plus the
 // initiator's own).
-func (e *Engine) contaminatedClosure(failed protocol.ProcessID) map[protocol.ProcessID]bool {
-	closure := map[protocol.ProcessID]bool{failed: true}
+func (e *Engine) contaminatedClosure(seed map[protocol.ProcessID]bool) map[protocol.ProcessID]bool {
+	closure := make(map[protocol.ProcessID]bool, len(seed))
+	for p := range seed {
+		closure[p] = true
+	}
 	for changed := true; changed; {
 		changed = false
 		for p, deps := range e.participantDeps {

@@ -184,12 +184,23 @@ func (w Weight) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
+// MaxExp bounds the exponent accepted off the wire. Legitimate weights
+// come from halving chains no deeper than the number of requests one
+// instance sends, far below this. Without the bound, a corrupt frame
+// carrying an exponent near 2^32 would make every later Add/Sub/Cmp
+// left-shift a big.Int by that amount — a multi-hundred-megabyte
+// allocation from a 50-byte message.
+const MaxExp = 1 << 20
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (w *Weight) UnmarshalBinary(data []byte) error {
 	if len(data) < 4 {
 		return fmt.Errorf("dyadic: short weight encoding (%d bytes)", len(data))
 	}
 	exp := uint(data[0])<<24 | uint(data[1])<<16 | uint(data[2])<<8 | uint(data[3])
+	if exp > MaxExp {
+		return fmt.Errorf("dyadic: weight exponent %d exceeds limit %d", exp, uint(MaxExp))
+	}
 	if len(data) == 4 {
 		*w = Weight{}
 		return nil

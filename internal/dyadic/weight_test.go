@@ -280,3 +280,29 @@ func TestCmpMixedExponents(t *testing.T) {
 		t.Fatal("asymmetric Cmp")
 	}
 }
+
+// TestUnmarshalExponentBound: a crafted encoding with a huge exponent must
+// be rejected. Before the MaxExp bound, such a weight made every later
+// Add/Sub/Cmp left-shift a big.Int by ~2^32 bits — a multi-hundred-MB
+// allocation from a handful of wire bytes.
+func TestUnmarshalExponentBound(t *testing.T) {
+	var w dyadic.Weight
+	if err := w.UnmarshalBinary([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x03}); err == nil {
+		t.Fatal("exponent 2^32-1 accepted")
+	}
+	encode := func(exp uint) []byte {
+		return []byte{byte(exp >> 24), byte(exp >> 16), byte(exp >> 8), byte(exp), 0x03}
+	}
+	if err := w.UnmarshalBinary(encode(dyadic.MaxExp + 1)); err == nil {
+		t.Fatal("exponent MaxExp+1 accepted")
+	}
+	// The boundary value itself is legal.
+	if err := w.UnmarshalBinary(encode(dyadic.MaxExp)); err != nil {
+		t.Fatalf("exponent MaxExp rejected: %v", err)
+	}
+	// Huge exponents on a zero weight (4-byte encoding) are rejected too:
+	// the exponent field is meaningless there but still attacker-chosen.
+	if err := w.UnmarshalBinary([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("zero weight with giant exponent accepted")
+	}
+}

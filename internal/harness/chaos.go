@@ -1,0 +1,425 @@
+package harness
+
+// The chaos gauntlet: runs the mutable-checkpointing engine over the full
+// unreliable stack — relnet's ARQ sublayer on top of netsim.Faulty on top
+// of the shared wireless LAN — and verifies that the protocol's safety
+// properties survive message loss, duplication, jitter, partition windows,
+// and fail-stop crashes:
+//
+//   - every committed global checkpoint is free of orphan messages, checked
+//     line by line as the run's permanent history replays;
+//   - every instance that did not commit left nothing behind: no tentative
+//     or mutable checkpoint leaks on any live process, and no initiator is
+//     still holding termination weight after the drain;
+//   - identical seed + fault configuration reproduce byte-identical
+//     metrics (the Fingerprint field).
+//
+// Instances whose *initiator* crashed are exempt from the leak check:
+// their participants legitimately hold tentative checkpoints that only the
+// MSS-side recovery procedure (future work, see ROADMAP) would resolve.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/core"
+	"mutablecp/internal/des"
+	"mutablecp/internal/netsim"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/relnet"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/workload"
+)
+
+// ChaosConfig describes one chaos-gauntlet run. The zero value takes the
+// defaults below; fault fields at zero inject nothing of that kind.
+type ChaosConfig struct {
+	N    int
+	Seed uint64
+	// Rate is the per-process point-to-point message rate (msgs/s).
+	Rate float64
+	// Interval is the per-process checkpoint interval (default 300 s —
+	// shorter than the paper's 900 s so one run exercises many instances).
+	Interval time.Duration
+	// Horizon is the simulated run length (default 12 intervals).
+	Horizon time.Duration
+	// RequestTimeout is the §3.6 initiator give-up timer (default 120 s).
+	// It must exceed the partition window plus the ARQ recovery time, or
+	// healthy instances abort spuriously.
+	RequestTimeout time.Duration
+	// PartialCommit selects the Kim–Park resolution on timeout with a
+	// known crashed process: the uncontaminated subtree still commits.
+	PartialCommit bool
+
+	// Drop and Dup are per-message probabilities in [0, 1).
+	Drop float64
+	Dup  float64
+	// JitterMax is the maximum extra per-copy delivery delay.
+	JitterMax time.Duration
+	// PartitionWindow, when positive, cuts the cluster in half (low pids
+	// vs high pids) for that long, starting at Horizon/3.
+	PartitionWindow time.Duration
+	// CrashCount fail-stops the highest-numbered processes at Horizon/2.
+	CrashCount int
+}
+
+func (c ChaosConfig) defaults() ChaosConfig {
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 2
+	}
+	if c.Interval == 0 {
+		c.Interval = 300 * time.Second
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 12 * c.Interval
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// faultConfig assembles the netsim.FaultConfig for this run.
+func (c ChaosConfig) faultConfig() netsim.FaultConfig {
+	fc := netsim.FaultConfig{
+		Seed:      c.Seed,
+		Drop:      c.Drop,
+		Dup:       c.Dup,
+		JitterMax: c.JitterMax,
+	}
+	if c.PartitionWindow > 0 {
+		groupA := make([]protocol.ProcessID, 0, c.N/2)
+		for p := 0; p < c.N/2; p++ {
+			groupA = append(groupA, p)
+		}
+		start := c.Horizon / 3
+		fc.Partitions = []netsim.Partition{
+			{From: start, Until: start + c.PartitionWindow, GroupA: groupA},
+		}
+	}
+	if c.CrashCount > 0 {
+		fc.CrashAt = make(map[protocol.ProcessID]time.Duration, c.CrashCount)
+		for i := 0; i < c.CrashCount; i++ {
+			fc.CrashAt[c.N-1-i] = c.Horizon / 2
+		}
+	}
+	return fc
+}
+
+// ChaosResult aggregates one chaos run plus its verification verdicts.
+type ChaosResult struct {
+	Config ChaosConfig
+
+	// Committed counts terminated instances that produced at least one
+	// permanent checkpoint (full or partial commits); Aborted counts
+	// terminated instances that produced none.
+	Committed int
+	Aborted   int
+	// LinesChecked is the number of reconstructed global checkpoint lines
+	// that passed the orphan check (one per committed instance).
+	LinesChecked int
+
+	TimeoutAborts uint64
+	Rel           relnet.Metrics
+
+	Dropped          uint64
+	Duplicated       uint64
+	Jittered         uint64
+	PartitionDropped uint64
+	CrashDropped     uint64
+
+	SimulatedEvents uint64
+
+	// Fingerprint is a deterministic digest of every counter above: equal
+	// seeds and fault configs must produce equal fingerprints.
+	Fingerprint string
+}
+
+// initiating is the slice of the engine surface the post-run weight check
+// needs; core.Engine implements it.
+type initiating interface{ Initiating() bool }
+
+// RunChaos executes one chaos run and verifies it. A non-nil error means
+// either an infrastructure failure or a protocol-safety violation (orphan
+// line, leaked checkpoint, unreturned weight).
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.defaults()
+	fc := cfg.faultConfig()
+
+	var faulty *netsim.Faulty
+	var rel *relnet.Reliable
+	cluster, err := simrt.New(simrt.Config{
+		N:                     cfg.N,
+		Seed:                  cfg.Seed,
+		NewEngine:             func(env protocol.Env) protocol.Engine { return core.New(env) },
+		CheckpointInterval:    cfg.Interval,
+		ScheduleCheckpoints:   true,
+		SingleInitiation:      true,
+		RequestTimeout:        cfg.RequestTimeout,
+		PartialAbortOnFailure: cfg.PartialCommit,
+		NewTransport: func(sim *des.Simulator, n int) netsim.Transport {
+			lan := netsim.NewLAN(sim, n, netsim.WirelessLAN2Mbps)
+			faulty = netsim.NewFaulty(sim, lan, n, fc)
+			rel = relnet.New(sim, faulty, n, relnet.Config{})
+			return rel
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	gen := &workload.PointToPoint{Rate: cfg.Rate}
+	gen.Install(cluster)
+	// Fail-stop the victims at the transport's crash instant: the host
+	// stops generating traffic and loses its volatile state exactly when
+	// the network stops carrying its frames. Iterate in process order, not
+	// map order — same-instant events execute in schedule order.
+	for victim := 0; victim < cfg.N; victim++ {
+		if at, ok := fc.CrashAt[victim]; ok {
+			v := cluster.Proc(victim)
+			cluster.Sim().Schedule(at, v.Fail)
+		}
+	}
+	cluster.Start()
+
+	if err := cluster.Run(cfg.Horizon); err != nil {
+		return nil, fmt.Errorf("chaos: run: %w", err)
+	}
+	gen.Stop()
+	cluster.StopTimers()
+	if err := cluster.Drain(); err != nil {
+		return nil, fmt.Errorf("chaos: drain: %w", err)
+	}
+	for _, e := range cluster.Errors() {
+		return nil, fmt.Errorf("chaos: cluster invariant: %w", e)
+	}
+
+	res := &ChaosResult{
+		Config:           cfg,
+		TimeoutAborts:    cluster.Metrics().TimeoutAborts,
+		Rel:              rel.Metrics,
+		Dropped:          faulty.Dropped,
+		Duplicated:       faulty.Duplicated,
+		Jittered:         faulty.Jittered,
+		PartitionDropped: faulty.PartitionDropped,
+		CrashDropped:     faulty.CrashDropped,
+		SimulatedEvents:  cluster.Sim().Executed(),
+	}
+	if err := verifyChaos(cluster, fc, res); err != nil {
+		return nil, err
+	}
+	res.Fingerprint = fmt.Sprintf(
+		"committed=%d aborted=%d lines=%d timeouts=%d rel=%+v drop=%d dup=%d jit=%d part=%d crash=%d events=%d",
+		res.Committed, res.Aborted, res.LinesChecked, res.TimeoutAborts, res.Rel,
+		res.Dropped, res.Duplicated, res.Jittered, res.PartitionDropped, res.CrashDropped,
+		res.SimulatedEvents)
+	return res, nil
+}
+
+// verifyChaos replays the run's permanent history as a sequence of global
+// checkpoint lines, orphan-checking each, then audits every process for
+// leaked state.
+func verifyChaos(cluster *simrt.Cluster, fc netsim.FaultConfig, res *ChaosResult) error {
+	n := cluster.N()
+	crashed := func(p protocol.ProcessID) bool {
+		_, ok := fc.CrashAt[p]
+		return ok
+	}
+
+	// Index every permanent checkpoint by (process, trigger). The seeded
+	// initial checkpoint (NoTrigger) forms the starting line.
+	line := make(map[protocol.ProcessID]protocol.State, n)
+	perm := make([]map[protocol.Trigger]protocol.State, n)
+	for p := 0; p < n; p++ {
+		hist := cluster.Proc(p).Stable().History()
+		line[p] = hist[0].State
+		perm[p] = make(map[protocol.Trigger]protocol.State, len(hist)-1)
+		for _, rec := range hist[1:] {
+			perm[p][rec.Trigger] = rec.State
+		}
+	}
+
+	// Walk terminated instances in termination order and advance the line.
+	recs := append([]*simrt.InitiationRecord(nil), cluster.Metrics().Completed()...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].End < recs[j].End })
+	for _, rec := range recs {
+		updated := 0
+		for p := 0; p < n; p++ {
+			if st, ok := perm[p][rec.Trigger]; ok {
+				line[p] = st
+				updated++
+			}
+		}
+		if updated == 0 {
+			// A clean abort: the instance must have left no permanents
+			// anywhere (already true: updated == 0), and the line stands.
+			res.Aborted++
+			continue
+		}
+		res.Committed++
+		// A crashed participant that reached its tentative checkpoint
+		// stored it at the MSS before dying; the MSS commits on its behalf
+		// (the commit message itself was lost with the host), so the line
+		// uses the surviving tentative.
+		for p := 0; p < n; p++ {
+			if !crashed(p) {
+				continue
+			}
+			if t, ok := cluster.Proc(p).Stable().Tentative(rec.Trigger); ok {
+				line[p] = t.State
+			}
+		}
+		if err := consistency.Check(line); err != nil {
+			return fmt.Errorf("chaos: committed line for trigger %+v (ended %v): %w",
+				rec.Trigger, rec.End, err)
+		}
+		res.LinesChecked++
+	}
+
+	// Leak audit. Crashed processes are skipped entirely (their volatile
+	// state is gone and their MSS-side tentatives were handled above), and
+	// instances whose initiator crashed are exempt: nobody is left to
+	// disseminate their commit or abort.
+	for p := 0; p < n; p++ {
+		if crashed(p) {
+			continue
+		}
+		proc := cluster.Proc(p)
+		for _, trig := range proc.Stable().TentativeTriggers() {
+			if !crashed(trig.Pid) {
+				return fmt.Errorf("chaos: P%d leaked a tentative checkpoint for live-initiator trigger %+v", p, trig)
+			}
+		}
+		for _, trig := range proc.Mutable().Triggers() {
+			if !crashed(trig.Pid) {
+				return fmt.Errorf("chaos: P%d leaked a mutable checkpoint for live-initiator trigger %+v", p, trig)
+			}
+		}
+		if eng, ok := proc.Engine().(initiating); ok && eng.Initiating() {
+			return fmt.Errorf("chaos: P%d still holds termination weight after the drain", p)
+		}
+	}
+	return nil
+}
+
+// ChaosPoint is one operating point of the gauntlet grid.
+type ChaosPoint struct {
+	Label  string
+	Config ChaosConfig // Seed is overwritten per gauntlet seed
+}
+
+// DefaultChaosPoints is the standard gauntlet: a fault-free control plus
+// four faulty points sweeping the loss rate from 0 to 20%, all with
+// duplication, jitter, and a partition window, the heavier ones with a
+// fail-stop crash.
+func DefaultChaosPoints() []ChaosPoint {
+	return []ChaosPoint{
+		{Label: "clean", Config: ChaosConfig{}},
+		{Label: "drop0", Config: ChaosConfig{
+			Dup: 0.05, JitterMax: 5 * time.Millisecond, PartitionWindow: 10 * time.Second,
+		}},
+		{Label: "drop5", Config: ChaosConfig{
+			Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+			PartitionWindow: 10 * time.Second, CrashCount: 1,
+		}},
+		{Label: "drop10", Config: ChaosConfig{
+			Drop: 0.10, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+			PartitionWindow: 10 * time.Second, CrashCount: 1, PartialCommit: true,
+		}},
+		{Label: "drop20", Config: ChaosConfig{
+			Drop: 0.20, Dup: 0.10, JitterMax: 10 * time.Millisecond,
+			PartitionWindow: 10 * time.Second, CrashCount: 1,
+		}},
+	}
+}
+
+// ChaosRow aggregates one operating point across all gauntlet seeds.
+type ChaosRow struct {
+	Label string
+	Seeds int
+
+	Committed     int
+	Aborted       int
+	LinesChecked  int
+	TimeoutAborts uint64
+
+	Retransmissions uint64
+	DupsSuppressed  uint64
+	GaveUp          uint64
+
+	Dropped          uint64
+	Duplicated       uint64
+	PartitionDropped uint64
+	CrashDropped     uint64
+}
+
+// ChaosGauntlet runs every operating point across every seed and verifies
+// each run; see Runner.ChaosGauntlet for the parallel form.
+func ChaosGauntlet(points []ChaosPoint, seeds []uint64) ([]ChaosRow, error) {
+	return Sequential().ChaosGauntlet(points, seeds)
+}
+
+// ChaosGauntlet is the parallel form: every (point, seed) cell is an
+// independent simulation. On failure the error names the first failing
+// point and seed in deterministic grid order, regardless of worker count.
+func (r *Runner) ChaosGauntlet(points []ChaosPoint, seeds []uint64) ([]ChaosRow, error) {
+	if len(points) == 0 {
+		points = DefaultChaosPoints()
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("harness: no seeds")
+	}
+	nS := len(seeds)
+	flat, err := runJobs(r.Workers(), len(points)*nS, func(i int) (*ChaosResult, error) {
+		cfg := points[i/nS].Config
+		cfg.Seed = seeds[i%nS]
+		res, err := RunChaos(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: seed %d: %w", points[i/nS].Label, cfg.Seed, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChaosRow, len(points))
+	for pi, pt := range points {
+		row := ChaosRow{Label: pt.Label, Seeds: nS}
+		for si := 0; si < nS; si++ {
+			res := flat[pi*nS+si]
+			row.Committed += res.Committed
+			row.Aborted += res.Aborted
+			row.LinesChecked += res.LinesChecked
+			row.TimeoutAborts += res.TimeoutAborts
+			row.Retransmissions += res.Rel.Retransmissions
+			row.DupsSuppressed += res.Rel.DupsSuppressed
+			row.GaveUp += res.Rel.GaveUp
+			row.Dropped += res.Dropped
+			row.Duplicated += res.Duplicated
+			row.PartitionDropped += res.PartitionDropped
+			row.CrashDropped += res.CrashDropped
+		}
+		rows[pi] = row
+	}
+	return rows, nil
+}
+
+// FormatChaos renders the gauntlet outcome as a table.
+func FormatChaos(rows []ChaosRow) string {
+	var b strings.Builder
+	b.WriteString("Chaos gauntlet: committed lines orphan-checked at every operating point\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-10s %-8s %-9s %-8s %-8s %-8s %-8s %-8s\n",
+		"point", "seeds", "committed", "aborted", "timeouts", "retrans", "dupsup", "dropped", "partcut", "crashcut")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6d %-10d %-8d %-9d %-8d %-8d %-8d %-8d %-8d\n",
+			r.Label, r.Seeds, r.Committed, r.Aborted, r.TimeoutAborts,
+			r.Retransmissions, r.DupsSuppressed, r.Dropped, r.PartitionDropped, r.CrashDropped)
+	}
+	return b.String()
+}

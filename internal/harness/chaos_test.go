@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// gauntletSeeds returns the seed set, reduced under -short.
+func gauntletSeeds(t *testing.T) []uint64 {
+	if testing.Short() {
+		return []uint64{1, 2}
+	}
+	return []uint64{1, 2, 3, 4, 5}
+}
+
+// shortPoints trims the grid under -short: the control point plus the two
+// fault extremes still cover every fault kind.
+func shortPoints(t *testing.T) []ChaosPoint {
+	pts := DefaultChaosPoints()
+	if testing.Short() {
+		return []ChaosPoint{pts[0], pts[2], pts[4]}
+	}
+	return pts
+}
+
+// TestChaosGauntlet is the PR's acceptance gate: the full operating grid,
+// every committed line orphan-checked, every abort verified clean. A
+// failure names the first failing point and seed.
+func TestChaosGauntlet(t *testing.T) {
+	points := shortPoints(t)
+	seeds := gauntletSeeds(t)
+	rows, err := Parallel(0).ChaosGauntlet(points, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatChaos(rows))
+	for _, row := range rows {
+		if row.Committed == 0 {
+			t.Errorf("%s: no instance committed — the point is vacuous", row.Label)
+		}
+		if row.LinesChecked != row.Committed {
+			t.Errorf("%s: checked %d lines for %d commits", row.Label, row.LinesChecked, row.Committed)
+		}
+	}
+	clean := rows[0]
+	if clean.Label != "clean" {
+		t.Fatalf("first point is %q, want the clean control", clean.Label)
+	}
+	if clean.Dropped != 0 || clean.GaveUp != 0 || clean.TimeoutAborts != 0 || clean.Aborted != 0 {
+		t.Errorf("clean control point saw faults: %+v", clean)
+	}
+	for _, row := range rows[1:] {
+		if row.Dropped == 0 && row.Duplicated == 0 {
+			t.Errorf("%s: fault injection never engaged", row.Label)
+		}
+		if row.PartitionDropped == 0 {
+			t.Errorf("%s: partition window cut no traffic", row.Label)
+		}
+	}
+	// The heavy points crash a host mid-run: the crashed host's pending
+	// traffic must have been cut and at least one §3.6 timeout must have
+	// resolved an instance that depended on it.
+	var crashTimeouts uint64
+	for i, row := range rows {
+		if points[i].Config.CrashCount > 0 {
+			crashTimeouts += row.TimeoutAborts
+			if row.CrashDropped == 0 {
+				t.Errorf("%s: crash cut no traffic", row.Label)
+			}
+		}
+	}
+	if crashTimeouts == 0 {
+		t.Error("no crash point ever fired a §3.6 timeout abort")
+	}
+}
+
+// TestChaosDeterminism: identical seed and fault config must reproduce
+// byte-identical metrics; a different seed must not.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 7, Drop: 0.15, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1,
+		Horizon: 6 * 300 * time.Second,
+	}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	cfg.Seed = 8
+	c, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestChaosPartialCommitPoint: with PartialCommit, a crash mid-run still
+// lets uncontaminated subtrees commit, and the partial lines stay
+// consistent (they are checked like any other committed line).
+func TestChaosPartialCommitPoint(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Seed: 3, Drop: 0.10, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1, PartialCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed under partial-commit chaos")
+	}
+	if res.LinesChecked != res.Committed {
+		t.Fatalf("checked %d lines for %d commits", res.LinesChecked, res.Committed)
+	}
+}

@@ -30,6 +30,21 @@ type Config struct {
 	Trace *trace.Log
 	// OnDeliver observes computation-message deliveries.
 	OnDeliver func(to, from protocol.ProcessID, payload []byte)
+
+	// TCP mesh tuning (NewTCP clusters only; zero takes the defaults in
+	// tcp.go).
+	//
+	// TCPWriteTimeout bounds each frame write so a wedged peer cannot
+	// block a sender's event loop (default 5 s).
+	TCPWriteTimeout time.Duration
+	// TCPReadIdleTimeout, when positive, drops inbound connections that
+	// stay silent longer than this; the sender re-dials on its next write.
+	// Zero (the default) never idles a connection out.
+	TCPReadIdleTimeout time.Duration
+	// TCPMaxReconnects bounds the re-dial attempts one send makes on a
+	// broken connection, with exponential backoff between attempts
+	// (default 5).
+	TCPMaxReconnects int
 }
 
 // mailbox is an unbounded FIFO queue feeding a node's event loop. Senders

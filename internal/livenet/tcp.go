@@ -3,9 +3,9 @@ package livenet
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
 
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/wire"
@@ -15,14 +15,41 @@ import (
 // loopback TCP connection through the wire codec. One connection per
 // ordered process pair keeps per-channel FIFO delivery for free (TCP
 // ordering), matching the computation model.
+//
+// The mesh is failure-hardened: every write carries a deadline so a wedged
+// peer cannot block a sender's event loop, reads idle out when configured,
+// and a broken connection is re-dialed with bounded exponential backoff on
+// the next send (a fresh connection gets a fresh encoder/decoder pair, so
+// the gob streams restart cleanly). Listeners accept forever, not a fixed
+// number of times, so re-dialed connections are served.
+
+// TCP mesh defaults; override via the Config fields of the same name.
+const (
+	defaultTCPWriteTimeout  = 5 * time.Second
+	defaultTCPMaxReconnects = 5
+	tcpReconnectBackoff     = 10 * time.Millisecond
+)
+
+// tcpLink is the sender side of one ordered-pair channel.
+type tcpLink struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+	enc  *wire.Encoder
+}
 
 // tcpMesh owns the listeners and connections of a TCP-backed cluster.
 type tcpMesh struct {
 	n         int
 	listeners []net.Listener
-	// out[i][j] is the encoder for the i->j channel.
-	out [][]*wire.Encoder
-	// conns collects every connection for Close.
+	// links[i][j] is the i->j channel (nil on the diagonal).
+	links [][]*tcpLink
+
+	writeTimeout  time.Duration
+	readIdle      time.Duration
+	maxReconnects int
+
+	// conns collects receiver-side connections for Close.
 	mu    sync.Mutex
 	conns []net.Conn
 	wg    sync.WaitGroup
@@ -39,7 +66,19 @@ func NewTCP(cfg Config) (*Cluster, error) {
 	if cfg.NewEngine == nil {
 		return nil, errors.New("livenet: Config.NewEngine is required")
 	}
-	mesh := &tcpMesh{n: cfg.N, closed: make(chan struct{})}
+	mesh := &tcpMesh{
+		n:             cfg.N,
+		writeTimeout:  cfg.TCPWriteTimeout,
+		readIdle:      cfg.TCPReadIdleTimeout,
+		maxReconnects: cfg.TCPMaxReconnects,
+		closed:        make(chan struct{}),
+	}
+	if mesh.writeTimeout == 0 {
+		mesh.writeTimeout = defaultTCPWriteTimeout
+	}
+	if mesh.maxReconnects == 0 {
+		mesh.maxReconnects = defaultTCPMaxReconnects
+	}
 	if err := mesh.listen(); err != nil {
 		return nil, err
 	}
@@ -58,6 +97,17 @@ func NewTCP(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// KillConnection abruptly closes the from->to TCP connection (fault
+// injection for tests). The sender discovers the break on its next write
+// and reconnects with backoff; in-flight frames on the dead socket are
+// lost, frames sent afterwards are not.
+func (c *Cluster) KillConnection(from, to protocol.ProcessID) error {
+	if c.mesh == nil {
+		return errors.New("livenet: not a TCP-backed cluster")
+	}
+	return c.mesh.kill(from, to)
+}
+
 // listen opens one listener per process on an ephemeral loopback port.
 func (m *tcpMesh) listen() error {
 	m.listeners = make([]net.Listener, m.n)
@@ -72,67 +122,79 @@ func (m *tcpMesh) listen() error {
 	return nil
 }
 
-// dial connects every ordered pair i->j.
+// dial eagerly connects every ordered pair i->j so startup failures
+// surface immediately; later breaks are repaired lazily by send.
 func (m *tcpMesh) dial() error {
-	m.out = make([][]*wire.Encoder, m.n)
+	m.links = make([][]*tcpLink, m.n)
 	for i := 0; i < m.n; i++ {
-		m.out[i] = make([]*wire.Encoder, m.n)
+		m.links[i] = make([]*tcpLink, m.n)
 		for j := 0; j < m.n; j++ {
 			if i == j {
 				continue
 			}
-			conn, err := net.Dial("tcp", m.listeners[j].Addr().String())
-			if err != nil {
+			l := &tcpLink{addr: m.listeners[j].Addr().String()}
+			if err := m.connectLocked(l); err != nil {
 				return fmt.Errorf("livenet: dial P%d->P%d: %w", i, j, err)
 			}
-			m.mu.Lock()
-			m.conns = append(m.conns, conn)
-			m.mu.Unlock()
-			m.out[i][j] = wire.NewEncoder(conn)
+			m.links[i][j] = l
 		}
 	}
 	return nil
 }
 
-// accept spawns the reader loops: every inbound connection feeds the
-// destination node's mailbox in arrival order.
+// connectLocked dials the link's peer; the caller holds l.mu (or, during
+// dial, has exclusive access).
+func (m *tcpMesh) connectLocked(l *tcpLink) error {
+	conn, err := net.Dial("tcp", l.addr)
+	if err != nil {
+		return err
+	}
+	l.conn = conn
+	l.enc = wire.NewEncoder(conn)
+	return nil
+}
+
+// accept spawns one persistent accept loop per process: every inbound
+// connection — initial or re-dialed — feeds the destination node's mailbox
+// in arrival order until the listener closes.
 func (m *tcpMesh) accept(c *Cluster) {
 	for j := 0; j < m.n; j++ {
 		j := j
 		ln := m.listeners[j]
-		// Each process accepts N-1 inbound connections.
-		for k := 0; k < m.n-1; k++ {
-			m.wg.Add(1)
-			go func() {
-				defer m.wg.Done()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for {
 				conn, err := ln.Accept()
 				if err != nil {
-					return // closed during shutdown
+					return // listener closed during shutdown
 				}
 				m.mu.Lock()
 				m.conns = append(m.conns, conn)
 				m.mu.Unlock()
-				m.readLoop(c, j, conn)
-			}()
-		}
+				m.wg.Add(1)
+				go func() {
+					defer m.wg.Done()
+					m.readLoop(c, j, conn)
+				}()
+			}
+		}()
 	}
 }
 
 func (m *tcpMesh) readLoop(c *Cluster, dst protocol.ProcessID, conn net.Conn) {
+	defer conn.Close() //nolint:errcheck
 	dec := wire.NewDecoder(conn)
 	node := c.nodes[dst]
 	for {
+		if m.readIdle > 0 {
+			conn.SetReadDeadline(time.Now().Add(m.readIdle)) //nolint:errcheck
+		}
 		msg, err := dec.Decode()
 		if err != nil {
-			if err != io.EOF {
-				select {
-				case <-m.closed:
-				default:
-					// Connection-level failure outside shutdown: surface
-					// once via the trace if enabled; messages on other
-					// channels continue.
-				}
-			}
+			// EOF, idle timeout, or a torn frame: drop the connection. The
+			// sender re-dials on its next write, restarting both gob
+			// streams from scratch.
 			return
 		}
 		m := msg
@@ -140,13 +202,62 @@ func (m *tcpMesh) readLoop(c *Cluster, dst protocol.ProcessID, conn net.Conn) {
 	}
 }
 
-// send transmits one message on the i->j connection.
+// send transmits one message on the i->j channel. A broken connection is
+// re-dialed with exponential backoff, at most maxReconnects times; every
+// write carries a deadline so a wedged peer cannot block the sender
+// forever.
 func (m *tcpMesh) send(from, to protocol.ProcessID, msg *protocol.Message) error {
-	enc := m.out[from][to]
-	if enc == nil {
+	l := m.links[from][to]
+	if l == nil {
 		return fmt.Errorf("livenet: no connection P%d->P%d", from, to)
 	}
-	return enc.Encode(msg)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	backoff := tcpReconnectBackoff
+	var lastErr error
+	for attempt := 0; attempt <= m.maxReconnects; attempt++ {
+		select {
+		case <-m.closed:
+			return errors.New("livenet: mesh closed")
+		default:
+		}
+		if l.conn == nil {
+			if attempt > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			if err := m.connectLocked(l); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		l.conn.SetWriteDeadline(time.Now().Add(m.writeTimeout)) //nolint:errcheck
+		if err := l.enc.Encode(msg); err != nil {
+			lastErr = err
+			l.conn.Close() //nolint:errcheck
+			l.conn = nil
+			l.enc = nil
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("livenet: send P%d->P%d after %d reconnect attempts: %w",
+		from, to, m.maxReconnects, lastErr)
+}
+
+// kill closes the pair's socket but leaves the stale encoder in place, so
+// the next send runs the full failure path: write error, re-dial, retry.
+func (m *tcpMesh) kill(from, to protocol.ProcessID) error {
+	if from < 0 || from >= m.n || to < 0 || to >= m.n || from == to {
+		return fmt.Errorf("livenet: bad channel P%d->P%d", from, to)
+	}
+	l := m.links[from][to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		l.conn.Close() //nolint:errcheck
+	}
+	return nil
 }
 
 func (m *tcpMesh) close() {
@@ -158,6 +269,20 @@ func (m *tcpMesh) close() {
 	for _, ln := range m.listeners {
 		if ln != nil {
 			ln.Close() //nolint:errcheck
+		}
+	}
+	for _, row := range m.links {
+		for _, l := range row {
+			if l == nil {
+				continue
+			}
+			l.mu.Lock()
+			if l.conn != nil {
+				l.conn.Close() //nolint:errcheck
+				l.conn = nil
+				l.enc = nil
+			}
+			l.mu.Unlock()
 		}
 	}
 	m.mu.Lock()

@@ -130,6 +130,106 @@ func TestTCPBaselineAlgorithms(t *testing.T) {
 	}
 }
 
+// TestTCPKilledConnectionRecovers: killing a connection mid-run must not
+// wedge the channel — the sender discovers the break on its next write,
+// re-dials with backoff, and traffic (including a full checkpointing
+// round) continues.
+func TestTCPKilledConnectionRecovers(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	factory, err := harness.NewEngine(harness.AlgoMutable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := livenet.NewTCP(livenet.Config{
+		N:         3,
+		NewEngine: factory,
+		OnDeliver: func(to, from protocol.ProcessID, payload []byte) {
+			if to == 1 && from == 0 {
+				mu.Lock()
+				got = append(got, int(payload[0]))
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	waitFor := func(k int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			if n >= k {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d/%d after connection kill: %v", len(got), k, got)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := c.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(3)
+
+	if err := c.KillConnection(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := c.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(6)
+	mu.Lock()
+	for i, v := range got {
+		if v != i {
+			mu.Unlock()
+			t.Fatalf("channel lost or reordered traffic after kill: %v", got)
+		}
+	}
+	mu.Unlock()
+
+	// The repaired mesh still runs the full protocol: kill another
+	// connection, then checkpoint across it.
+	if err := c.KillConnection(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce(20 * time.Millisecond)
+	committed, err := c.Checkpoint(0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("checkpoint aborted after connection kills")
+	}
+	c.Quiesce(20 * time.Millisecond)
+	if err := consistency.Check(c.PermanentLine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPKillConnectionValidation: the fault hook rejects channels that do
+// not exist.
+func TestTCPKillConnectionValidation(t *testing.T) {
+	c := newTCP(t, 2, harness.AlgoMutable)
+	if err := c.KillConnection(0, 0); err == nil {
+		t.Fatal("self-channel accepted")
+	}
+	if err := c.KillConnection(0, 5); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}
+
 func TestTCPConfigValidation(t *testing.T) {
 	if _, err := livenet.NewTCP(livenet.Config{N: 1}); err == nil {
 		t.Fatal("N=1 accepted")

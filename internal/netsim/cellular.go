@@ -177,35 +177,41 @@ func (c *Cellular) resequence(ch [2]protocol.ProcessID, seq uint64, deliver func
 }
 
 // Broadcast implements Transport: one wired fan-out plus one wireless
-// transmission per cell.
+// transmission per cell. Each delivery takes its per-channel FIFO slot at
+// send time and goes through the resequencer, so a broadcast can neither
+// overtake unicasts buffered for resequencing after a handoff nor be
+// overtaken by later, faster-routed sends on the same channel.
 func (c *Cellular) Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID)) {
 	srcCell := c.location[from]
-	perCell := make(map[int][]protocol.ProcessID, c.numMSS)
+	perCell := make([][]func(), c.numMSS)
 	for p := 0; p < c.n; p++ {
 		if p == from {
 			continue
 		}
-		perCell[c.location[p]] = append(perCell[c.location[p]], p)
-	}
-	emit := func(cell int, members []protocol.ProcessID) {
-		delivers := make([]func(), 0, len(members))
-		for _, p := range members {
-			p := p
-			delivers = append(delivers, func() { deliver(p) })
-		}
-		c.cells[cell].TransmitBroadcast(size, delivers)
+		p := p
+		ch := [2]protocol.ProcessID{from, p}
+		seq := c.nextSeq[ch]
+		c.nextSeq[ch] = seq + 1
+		cell := c.location[p]
+		perCell[cell] = append(perCell[cell], func() {
+			c.resequence(ch, seq, func() { deliver(p) })
+		})
 	}
 	// Uplink once in the source cell (this also reaches same-cell peers),
-	// then wired fan-out to the other cells.
-	for cell, members := range perCell {
-		cell, members := cell, members
-		if cell == srcCell {
-			emit(cell, members)
+	// then wired fan-out to the other cells, in cell order.
+	for cell := 0; cell < c.numMSS; cell++ {
+		delivers := perCell[cell]
+		if len(delivers) == 0 {
 			continue
 		}
+		if cell == srcCell {
+			c.cells[cell].TransmitBroadcast(size, delivers)
+			continue
+		}
+		cell := cell
 		c.cells[srcCell].Transmit(size, func() {
 			c.sim.Schedule(c.wiredLatency+TxTime(size, c.wiredBW), func() {
-				emit(cell, members)
+				c.cells[cell].TransmitBroadcast(size, delivers)
 			})
 		})
 	}

@@ -89,6 +89,62 @@ func TestFIFOAcrossHandoff(t *testing.T) {
 	}
 }
 
+// TestHandoffWhileResequencingBufferNonEmpty: msg A takes the slow
+// inter-cell route; after a handoff, msg B takes the fast same-cell route
+// and parks in the resequencing buffer; a broadcast fired while B is
+// buffered must not overtake either of them on the P0->P1 channel.
+// (Regression: Broadcast used to bypass the resequencer entirely.)
+func TestHandoffWhileResequencingBufferNonEmpty(t *testing.T) {
+	sim := des.New()
+	c := newCellular(sim, 8)
+	var order []string
+	// P0 (cell 0) -> P1 (cell 1): slow route, arrives around 9.8 ms.
+	c.Unicast(0, 1, 1000, func() { order = append(order, "A") })
+	if err := c.Handoff(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Fast same-cell route: B arrives at 4 ms and must wait for A.
+	c.Unicast(0, 1, 1000, func() { order = append(order, "B") })
+	// The broadcast's P1 delivery rides the same fast cell-1 medium and
+	// would land around 4.2 ms — before A — without resequencing.
+	c.Broadcast(0, 50, func(to int) {
+		if to == 1 {
+			order = append(order, "C")
+		}
+	})
+	sim.RunAll()
+	if len(order) != 3 || order[0] != "A" || order[1] != "B" || order[2] != "C" {
+		t.Fatalf("delivery order on P0->P1 = %v, want [A B C]", order)
+	}
+	if c.Reordered < 2 {
+		t.Fatalf("Reordered = %d, want >= 2 (B and the broadcast both waited)", c.Reordered)
+	}
+}
+
+// TestUnicastCannotOvertakeBroadcast is the mirror image: a unicast sent
+// after a broadcast, on a faster route, must queue behind the broadcast's
+// delivery on the same channel.
+func TestUnicastCannotOvertakeBroadcast(t *testing.T) {
+	sim := des.New()
+	c := newCellular(sim, 8)
+	var order []string
+	// P0 in cell 0, P1 in cell 1: the broadcast's delivery to P1 crosses
+	// the wire (~8+ ms with a 1000-byte frame).
+	c.Broadcast(0, 1000, func(to int) {
+		if to == 1 {
+			order = append(order, "bcast")
+		}
+	})
+	if err := c.Handoff(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Unicast(0, 1, 100, func() { order = append(order, "uni") })
+	sim.RunAll()
+	if len(order) != 2 || order[0] != "bcast" || order[1] != "uni" {
+		t.Fatalf("delivery order = %v, want [bcast uni]", order)
+	}
+}
+
 func TestCellularBroadcastReachesAllCells(t *testing.T) {
 	sim := des.New()
 	c := newCellular(sim, 8)

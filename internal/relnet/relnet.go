@@ -1,0 +1,306 @@
+// Package relnet restores the reliable FIFO channels the Cao–Singhal
+// computation model assumes (§2.1) on top of an unreliable transport —
+// typically netsim.Faulty injecting drops, duplicates, and jitter.
+//
+// It is a classic ARQ sublayer: every ordered process pair is a channel
+// with its own sequence numbers; receivers deliver strictly in sequence
+// (buffering out-of-order arrivals, suppressing duplicates) and return
+// cumulative acknowledgements; senders keep unacked frames and retransmit
+// the lowest one on a timeout with exponential backoff up to a cap. All
+// timers run on the des simulator, so runs stay bit-reproducible.
+//
+// Because a peer may have fail-stopped or be behind a partition for
+// longer than any backoff, a retry budget bounds the event count: after
+// MaxRetries retransmissions of the same frame the channel gives up and
+// discards its backlog (the checkpointing layer above handles the loss
+// via the §3.6 timeout abort). Without the budget, Drain/RunAll would
+// never terminate against a crashed peer.
+package relnet
+
+import (
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/netsim"
+	"mutablecp/internal/protocol"
+)
+
+// Config tunes the ARQ machinery. The zero value gets defaults.
+type Config struct {
+	// RTO is the initial retransmission timeout. Default 100 ms.
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff. Default 2 s.
+	MaxRTO time.Duration
+	// MaxRetries is the per-frame retransmission budget before the channel
+	// gives up on its peer. Default 16: with the default RTO/MaxRTO the
+	// give-up horizon is ~30 s of persistent silence, far beyond any
+	// partition window the gauntlet uses, and the chance of 17 consecutive
+	// independent losses at 20% drop is ~10^-12.
+	MaxRetries int
+	// HeaderBytes is the per-frame ARQ overhead added to data frames.
+	// Default 12 (seq + channel ids + kind).
+	HeaderBytes int
+	// AckBytes is the size of an acknowledgement frame. Default 16.
+	AckBytes int
+}
+
+func (c Config) defaults() Config {
+	if c.RTO == 0 {
+		c.RTO = 100 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 16
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 12
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 16
+	}
+	return c
+}
+
+// Metrics counts the sublayer's work. Totals only; never fed back into
+// protocol decisions.
+type Metrics struct {
+	DataFrames      uint64 // first transmissions of data frames
+	Retransmissions uint64
+	AcksSent        uint64
+	DupsSuppressed  uint64 // duplicate data frames discarded by receivers
+	Buffered        uint64 // out-of-order arrivals parked for resequencing
+	GaveUp          uint64 // channels that exhausted their retry budget
+}
+
+// frame is one in-flight data frame on a send channel.
+type frame struct {
+	seq     uint64
+	size    int
+	deliver func()
+}
+
+// sendChan is the sender half of one ordered-pair channel.
+type sendChan struct {
+	from, to protocol.ProcessID
+	nextSeq  uint64
+	unacked  []frame
+	rto      time.Duration
+	retries  int
+	timerID  des.EventID
+	armed    bool
+	dead     bool // gave up; all subsequent sends are discarded
+}
+
+// recvChan is the receiver half of one ordered-pair channel.
+type recvChan struct {
+	expected uint64
+	buf      map[uint64]func()
+}
+
+// Reliable is the ARQ decorator. It implements netsim.Transport.
+type Reliable struct {
+	sim   *des.Simulator
+	inner netsim.Transport
+	n     int
+	cfg   Config
+
+	send map[[2]protocol.ProcessID]*sendChan
+	recv map[[2]protocol.ProcessID]*recvChan
+
+	// Metrics is exported for reports.
+	Metrics Metrics
+}
+
+var _ netsim.Transport = (*Reliable)(nil)
+
+// New wraps inner with the ARQ sublayer for n processes.
+func New(sim *des.Simulator, inner netsim.Transport, n int, cfg Config) *Reliable {
+	return &Reliable{
+		sim:   sim,
+		inner: inner,
+		n:     n,
+		cfg:   cfg.defaults(),
+		send:  make(map[[2]protocol.ProcessID]*sendChan),
+		recv:  make(map[[2]protocol.ProcessID]*recvChan),
+	}
+}
+
+func (r *Reliable) sendChanFor(from, to protocol.ProcessID) *sendChan {
+	key := [2]protocol.ProcessID{from, to}
+	sc := r.send[key]
+	if sc == nil {
+		sc = &sendChan{from: from, to: to, rto: r.cfg.RTO}
+		r.send[key] = sc
+	}
+	return sc
+}
+
+func (r *Reliable) recvChanFor(from, to protocol.ProcessID) *recvChan {
+	key := [2]protocol.ProcessID{from, to}
+	rc := r.recv[key]
+	if rc == nil {
+		rc = &recvChan{buf: make(map[uint64]func())}
+		r.recv[key] = rc
+	}
+	return rc
+}
+
+// Unicast implements Transport: the message is queued on its channel and
+// delivered to the destination exactly once, in send order, no matter
+// what the inner transport loses, duplicates, or reorders.
+func (r *Reliable) Unicast(from, to protocol.ProcessID, size int, deliver func()) {
+	sc := r.sendChanFor(from, to)
+	if sc.dead {
+		return
+	}
+	f := frame{seq: sc.nextSeq, size: size, deliver: deliver}
+	sc.nextSeq++
+	sc.unacked = append(sc.unacked, f)
+	r.Metrics.DataFrames++
+	r.transmit(sc, f)
+	r.arm(sc)
+}
+
+// Broadcast implements Transport: every destination's copy takes the next
+// slot on its own channel (in process order, synchronously, so the FIFO
+// position is fixed at call time), carried by one inner broadcast.
+// Retransmissions fall back to per-destination unicasts.
+func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID)) {
+	seqs := make([]uint64, r.n)
+	live := make([]bool, r.n)
+	for to := 0; to < r.n; to++ {
+		if to == from {
+			continue
+		}
+		sc := r.sendChanFor(from, to)
+		if sc.dead {
+			continue
+		}
+		to := to
+		f := frame{seq: sc.nextSeq, size: size, deliver: func() { deliver(to) }}
+		sc.nextSeq++
+		sc.unacked = append(sc.unacked, f)
+		seqs[to] = f.seq
+		live[to] = true
+		r.Metrics.DataFrames++
+	}
+	r.inner.Broadcast(from, size+r.cfg.HeaderBytes, func(to protocol.ProcessID) {
+		if live[to] {
+			r.onData(from, to, seqs[to], func() { deliver(to) })
+		}
+	})
+	for to := 0; to < r.n; to++ {
+		if live[to] {
+			r.arm(r.sendChanFor(from, to))
+		}
+	}
+}
+
+// transmit sends one data frame through the inner transport.
+func (r *Reliable) transmit(sc *sendChan, f frame) {
+	from, to, seq, deliver := sc.from, sc.to, f.seq, f.deliver
+	r.inner.Unicast(from, to, f.size+r.cfg.HeaderBytes, func() {
+		r.onData(from, to, seq, deliver)
+	})
+}
+
+// onData runs at the destination when a data frame arrives.
+func (r *Reliable) onData(from, to protocol.ProcessID, seq uint64, deliver func()) {
+	rc := r.recvChanFor(from, to)
+	switch {
+	case seq < rc.expected:
+		r.Metrics.DupsSuppressed++
+	case seq == rc.expected:
+		deliver()
+		rc.expected++
+		for {
+			next, ok := rc.buf[rc.expected]
+			if !ok {
+				break
+			}
+			delete(rc.buf, rc.expected)
+			next()
+			rc.expected++
+		}
+	default:
+		if _, dup := rc.buf[seq]; dup {
+			r.Metrics.DupsSuppressed++
+		} else {
+			rc.buf[seq] = deliver
+			r.Metrics.Buffered++
+		}
+	}
+	// Cumulative ack: everything below rc.expected has been delivered.
+	cum := rc.expected
+	r.Metrics.AcksSent++
+	r.inner.Unicast(to, from, r.cfg.AckBytes, func() {
+		r.onAck(from, to, cum)
+	})
+}
+
+// onAck runs at the sender when a cumulative ack arrives.
+func (r *Reliable) onAck(from, to protocol.ProcessID, cum uint64) {
+	sc := r.sendChanFor(from, to)
+	progress := false
+	for len(sc.unacked) > 0 && sc.unacked[0].seq < cum {
+		sc.unacked = sc.unacked[1:]
+		progress = true
+	}
+	if !progress {
+		return
+	}
+	// Fresh evidence the peer is alive: reset the backoff.
+	sc.rto = r.cfg.RTO
+	sc.retries = 0
+	r.disarm(sc)
+	r.arm(sc)
+}
+
+// arm starts the retransmission timer if frames are outstanding.
+func (r *Reliable) arm(sc *sendChan) {
+	if sc.armed || len(sc.unacked) == 0 || sc.dead {
+		return
+	}
+	sc.armed = true
+	sc.timerID = r.sim.Schedule(sc.rto, func() {
+		sc.armed = false
+		r.onTimeout(sc)
+	})
+}
+
+func (r *Reliable) disarm(sc *sendChan) {
+	if sc.armed {
+		r.sim.Cancel(sc.timerID)
+		sc.armed = false
+	}
+}
+
+// onTimeout retransmits the lowest unacked frame with exponential backoff,
+// or gives the channel up for dead once the budget is spent.
+func (r *Reliable) onTimeout(sc *sendChan) {
+	if len(sc.unacked) == 0 {
+		return
+	}
+	if sc.retries >= r.cfg.MaxRetries {
+		sc.dead = true
+		sc.unacked = nil
+		r.Metrics.GaveUp++
+		return
+	}
+	sc.retries++
+	r.Metrics.Retransmissions++
+	r.transmit(sc, sc.unacked[0])
+	sc.rto *= 2
+	if sc.rto > r.cfg.MaxRTO {
+		sc.rto = r.cfg.MaxRTO
+	}
+	r.arm(sc)
+}
+
+// StableTransfer implements Transport: the host-to-MSS channel is local
+// and reliable, so it passes straight through.
+func (r *Reliable) StableTransfer(from protocol.ProcessID, size int, done func()) {
+	r.inner.StableTransfer(from, size, done)
+}

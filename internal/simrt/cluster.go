@@ -55,6 +55,20 @@ type Config struct {
 	// evaluation regime: "concurrent initiation … not considered").
 	SingleInitiation bool
 
+	// RequestTimeout, when positive, arms a §3.6 timeout at every
+	// initiation: if the initiator's termination weight has not returned
+	// to 1 when the timer fires (a participant crashed, or the network ate
+	// the requests for good), the instance is aborted via the engine's
+	// AbortCurrent. Zero disables the timeout — the correct setting on a
+	// reliable network, where every instance terminates on its own.
+	RequestTimeout time.Duration
+	// PartialAbortOnFailure selects the Kim–Park resolution when a
+	// RequestTimeout fires while some process has fail-stopped: the
+	// initiator calls AbortPartialStrict so the subtree with known,
+	// uncontaminated dependencies still commits. Without it (or when the
+	// engine does not support partial commit) the whole instance aborts.
+	PartialAbortOnFailure bool
+
 	// Trace, when non-nil, records structured events for tests/tools.
 	Trace *trace.Log
 
@@ -289,6 +303,16 @@ func (c *Cluster) PermanentLine() map[protocol.ProcessID]protocol.State {
 		out[p.id] = p.stable.Permanent().State
 	}
 	return out
+}
+
+// firstFailed returns the lowest-numbered fail-stopped process, or -1.
+func (c *Cluster) firstFailed() protocol.ProcessID {
+	for _, p := range c.procs {
+		if p.failed {
+			return p.id
+		}
+	}
+	return -1
 }
 
 // SkippedInitiations reports checkpoint-timer firings that did not start

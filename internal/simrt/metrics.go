@@ -56,6 +56,9 @@ type Metrics struct {
 	TotalDiscarded uint64
 	TotalPermanent uint64
 
+	// TimeoutAborts counts §3.6 request timeouts that fired an abort.
+	TimeoutAborts uint64
+
 	byTrigger map[protocol.Trigger]*InitiationRecord
 	order     []protocol.Trigger
 }
@@ -94,6 +97,18 @@ func (m *Metrics) Completed() []*InitiationRecord {
 		}
 	}
 	return out
+}
+
+// Aborted counts terminated instances that ended in an abort: each one is
+// a rollback to the previous recovery line for its participants.
+func (m *Metrics) Aborted() int {
+	n := 0
+	for _, rec := range m.byTrigger {
+		if rec.Done && !rec.Committed {
+			n++
+		}
+	}
+	return n
 }
 
 // Record looks up the record for a trigger.

@@ -90,7 +90,62 @@ func (p *Proc) MaybeInitiate() bool {
 		p.c.skippedInProgress++
 		return false
 	}
+	p.armRequestTimeout()
 	return true
+}
+
+// aborter is the initiator-side §3.6 surface a timeout needs; core.Engine
+// implements it, the comparison engines need not.
+type aborter interface {
+	Initiating() bool
+	OwnTrigger() protocol.Trigger
+	AbortCurrent() error
+}
+
+// partialAborter is the Kim–Park refinement for timeouts with a known
+// fail-stopped process.
+type partialAborter interface {
+	AbortPartialStrict(failed protocol.ProcessID) error
+}
+
+// armRequestTimeout schedules the §3.6 give-up timer for the instance this
+// process just initiated. The timer is a no-op if the instance terminated
+// (either way) before it fires, or if the initiator itself crashed.
+func (p *Proc) armRequestTimeout() {
+	if p.c.cfg.RequestTimeout <= 0 {
+		return
+	}
+	a, ok := p.engine.(aborter)
+	if !ok || !a.Initiating() {
+		// Engine without an abort path, or the instance already terminated
+		// synchronously (dependency-free initiator).
+		return
+	}
+	trig := a.OwnTrigger()
+	p.c.sim.Schedule(p.c.cfg.RequestTimeout, func() {
+		p.requestTimeout(a, trig)
+	})
+}
+
+func (p *Proc) requestTimeout(a aborter, trig protocol.Trigger) {
+	if p.failed || !a.Initiating() || a.OwnTrigger() != trig {
+		return
+	}
+	p.c.metrics.TimeoutAborts++
+	p.Trace(trace.KindAbort, -1, "request timeout trigger=%v", trig)
+	if p.c.cfg.PartialAbortOnFailure {
+		if pa, ok := p.engine.(partialAborter); ok {
+			if failed := p.c.firstFailed(); failed >= 0 {
+				if err := pa.AbortPartialStrict(failed); err != nil {
+					p.c.fail(fmt.Errorf("P%d partial abort: %w", p.id, err))
+				}
+				return
+			}
+		}
+	}
+	if err := a.AbortCurrent(); err != nil {
+		p.c.fail(fmt.Errorf("P%d timeout abort: %w", p.id, err))
+	}
 }
 
 // --- application side ---
@@ -426,6 +481,12 @@ func (p *Proc) Fail() {
 	p.inbox = nil
 	if p.ticker != nil {
 		p.ticker.Stop()
+	}
+	if p.c.activeOwner == p.id {
+		// A crashed initiator can never terminate its instance; under
+		// SingleInitiation the cluster would otherwise be deadlocked for
+		// the rest of the run.
+		p.c.activeOwner = -1
 	}
 	p.Trace(trace.KindNote, -1, "fail-stop")
 }
