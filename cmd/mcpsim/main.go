@@ -9,14 +9,17 @@
 //	mcpsim -algo koo-toueg -rate 0.01 -horizon 10h
 //	mcpsim -workload group -ratio 10000 -rate 0.1
 //	mcpsim -algo mutable -rate 0.05 -seeds 8 -parallel 0
+//	mcpsim -algo mutable -rate 0.05 -store /tmp/mcp-store
 //	mcpsim -chaos -seeds 5
 //	mcpsim -chaos -chaos-drop 0.3 -chaos-partition 20s -chaos-crashes 2
+//	mcpsim -chaos -store /tmp/mcp-store -chaos-mss-restart
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -51,18 +54,25 @@ func run(args []string) error {
 	chaosJitter := fs.Duration("chaos-jitter", 5*time.Millisecond, "with -chaos-drop: max delivery jitter")
 	chaosPartition := fs.Duration("chaos-partition", 10*time.Second, "with -chaos-drop: partition window length")
 	chaosCrashes := fs.Int("chaos-crashes", 1, "with -chaos-drop: fail-stop crashes at mid-run")
+	store := fs.String("store", "",
+		"back stable stores with the durable on-disk log under this directory and audit the on-disk image after the run")
+	mssRestart := fs.Bool("chaos-mss-restart", false,
+		"with -chaos: crash and restart every support station's storage at mid-run (requires -store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seedCount < 1 {
 		return fmt.Errorf("-seeds must be >= 1")
 	}
+	if *mssRestart && *store == "" {
+		return fmt.Errorf("-chaos-mss-restart requires -store (in-memory stores cannot survive a storage restart)")
+	}
 	seedList := make([]uint64, *seedCount)
 	for i := range seedList {
 		seedList[i] = *seed + uint64(i)
 	}
 	if *chaos {
-		var points []harness.ChaosPoint
+		points := harness.DefaultChaosPoints()
 		if *chaosDrop >= 0 {
 			points = []harness.ChaosPoint{{
 				Label: fmt.Sprintf("drop%g", *chaosDrop*100),
@@ -72,11 +82,26 @@ func run(args []string) error {
 				},
 			}}
 		}
+		if *store != "" {
+			// One subdirectory per operating point; RunChaos adds the
+			// per-seed level below it.
+			for i := range points {
+				points[i].Config.StoreDir = filepath.Join(*store, points[i].Label)
+				points[i].Config.MSSRestart = *mssRestart
+			}
+		}
 		rows, err := harness.Parallel(*parallel).ChaosGauntlet(points, seedList)
 		if err != nil {
 			return err
 		}
 		fmt.Print(harness.FormatChaos(rows))
+		if *store != "" {
+			fmt.Printf("durable store        OK (on-disk image matched the verified state at every point")
+			if *mssRestart {
+				fmt.Printf("; survived mid-run MSS restart")
+			}
+			fmt.Printf(")\n")
+		}
 		return nil
 	}
 
@@ -88,6 +113,7 @@ func run(args []string) error {
 		GroupRatio:      *ratio,
 		Horizon:         *horizon,
 		SkipConsistency: *algo == harness.AlgoNaiveNoCSN,
+		StoreDir:        *store,
 	}
 	switch *wl {
 	case "p2p":
@@ -123,10 +149,17 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("consistency          VIOLATED: %v\n", res.ConsistencyErr)
 	}
+	if *store != "" {
+		if res.DiskLineOK {
+			fmt.Printf("durable store        OK (on-disk recovery line matches the live line)\n")
+		} else {
+			fmt.Printf("durable store        FAILED: %v\n", res.DiskLineErr)
+		}
+	}
 	for _, e := range res.ClusterErrors {
 		fmt.Printf("cluster error        %v\n", e)
 	}
-	if len(res.ClusterErrors) > 0 || (!res.ConsistencyOK && !cfg.SkipConsistency) {
+	if len(res.ClusterErrors) > 0 || (!res.ConsistencyOK && !cfg.SkipConsistency) || !res.DiskLineOK {
 		return fmt.Errorf("run finished with errors")
 	}
 	return nil

@@ -77,7 +77,7 @@ func run() error {
 	cluster.Proc(4).Mutable().Clear()
 	fmt.Println("MH4 failed: volatile state lost, stable checkpoints survive at MSSs")
 
-	stores := make(map[protocol.ProcessID]*checkpoint.StableStore, cluster.N())
+	stores := make(map[protocol.ProcessID]checkpoint.Store, cluster.N())
 	for i := 0; i < cluster.N(); i++ {
 		stores[i] = cluster.Proc(i).Stable()
 	}

@@ -3,12 +3,15 @@ package benchreg
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"mutablecp/internal/des"
 	"mutablecp/internal/harness"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
 )
 
 // Benchmark is one named member of the standard suite.
@@ -51,8 +54,88 @@ func simBench(cfg harness.Config) func(b *testing.B) {
 	}
 }
 
+// storeCommit measures one tentative→permanent cycle against the durable
+// on-disk checkpoint log at the given sync policy, with Keep=1 (the
+// production setting, so commits compact the way a live MSS would).
+func storeCommit(pol stable.SyncPolicy) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mcpbench-stable-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := stable.Open(stable.ProcDir(dir, 0), 0, 4, stable.Options{Sync: pol, Keep: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trig := protocol.Trigger{Pid: 0, Inum: i + 1}
+			state := protocol.State{CSN: i + 1, SentTo: make([]uint64, 4), RecvFrom: make([]uint64, 4)}
+			if err := st.SaveTentative(state, trig, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.MakePermanent(trig, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "commits/sec")
+		}
+	}
+}
+
+// storeOpen measures open-time recovery of an uncompacted on-disk log of
+// the given size (Keep=0: the whole history replays on every open).
+func storeOpen(commits int) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mcpbench-stable-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		proc := stable.ProcDir(dir, 0)
+		opts := stable.Options{Sync: stable.SyncNever}
+		st, err := stable.Open(proc, 0, 4, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < commits; i++ {
+			trig := protocol.Trigger{Pid: 0, Inum: i + 1}
+			state := protocol.State{CSN: i + 1, SentTo: make([]uint64, 4), RecvFrom: make([]uint64, 4)}
+			if err := st.SaveTentative(state, trig, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.MakePermanent(trig, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			re, err := stable.Open(proc, 0, 4, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if re.Permanent().State.CSN != commits {
+				b.Fatal("bad replay")
+			}
+			re.Close()
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "opens/sec")
+		}
+	}
+}
+
 // Suite returns the headline benchmarks tracked across baselines: the DES
-// kernel hot paths and representative full-stack simulation workloads.
+// kernel hot paths, the durable stable-store disk path, and representative
+// full-stack simulation workloads.
 func Suite() []Benchmark {
 	return []Benchmark{
 		{Name: "des/schedule-run", Run: func(b *testing.B) {
@@ -112,6 +195,9 @@ func Suite() []Benchmark {
 			}
 			tk.Stop()
 		}},
+		{Name: "stable/commit-sync", Run: storeCommit(stable.SyncOnCommit)},
+		{Name: "stable/commit-nosync", Run: storeCommit(stable.SyncNever)},
+		{Name: "stable/open-256", Run: storeOpen(256)},
 		{Name: "sim/p2p-rate0.05", Run: simBench(harness.Config{
 			Algorithm: harness.AlgoMutable,
 			Workload:  harness.WorkloadP2P,

@@ -56,6 +56,36 @@ var (
 	ErrUnknownCheckpoint = errors.New("checkpoint: unknown checkpoint")
 )
 
+// Store is the stable-storage lifecycle surface shared by the in-memory
+// StableStore and the durable segment log in internal/stable: tentative
+// write, promotion to permanent on commit, discard on abort, and
+// garbage collection of superseded permanents. The runtimes (simrt,
+// livenet) and the recovery manager speak only this interface, so a
+// simulation can run against either backend.
+type Store interface {
+	// SeedPermanent replaces the pristine initial checkpoint with a
+	// restored one; only valid on a fresh store.
+	SeedPermanent(s protocol.State) error
+	// SaveTentative records a tentative checkpoint for trig.
+	SaveTentative(s protocol.State, trig protocol.Trigger, at time.Duration) error
+	// Tentative returns the pending tentative checkpoint for trig, if any.
+	Tentative(trig protocol.Trigger) (Record, bool)
+	// TentativeCount reports how many tentative checkpoints are pending.
+	TentativeCount() int
+	// TentativeTriggers lists pending triggers in (Pid, Inum) order.
+	TentativeTriggers() []protocol.Trigger
+	// MakePermanent commits the pending tentative checkpoint for trig.
+	MakePermanent(trig protocol.Trigger, at time.Duration) error
+	// DropTentative discards the pending tentative checkpoint for trig.
+	DropTentative(trig protocol.Trigger) error
+	// Permanent returns the most recent permanent checkpoint.
+	Permanent() Record
+	// History returns a copy of all retained permanents, oldest first.
+	History() []Record
+	// GC discards all but the newest keep permanent checkpoints.
+	GC(keep int) int
+}
+
 // StableStore holds one process's checkpoints on stable storage. In the
 // paper's single-initiation regime a process keeps at most one permanent
 // and one tentative checkpoint at a time; to support concurrent initiations
@@ -66,7 +96,16 @@ type StableStore struct {
 	proc      protocol.ProcessID
 	permanent []Record
 	tentative map[protocol.Trigger]*Record
+
+	// retain bounds the permanent history: committing a new permanent
+	// checkpoint garbage-collects superseded ones beyond the newest
+	// retain (the paper's discard rule — once C_{p,k+1} is permanent,
+	// C_{p,k} can never be needed again). 0 keeps everything, the audit
+	// setting the experiment harnesses use to replay line history.
+	retain int
 }
+
+var _ Store = (*StableStore)(nil)
 
 // NewStableStore returns a store for the given process, seeded with an
 // initial permanent checkpoint (sequence number 0, empty state): the paper
@@ -88,6 +127,51 @@ func NewStableStore(proc protocol.ProcessID, n int) *StableStore {
 		tentative: make(map[protocol.Trigger]*Record),
 	}
 }
+
+// RestoreStableStore rebuilds a store from a saved image: the retained
+// permanent history (oldest first) and any pending tentatives. The
+// durable store uses it to apply snapshot records at open.
+func RestoreStableStore(proc protocol.ProcessID, perm, tent []Record) (*StableStore, error) {
+	if len(perm) == 0 {
+		return nil, fmt.Errorf("checkpoint: restore P%d with no permanent checkpoint", proc)
+	}
+	st := &StableStore{
+		proc:      proc,
+		permanent: make([]Record, 0, len(perm)),
+		tentative: make(map[protocol.Trigger]*Record, len(tent)),
+	}
+	for _, r := range perm {
+		if r.Status != StatusPermanent {
+			return nil, fmt.Errorf("checkpoint: restore P%d: %v record in permanent history", proc, r.Status)
+		}
+		r.State = r.State.Clone()
+		st.permanent = append(st.permanent, r)
+	}
+	for _, r := range tent {
+		if r.Status != StatusTentative {
+			return nil, fmt.Errorf("checkpoint: restore P%d: %v record in tentative set", proc, r.Status)
+		}
+		if _, ok := st.tentative[r.Trigger]; ok {
+			return nil, fmt.Errorf("checkpoint: restore P%d: duplicate tentative for %+v", proc, r.Trigger)
+		}
+		rec := r
+		rec.State = r.State.Clone()
+		st.tentative[r.Trigger] = &rec
+	}
+	return st, nil
+}
+
+// SetRetain bounds the permanent history kept after each commit; see the
+// retain field. k <= 0 keeps everything.
+func (st *StableStore) SetRetain(k int) {
+	if k < 0 {
+		k = 0
+	}
+	st.retain = k
+}
+
+// Retain reports the configured permanent-history bound (0 = unbounded).
+func (st *StableStore) Retain() int { return st.retain }
 
 // SeedPermanent replaces the pristine initial checkpoint with a restored
 // one (recovery restart). It is only valid on a fresh store.
@@ -145,6 +229,14 @@ func (st *StableStore) MakePermanent(trig protocol.Trigger, at time.Duration) er
 	committed.SavedAt = at
 	st.permanent = append(st.permanent, committed)
 	delete(st.tentative, trig)
+	if st.retain > 0 {
+		// The paper's discard rule: the checkpoint this one supersedes is
+		// dead the moment the commit lands, so long-running systems must
+		// not accumulate it (this mirrors disk compaction in
+		// internal/stable, which garbage-collects superseded permanents
+		// from the segment log).
+		st.GC(st.retain)
+	}
 	return nil
 }
 

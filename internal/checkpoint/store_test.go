@@ -146,6 +146,79 @@ func TestGC(t *testing.T) {
 	}
 }
 
+// TestDiscardRuleOnCommit is the regression test for the paper's discard
+// rule: with a retention bound set, committing a new permanent checkpoint
+// garbage-collects the one it supersedes — the store must not accumulate
+// dead permanents over a long run.
+func TestDiscardRuleOnCommit(t *testing.T) {
+	st := checkpoint.NewStableStore(0, 2)
+	st.SetRetain(1)
+	if st.Retain() != 1 {
+		t.Fatalf("retain = %d, want 1", st.Retain())
+	}
+	for i := 1; i <= 5; i++ {
+		trig := protocol.Trigger{Pid: 0, Inum: i}
+		s := state(0, 2)
+		s.CSN = i
+		if err := st.SaveTentative(s, trig, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MakePermanent(trig, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(st.History()); got != 1 {
+			t.Fatalf("after commit %d: history = %d, want 1 (superseded permanent not discarded)", i, got)
+		}
+		if st.Permanent().State.CSN != i {
+			t.Fatalf("after commit %d: newest permanent has CSN %d", i, st.Permanent().State.CSN)
+		}
+	}
+	// Retention must never discard pending tentatives.
+	trig := protocol.Trigger{Pid: 1, Inum: 1}
+	if err := st.SaveTentative(state(0, 2), trig, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MakePermanent(protocol.Trigger{Pid: 1, Inum: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.TentativeCount() != 0 || len(st.History()) != 1 {
+		t.Fatalf("tentatives = %d history = %d", st.TentativeCount(), len(st.History()))
+	}
+}
+
+func TestRestoreStableStore(t *testing.T) {
+	s1 := state(2, 3)
+	s1.CSN = 4
+	perm := []checkpoint.Record{{State: s1, Trigger: protocol.NoTrigger, Status: checkpoint.StatusPermanent}}
+	tent := []checkpoint.Record{{
+		State:   state(2, 3),
+		Trigger: protocol.Trigger{Pid: 0, Inum: 5},
+		Status:  checkpoint.StatusTentative,
+		SavedAt: time.Second,
+	}}
+	st, err := checkpoint.RestoreStableStore(2, perm, tent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Permanent().State.CSN != 4 || st.TentativeCount() != 1 {
+		t.Fatalf("restored store: %+v", st)
+	}
+	if err := st.MakePermanent(protocol.Trigger{Pid: 0, Inum: 5}, 2*time.Second); err != nil {
+		t.Fatalf("restored tentative not committable: %v", err)
+	}
+
+	if _, err := checkpoint.RestoreStableStore(0, nil, nil); err == nil {
+		t.Fatal("restore with empty permanent history accepted")
+	}
+	bad := []checkpoint.Record{{State: s1, Status: checkpoint.StatusTentative}}
+	if _, err := checkpoint.RestoreStableStore(0, bad, nil); err == nil {
+		t.Fatal("tentative record accepted in permanent history")
+	}
+	if _, err := checkpoint.RestoreStableStore(2, perm, append(tent, tent[0])); err == nil {
+		t.Fatal("duplicate tentative accepted")
+	}
+}
+
 func TestMutableStoreLifecycle(t *testing.T) {
 	ms := checkpoint.NewMutableStore(1)
 	t1 := protocol.Trigger{Pid: 2, Inum: 3}

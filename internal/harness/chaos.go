@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/core"
 	"mutablecp/internal/des"
@@ -31,6 +32,7 @@ import (
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/relnet"
 	"mutablecp/internal/simrt"
+	"mutablecp/internal/stable"
 	"mutablecp/internal/workload"
 )
 
@@ -64,6 +66,19 @@ type ChaosConfig struct {
 	PartitionWindow time.Duration
 	// CrashCount fail-stops the highest-numbered processes at Horizon/2.
 	CrashCount int
+
+	// StoreDir, when non-empty, backs the stable stores with the durable
+	// internal/stable log under this directory (each seed in its own
+	// seed-<n> subdirectory, so one StoreDir serves a whole gauntlet). The
+	// post-run audit then also proves the on-disk image reproduces the
+	// verified state.
+	StoreDir string
+	// MSSRestart crashes and restarts every support station's storage at
+	// Horizon/2, mid-protocol: stores close and recover from disk while
+	// instances are in flight. Requires StoreDir — with the in-memory
+	// backend the restart would (correctly, and fatally for the run)
+	// lose every checkpoint.
+	MSSRestart bool
 }
 
 func (c ChaosConfig) defaults() ChaosConfig {
@@ -150,11 +165,14 @@ type initiating interface{ Initiating() bool }
 // line, leaked checkpoint, unreturned weight).
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cfg = cfg.defaults()
+	if cfg.MSSRestart && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("chaos: MSSRestart requires StoreDir (an in-memory store cannot survive a storage restart)")
+	}
 	fc := cfg.faultConfig()
 
 	var faulty *netsim.Faulty
 	var rel *relnet.Reliable
-	cluster, err := simrt.New(simrt.Config{
+	simCfg := simrt.Config{
 		N:                     cfg.N,
 		Seed:                  cfg.Seed,
 		NewEngine:             func(env protocol.Env) protocol.Engine { return core.New(env) },
@@ -169,7 +187,17 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			rel = relnet.New(sim, faulty, n, relnet.Config{})
 			return rel
 		},
-	})
+	}
+	// The chaos verifier replays the full permanent history, so the
+	// durable stores run in audit mode (Keep=0: no compaction).
+	storeOpts := stable.Options{}
+	if cfg.StoreDir != "" {
+		dir := storeSeedDir(cfg.StoreDir, cfg.Seed)
+		simCfg.NewStore = func(pid protocol.ProcessID, n int) (checkpoint.Store, error) {
+			return stable.Open(stable.ProcDir(dir, pid), pid, n, storeOpts)
+		}
+	}
+	cluster, err := simrt.New(simCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -186,10 +214,24 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			cluster.Sim().Schedule(at, v.Fail)
 		}
 	}
+	// The MSS storage restart lands at the same midpoint as the host
+	// crashes: storage recovers from disk mid-protocol, with instances in
+	// flight, and the run must not notice.
+	var restartErr error
+	if cfg.MSSRestart {
+		cluster.Sim().Schedule(cfg.Horizon/2, func() {
+			if err := cluster.RestartStores(); err != nil && restartErr == nil {
+				restartErr = err
+			}
+		})
+	}
 	cluster.Start()
 
 	if err := cluster.Run(cfg.Horizon); err != nil {
 		return nil, fmt.Errorf("chaos: run: %w", err)
+	}
+	if restartErr != nil {
+		return nil, fmt.Errorf("chaos: MSS restart: %w", restartErr)
 	}
 	gen.Stop()
 	cluster.StopTimers()
@@ -213,6 +255,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	if err := verifyChaos(cluster, fc, res); err != nil {
 		return nil, err
+	}
+	if cfg.StoreDir != "" {
+		// Everything the verifier just accepted must survive a final
+		// storage restart byte-for-byte: reopen every store from disk and
+		// compare it against the verified in-memory image.
+		if err := verifyDiskFidelity(cluster); err != nil {
+			return nil, err
+		}
 	}
 	res.Fingerprint = fmt.Sprintf(
 		"committed=%d aborted=%d lines=%d timeouts=%d rel=%+v drop=%d dup=%d jit=%d part=%d crash=%d events=%d",
@@ -303,6 +353,54 @@ func verifyChaos(cluster *simrt.Cluster, fc netsim.FaultConfig, res *ChaosResult
 		}
 		if eng, ok := proc.Engine().(initiating); ok && eng.Initiating() {
 			return fmt.Errorf("chaos: P%d still holds termination weight after the drain", p)
+		}
+	}
+	return nil
+}
+
+// verifyDiskFidelity restarts the durable stores and checks the state
+// they recover from disk — permanent history, newest permanent, pending
+// tentatives — equals the state the run ended (and was verified) with.
+func verifyDiskFidelity(cluster *simrt.Cluster) error {
+	type image struct {
+		histCSNs []int
+		permCSN  int
+		tents    []protocol.Trigger
+	}
+	before := make([]image, cluster.N())
+	for p := 0; p < cluster.N(); p++ {
+		st := cluster.Proc(p).Stable()
+		img := image{permCSN: st.Permanent().State.CSN, tents: st.TentativeTriggers()}
+		for _, rec := range st.History() {
+			img.histCSNs = append(img.histCSNs, rec.State.CSN)
+		}
+		before[p] = img
+	}
+	if err := cluster.RestartStores(); err != nil {
+		return fmt.Errorf("chaos: final store restart: %w", err)
+	}
+	for p := 0; p < cluster.N(); p++ {
+		st := cluster.Proc(p).Stable()
+		if got := st.Permanent().State.CSN; got != before[p].permCSN {
+			return fmt.Errorf("chaos: P%d permanent CSN %d from disk, had %d", p, got, before[p].permCSN)
+		}
+		hist := st.History()
+		if len(hist) != len(before[p].histCSNs) {
+			return fmt.Errorf("chaos: P%d recovered %d permanents from disk, had %d", p, len(hist), len(before[p].histCSNs))
+		}
+		for i, rec := range hist {
+			if rec.State.CSN != before[p].histCSNs[i] {
+				return fmt.Errorf("chaos: P%d history[%d] CSN %d from disk, had %d", p, i, rec.State.CSN, before[p].histCSNs[i])
+			}
+		}
+		got := st.TentativeTriggers()
+		if len(got) != len(before[p].tents) {
+			return fmt.Errorf("chaos: P%d recovered %d tentatives from disk, had %d", p, len(got), len(before[p].tents))
+		}
+		for i, trig := range got {
+			if trig != before[p].tents[i] {
+				return fmt.Errorf("chaos: P%d tentative %v from disk, had %v", p, trig, before[p].tents[i])
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -100,6 +101,55 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 	if c.Fingerprint == a.Fingerprint {
 		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestChaosDurableMSSRestart runs the gauntlet's heavy fault mix with the
+// durable store backend and a storage crash+restart at Horizon/2: every
+// store closes and recovers from disk while instances are in flight. The
+// protocol must not notice, the usual line/leak verification must pass,
+// and the post-run disk-fidelity audit must find the on-disk image equal
+// to the verified in-memory state.
+func TestChaosDurableMSSRestart(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Seed: 11, Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1,
+		Horizon:    6 * 300 * time.Second,
+		StoreDir:   t.TempDir(),
+		MSSRestart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed across the MSS restart")
+	}
+	if res.LinesChecked != res.Committed {
+		t.Fatalf("checked %d lines for %d commits", res.LinesChecked, res.Committed)
+	}
+
+	// Same seed, same faults, in-memory stores, no restart: the storage
+	// backend must be invisible to the protocol — identical fingerprint up
+	// to the DES event count (the restart callback is itself one event).
+	mem, err := RunChaos(ChaosConfig{
+		Seed: 11, Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1,
+		Horizon: 6 * 300 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trim := func(fp string) string { return fp[:strings.LastIndex(fp, " events=")] }
+	if trim(res.Fingerprint) != trim(mem.Fingerprint) {
+		t.Fatalf("durable backend changed the run:\n%s\n%s", res.Fingerprint, mem.Fingerprint)
+	}
+}
+
+// TestChaosMSSRestartRequiresDurableStore: the misconfiguration (restart
+// with in-memory stores) must be rejected up front, not fail obscurely.
+func TestChaosMSSRestartRequiresDurableStore(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Seed: 1, MSSRestart: true}); err == nil {
+		t.Fatal("MSSRestart without StoreDir accepted")
 	}
 }
 

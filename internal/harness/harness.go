@@ -6,16 +6,20 @@ package harness
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"mutablecp/internal/algorithms/chandylamport"
 	"mutablecp/internal/algorithms/elnozahy"
 	"mutablecp/internal/algorithms/kootoueg"
 	"mutablecp/internal/algorithms/naive"
+	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/core"
 	"mutablecp/internal/protocol"
+	"mutablecp/internal/recovery"
 	"mutablecp/internal/simrt"
+	"mutablecp/internal/stable"
 	"mutablecp/internal/stats"
 	"mutablecp/internal/workload"
 )
@@ -110,6 +114,16 @@ type Config struct {
 	// whole run (they generate no traffic; arriving messages wake them at
 	// an energy cost). Point-to-point workloads only.
 	DozeCount int
+
+	// StoreDir, when non-empty, backs every process's stable store with
+	// the durable internal/stable log under this directory (one
+	// subdirectory per process) instead of the in-memory store. After the
+	// run the recovery line is additionally reconstructed from disk and
+	// validated; the verdict lands in Result.DiskLineOK. Each seed writes
+	// under its own seed-<n> subdirectory, so one StoreDir serves a whole
+	// RunSeeds sweep without collisions. The directory must be private to
+	// this experiment.
+	StoreDir string
 }
 
 func (c Config) defaults() Config {
@@ -169,6 +183,13 @@ type Result struct {
 	// DozeWakeups counts messages that awakened dozing hosts (energy
 	// cost; only meaningful with Config.DozeCount > 0).
 	DozeWakeups uint64
+
+	// DiskLineOK reports whether the recovery line reconstructed from the
+	// on-disk stores after the run matches the live permanent line and
+	// passes the orphan check. Always true for in-memory runs (no disk to
+	// disagree with).
+	DiskLineOK  bool
+	DiskLineErr error
 }
 
 // Run executes one experiment.
@@ -178,14 +199,22 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := simrt.New(simrt.Config{
+	simCfg := simrt.Config{
 		N:                   cfg.N,
 		Seed:                cfg.Seed,
 		NewEngine:           factory,
 		CheckpointInterval:  cfg.Interval,
 		ScheduleCheckpoints: true,
 		SingleInitiation:    true,
-	})
+	}
+	storeOpts := stable.Options{Keep: 1}
+	if cfg.StoreDir != "" {
+		dir := storeSeedDir(cfg.StoreDir, cfg.Seed)
+		simCfg.NewStore = func(pid protocol.ProcessID, n int) (checkpoint.Store, error) {
+			return stable.Open(stable.ProcDir(dir, pid), pid, n, storeOpts)
+		}
+	}
+	cluster, err := simrt.New(simCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +286,45 @@ func Run(cfg Config) (*Result, error) {
 			res.ConsistencyErr = err
 		}
 	}
+	res.DiskLineOK = true
+	if cfg.StoreDir != "" {
+		res.DiskLineErr = checkDiskLine(cluster, storeSeedDir(cfg.StoreDir, cfg.Seed), stable.Options{Keep: 1})
+		res.DiskLineOK = res.DiskLineErr == nil
+	}
 	return res, nil
+}
+
+// storeSeedDir is the per-seed subdirectory of a durable store root: seeds
+// of one sweep run concurrently and must never share a segment log.
+func storeSeedDir(root string, seed uint64) string {
+	return filepath.Join(root, fmt.Sprintf("seed-%d", seed))
+}
+
+// checkDiskLine closes the durable stores, reconstructs the recovery line
+// from the directory alone (a simulated MSS restart), and verifies it
+// matches the live permanent line the cluster ended with.
+func checkDiskLine(cluster *simrt.Cluster, dir string, opts stable.Options) error {
+	live := cluster.PermanentLine()
+	if err := cluster.RestartStores(); err != nil {
+		return err
+	}
+	line, err := recovery.OpenLine(dir, cluster.N(), opts)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < cluster.N(); p++ {
+		got := line.Checkpoints[p].State
+		want := live[p]
+		if got.CSN != want.CSN {
+			return fmt.Errorf("harness: P%d on-disk permanent CSN %d, live %d", p, got.CSN, want.CSN)
+		}
+		for j := range want.SentTo {
+			if got.SentTo[j] != want.SentTo[j] || got.RecvFrom[j] != want.RecvFrom[j] {
+				return fmt.Errorf("harness: P%d on-disk checkpoint counters differ from live line", p)
+			}
+		}
+	}
+	return nil
 }
 
 // RunSeeds runs the experiment across several seeds and merges the

@@ -149,6 +149,9 @@ func mergeSeedResults(seeds []uint64, results []*Result) *Result {
 		if res.ConsistencyErr != nil {
 			res.ConsistencyErr = fmt.Errorf("seed %d: %w", seed, res.ConsistencyErr)
 		}
+		if res.DiskLineErr != nil {
+			res.DiskLineErr = fmt.Errorf("seed %d: %w", seed, res.DiskLineErr)
+		}
 		for j, e := range res.ClusterErrors {
 			res.ClusterErrors[j] = fmt.Errorf("seed %d: %w", seed, e)
 		}
@@ -173,6 +176,10 @@ func mergeSeedResults(seeds []uint64, results []*Result) *Result {
 		merged.ConsistencyOK = merged.ConsistencyOK && res.ConsistencyOK
 		if merged.ConsistencyErr == nil {
 			merged.ConsistencyErr = res.ConsistencyErr
+		}
+		merged.DiskLineOK = merged.DiskLineOK && res.DiskLineOK
+		if merged.DiskLineErr == nil {
+			merged.DiskLineErr = res.DiskLineErr
 		}
 		merged.ClusterErrors = append(merged.ClusterErrors, res.ClusterErrors...)
 	}

@@ -13,6 +13,7 @@ import (
 	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
 )
 
 // Line is a recovery line: one checkpoint per process.
@@ -37,13 +38,14 @@ func (l *Line) Validate() error {
 // Manager computes recovery lines and rollback costs from the processes'
 // stable stores.
 type Manager struct {
-	stores map[protocol.ProcessID]*checkpoint.StableStore
+	stores map[protocol.ProcessID]checkpoint.Store
 }
 
 // NewManager builds a manager over the given stable stores (one per
 // process; in the paper's system these live at the MSSs and survive MH
-// failures).
-func NewManager(stores map[protocol.ProcessID]*checkpoint.StableStore) *Manager {
+// failures). Any checkpoint.Store works: the in-memory StableStore or
+// the durable internal/stable backend.
+func NewManager(stores map[protocol.ProcessID]checkpoint.Store) *Manager {
 	return &Manager{stores: stores}
 }
 
@@ -106,4 +108,27 @@ func (m *Manager) Cost(line *Line, current map[protocol.ProcessID]protocol.State
 // After rollback these must be replayed by the reliable channel layer.
 func (m *Manager) InTransit(line *Line) (map[[2]protocol.ProcessID]uint64, error) {
 	return consistency.InTransit(line.States())
+}
+
+// OpenLine reconstructs the recovery line from the on-disk stable stores
+// under root (one internal/stable directory per process, as written by a
+// run with durable storage) after a simulated MSS restart. Each store is
+// opened — running its crash recovery — read, and closed; the resulting
+// line is validated for consistency before being returned.
+func OpenLine(root string, n int, opts stable.Options) (*Line, error) {
+	line := &Line{Checkpoints: make(map[protocol.ProcessID]checkpoint.Record, n)}
+	for pid := 0; pid < n; pid++ {
+		st, err := stable.Open(stable.ProcDir(root, pid), pid, n, opts)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: open P%d store: %w", pid, err)
+		}
+		line.Checkpoints[pid] = st.Permanent()
+		if err := st.Close(); err != nil {
+			return nil, fmt.Errorf("recovery: close P%d store: %w", pid, err)
+		}
+	}
+	if err := line.Validate(); err != nil {
+		return nil, fmt.Errorf("recovery: on-disk line: %w", err)
+	}
+	return line, nil
 }

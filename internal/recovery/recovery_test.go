@@ -13,8 +13,8 @@ import (
 	"mutablecp/internal/workload"
 )
 
-func storesOf(c *simrt.Cluster) map[protocol.ProcessID]*checkpoint.StableStore {
-	out := make(map[protocol.ProcessID]*checkpoint.StableStore, c.N())
+func storesOf(c *simrt.Cluster) map[protocol.ProcessID]checkpoint.Store {
+	out := make(map[protocol.ProcessID]checkpoint.Store, c.N())
 	for i := 0; i < c.N(); i++ {
 		out[i] = c.Proc(i).Stable()
 	}
@@ -111,7 +111,7 @@ func TestInTransitAfterRollback(t *testing.T) {
 }
 
 func TestValidateCatchesCorruptLine(t *testing.T) {
-	stores := map[protocol.ProcessID]*checkpoint.StableStore{
+	stores := map[protocol.ProcessID]checkpoint.Store{
 		0: checkpoint.NewStableStore(0, 2),
 		1: checkpoint.NewStableStore(1, 2),
 	}

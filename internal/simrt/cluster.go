@@ -9,8 +9,10 @@ package simrt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
+	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/des"
 	"mutablecp/internal/netsim"
 	"mutablecp/internal/protocol"
@@ -31,6 +33,16 @@ type Config struct {
 	NewTransport func(sim *des.Simulator, n int) netsim.Transport
 	// NewEngine builds the checkpointing algorithm for one process.
 	NewEngine func(env protocol.Env) protocol.Engine
+	// NewStore builds the stable checkpoint store for one process; nil
+	// means the in-memory checkpoint.StableStore. Supplying a factory
+	// (e.g. one opening internal/stable on disk) makes the MSS side of
+	// the storage split durable; simrt itself stays backend-agnostic.
+	NewStore func(pid protocol.ProcessID, n int) (checkpoint.Store, error)
+	// RetainPermanents bounds how many permanent checkpoints the default
+	// in-memory store keeps (the paper's discard rule). 0 keeps all —
+	// the audit setting the chaos harness's line replay requires.
+	// Factory-built stores configure their own retention.
+	RetainPermanents int
 
 	// CompMsgBytes is the computation message size. Paper: 1 KB (4 ms).
 	CompMsgBytes int
@@ -156,7 +168,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.procs = make([]*Proc, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		c.procs[i] = newProc(c, i)
+		p, err := newProc(c, i)
+		if err != nil {
+			return nil, err
+		}
+		c.procs[i] = p
 	}
 	for _, p := range c.procs {
 		p.engine = cfg.NewEngine(p)
@@ -211,6 +227,40 @@ func (c *Cluster) restoreLine(line map[protocol.ProcessID]protocol.State) error 
 				c.procs[to].engine.HandleMessage(m)
 			}
 		}
+	}
+	return nil
+}
+
+// newStore builds one process's stable store per the configuration.
+func (c *Cluster) newStore(pid protocol.ProcessID) (checkpoint.Store, error) {
+	if c.cfg.NewStore != nil {
+		return c.cfg.NewStore(pid, c.cfg.N)
+	}
+	st := checkpoint.NewStableStore(pid, c.cfg.N)
+	st.SetRetain(c.cfg.RetainPermanents)
+	return st, nil
+}
+
+// RestartStores simulates a crash and restart of the MSS's stable
+// storage: every process's store is closed (if it is closeable) and
+// rebuilt through the factory. With a durable backend the rebuilt store
+// recovers its contents from disk; with the in-memory default the
+// checkpoints are simply gone — which is exactly the difference the
+// durable backend exists to demonstrate. Volatile MH state (engines,
+// counters, mutable checkpoints) is untouched: it is the support
+// station, not the hosts, that restarted.
+func (c *Cluster) RestartStores() error {
+	for _, p := range c.procs {
+		if closer, ok := p.stable.(io.Closer); ok {
+			if err := closer.Close(); err != nil {
+				return fmt.Errorf("simrt: close P%d store: %w", p.id, err)
+			}
+		}
+		st, err := c.newStore(p.id)
+		if err != nil {
+			return fmt.Errorf("simrt: reopen P%d store: %w", p.id, err)
+		}
+		p.stable = st
 	}
 	return nil
 }

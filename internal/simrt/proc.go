@@ -24,7 +24,7 @@ type Proc struct {
 	id protocol.ProcessID
 
 	engine  protocol.Engine
-	stable  *checkpoint.StableStore
+	stable  checkpoint.Store
 	mutable *checkpoint.MutableStore
 
 	sentTo   []uint64
@@ -46,22 +46,26 @@ type Proc struct {
 
 var _ protocol.Env = (*Proc)(nil)
 
-func newProc(c *Cluster, id protocol.ProcessID) *Proc {
+func newProc(c *Cluster, id protocol.ProcessID) (*Proc, error) {
+	st, err := c.newStore(id)
+	if err != nil {
+		return nil, fmt.Errorf("simrt: P%d store: %w", id, err)
+	}
 	return &Proc{
 		c:        c,
 		id:       id,
-		stable:   checkpoint.NewStableStore(id, c.cfg.N),
+		stable:   st,
 		mutable:  checkpoint.NewMutableStore(id),
 		sentTo:   make([]uint64, c.cfg.N),
 		recvFrom: make([]uint64, c.cfg.N),
-	}
+	}, nil
 }
 
 // Engine returns the process's checkpointing engine.
 func (p *Proc) Engine() protocol.Engine { return p.engine }
 
-// Stable returns the process's stable checkpoint store.
-func (p *Proc) Stable() *checkpoint.StableStore { return p.stable }
+// Stable returns the process's stable checkpoint store (at the MSS).
+func (p *Proc) Stable() checkpoint.Store { return p.stable }
 
 // Mutable returns the process's mutable checkpoint store.
 func (p *Proc) Mutable() *checkpoint.MutableStore { return p.mutable }

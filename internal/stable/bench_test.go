@@ -1,0 +1,87 @@
+package stable_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/stable/errfs"
+)
+
+// benchCycle runs one save+commit round against st.
+func benchCycle(b *testing.B, st *stable.Store, i int) {
+	b.Helper()
+	trig := protocol.Trigger{Pid: 0, Inum: i + 1}
+	if err := st.SaveTentative(state(0, 4, i+1), trig, time.Duration(i)); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.MakePermanent(trig, time.Duration(i)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCommit(b *testing.B) {
+	for _, pol := range []stable.SyncPolicy{stable.SyncOnCommit, stable.SyncNever} {
+		b.Run(fmt.Sprintf("sync=%v/mem", pol), func(b *testing.B) {
+			st, err := stable.Open("mss/p000", 0, 4, stable.Options{FS: errfs.New(), Sync: pol, Keep: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchCycle(b, st, i)
+			}
+		})
+		b.Run(fmt.Sprintf("sync=%v/disk", pol), func(b *testing.B) {
+			st, err := stable.Open(stable.ProcDir(b.TempDir(), 0), 0, 4, stable.Options{Sync: pol, Keep: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchCycle(b, st, i)
+			}
+		})
+	}
+}
+
+// BenchmarkOpen measures recovery time as a function of the un-compacted
+// log size (Keep=0, so the whole history replays).
+func BenchmarkOpen(b *testing.B) {
+	for _, commits := range []int{16, 256} {
+		b.Run(fmt.Sprintf("commits=%d", commits), func(b *testing.B) {
+			fs := errfs.New()
+			st, err := stable.Open("mss/p000", 0, 4, stable.Options{FS: fs, Sync: stable.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < commits; i++ {
+				trig := protocol.Trigger{Pid: 0, Inum: i + 1}
+				if err := st.SaveTentative(state(0, 4, i+1), trig, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.MakePermanent(trig, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := stable.Open("mss/p000", 0, 4, stable.Options{FS: fs, Sync: stable.SyncNever})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if re.Permanent().State.CSN != commits {
+					b.Fatal("bad replay")
+				}
+				re.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package wire
+
+// Persisted checkpoint records: the frame format internal/stable appends
+// to its on-disk segment log. A stored frame is
+//
+//	[4-byte BE body length][4-byte BE CRC32C of body][gob body]
+//
+// The CRC uses the Castagnoli polynomial (the one disk and network
+// ecosystems standardized on because of hardware support), so a torn or
+// bit-flipped tail is detected before gob ever sees it. The body reuses
+// the same gob machinery as the network frames — every hardening the
+// FuzzDecode corpus bought (bounded frame sizes via MaxFrame, and the
+// MaxExp-bounded dyadic decoding for any weight-bearing payload) guards
+// the disk path too.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"mutablecp/internal/protocol"
+)
+
+// RecordOp tags a persisted stable-store record.
+type RecordOp uint8
+
+// Stable-store log operations. Tentative carries a full checkpoint;
+// Commit and Drop are markers resolving a pending tentative; Snapshot is
+// a full store image written at creation, seeding, and compaction, and
+// resets replay state.
+const (
+	OpSnapshot RecordOp = iota + 1
+	OpTentative
+	OpCommit
+	OpDrop
+	opMax
+)
+
+var recordOpNames = map[RecordOp]string{
+	OpSnapshot:  "snapshot",
+	OpTentative: "tentative",
+	OpCommit:    "commit",
+	OpDrop:      "drop",
+}
+
+// String returns the op name.
+func (op RecordOp) String() string {
+	if s, ok := recordOpNames[op]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// CheckpointImage is one checkpoint inside a snapshot record. Status uses
+// the checkpoint package's numbering (1 = tentative, 2 = permanent); wire
+// stores it as a raw byte to avoid an import cycle.
+type CheckpointImage struct {
+	State   protocol.State
+	Trigger protocol.Trigger
+	Status  uint8
+	SavedAt time.Duration
+}
+
+// StableRecord is one persisted stable-store log entry. Only the fields
+// relevant to Op are populated.
+type StableRecord struct {
+	Op   RecordOp
+	Proc protocol.ProcessID
+
+	// Tentative / Commit / Drop.
+	Trigger protocol.Trigger
+	At      time.Duration
+	State   protocol.State // tentative payload
+
+	// Snapshot: the full store image, permanents oldest first, tentatives
+	// in deterministic trigger order.
+	Permanent []CheckpointImage
+	Tentative []CheckpointImage
+}
+
+// Record framing errors. A torn record is a frame the writer did not
+// finish (crash mid-append): expected, and truncatable, at the tail of
+// the last segment. A corrupt record is a complete frame that fails its
+// checksum or does not decode: never expected, anywhere.
+var (
+	ErrTornRecord    = errors.New("wire: torn stable record")
+	ErrCorruptRecord = errors.New("wire: corrupt stable record")
+)
+
+const recordHeaderLen = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendStableRecord appends the framed record to dst and returns the
+// extended slice. It is the encoding primitive: callers that need a
+// writer use EncodeStableRecord.
+func AppendStableRecord(dst []byte, r *StableRecord) ([]byte, error) {
+	if r.Op == 0 || r.Op >= opMax {
+		return dst, fmt.Errorf("wire: encode stable record: bad op %d", r.Op)
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(r); err != nil {
+		return dst, fmt.Errorf("wire: encode stable record: %w", err)
+	}
+	if body.Len() > MaxFrame {
+		return dst, fmt.Errorf("wire: stable record too large (%d bytes)", body.Len())
+	}
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body.Bytes(), castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body.Bytes()...), nil
+}
+
+// EncodeStableRecord writes one framed record and returns the number of
+// bytes written. The write is issued as a single Write call so a
+// filesystem seam can model it as one (possibly torn) disk operation.
+func EncodeStableRecord(w io.Writer, r *StableRecord) (int, error) {
+	frame, err := AppendStableRecord(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(frame)
+}
+
+// DecodeStableRecord reads one framed record and reports how many bytes
+// of the stream it consumed. Errors:
+//
+//   - io.EOF: clean end of log (no bytes of a further record present)
+//   - ErrTornRecord: the frame stops mid-header or mid-body
+//   - ErrCorruptRecord: checksum or gob failure on a complete frame, or
+//     an absurd length prefix
+func DecodeStableRecord(r io.Reader) (*StableRecord, int, error) {
+	var hdr [recordHeaderLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short header (%d bytes)", ErrTornRecord, n)
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[:4])
+	if bodyLen > MaxFrame {
+		return nil, n, fmt.Errorf("%w: length prefix %d exceeds MaxFrame", ErrCorruptRecord, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	m, err := io.ReadFull(r, body)
+	n += m
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short body (%d of %d bytes)", ErrTornRecord, m, bodyLen)
+	}
+	if got, want := crc32.Checksum(body, castagnoli), binary.BigEndian.Uint32(hdr[4:]); got != want {
+		return nil, n, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptRecord, got, want)
+	}
+	var rec StableRecord
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+		return nil, n, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	if rec.Op == 0 || rec.Op >= opMax {
+		return nil, n, fmt.Errorf("%w: bad op %d", ErrCorruptRecord, rec.Op)
+	}
+	return &rec, n, nil
+}

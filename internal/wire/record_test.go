@@ -1,0 +1,164 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+	"time"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/wire"
+)
+
+func wireCRC(b []byte) uint32 {
+	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+}
+
+func sampleTentativeRecord() *wire.StableRecord {
+	return &wire.StableRecord{
+		Op:      wire.OpTentative,
+		Proc:    3,
+		Trigger: protocol.Trigger{Pid: 1, Inum: 4},
+		At:      2500 * time.Millisecond,
+		State: protocol.State{
+			Proc:     3,
+			CSN:      4,
+			SentTo:   []uint64{1, 0, 7, 2},
+			RecvFrom: []uint64{0, 3, 0, 9},
+			At:       2 * time.Second,
+		},
+	}
+}
+
+func sampleSnapshotRecord() *wire.StableRecord {
+	return &wire.StableRecord{
+		Op:   wire.OpSnapshot,
+		Proc: 0,
+		Permanent: []wire.CheckpointImage{{
+			State:   protocol.State{Proc: 0, SentTo: []uint64{0, 0}, RecvFrom: []uint64{0, 0}},
+			Trigger: protocol.NoTrigger,
+			Status:  2,
+		}},
+		Tentative: []wire.CheckpointImage{{
+			State:   protocol.State{Proc: 0, CSN: 1, SentTo: []uint64{5, 0}, RecvFrom: []uint64{0, 1}},
+			Trigger: protocol.Trigger{Pid: 0, Inum: 1},
+			Status:  1,
+			SavedAt: time.Second,
+		}},
+	}
+}
+
+func TestStableRecordRoundTrip(t *testing.T) {
+	for _, rec := range []*wire.StableRecord{
+		sampleTentativeRecord(),
+		sampleSnapshotRecord(),
+		{Op: wire.OpCommit, Proc: 1, Trigger: protocol.Trigger{Pid: 0, Inum: 2}, At: time.Minute},
+		{Op: wire.OpDrop, Proc: 2, Trigger: protocol.Trigger{Pid: 2, Inum: 9}},
+	} {
+		var buf bytes.Buffer
+		n, err := wire.EncodeStableRecord(&buf, rec)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", rec.Op, err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("%v: reported %d bytes, wrote %d", rec.Op, n, buf.Len())
+		}
+		got, m, err := wire.DecodeStableRecord(&buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", rec.Op, err)
+		}
+		if m != n {
+			t.Fatalf("%v: decode consumed %d of %d bytes", rec.Op, m, n)
+		}
+		if got.Op != rec.Op || got.Proc != rec.Proc || got.Trigger != rec.Trigger || got.At != rec.At {
+			t.Fatalf("%v: round trip mutated header fields: %+v", rec.Op, got)
+		}
+		if got.State.CSN != rec.State.CSN || len(got.Permanent) != len(rec.Permanent) ||
+			len(got.Tentative) != len(rec.Tentative) {
+			t.Fatalf("%v: round trip mutated payload: %+v", rec.Op, got)
+		}
+	}
+}
+
+func TestStableRecordEncodeDeterministic(t *testing.T) {
+	a, err := wire.AppendStableRecord(nil, sampleSnapshotRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wire.AppendStableRecord(nil, sampleSnapshotRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical records encoded to different bytes")
+	}
+}
+
+func TestStableRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []wire.RecordOp{wire.OpSnapshot, wire.OpTentative, wire.OpCommit}
+	for _, op := range want {
+		rec := sampleTentativeRecord()
+		rec.Op = op
+		if _, err := wire.EncodeStableRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, op := range want {
+		rec, _, err := wire.DecodeStableRecord(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Op != op {
+			t.Fatalf("record %d: op = %v, want %v", i, rec.Op, op)
+		}
+	}
+	if _, _, err := wire.DecodeStableRecord(&buf); err != io.EOF {
+		t.Fatalf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestStableRecordTornAndCorrupt(t *testing.T) {
+	frame, err := wire.AppendStableRecord(nil, sampleTentativeRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"torn-header", frame[:5], wire.ErrTornRecord},
+		{"torn-body", frame[:len(frame)-3], wire.ErrTornRecord},
+		{"flipped-body-byte", flip(frame, len(frame)-1), wire.ErrCorruptRecord},
+		{"flipped-crc", flip(frame, 5), wire.ErrCorruptRecord},
+		{"oversize-length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, wire.ErrCorruptRecord},
+		{"gob-garbage", garbageFrame(), wire.ErrCorruptRecord},
+	}
+	for _, tc := range cases {
+		_, _, err := wire.DecodeStableRecord(bytes.NewReader(tc.data))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// flip returns a copy of b with bit 0 of b[i] inverted.
+func flip(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 1
+	return out
+}
+
+// garbageFrame builds a frame whose CRC is valid but whose body is not
+// gob: corruption the checksum cannot catch must still be rejected.
+func garbageFrame() []byte {
+	body := []byte{1, 2, 3, 4}
+	frame := []byte{0, 0, 0, 4, 0, 0, 0, 0}
+	crc := wireCRC(body)
+	frame[4], frame[5], frame[6], frame[7] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	return append(frame, body...)
+}
