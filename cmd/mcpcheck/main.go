@@ -1,0 +1,257 @@
+// Command mcpcheck runs the schedule-space model checker: it explores
+// same-timestamp tie-break interleavings of a scripted scenario and
+// checks the protocol's safety invariants on every schedule (orphan-free
+// committed lines, no leaked checkpoints or weight, Lemma 1's pending
+// bound, termination within budget).
+//
+// Usage:
+//
+//	mcpcheck                                     # 256 random walks of the race scenario
+//	mcpcheck -scenario burst -runs 1024 -workers 0
+//	mcpcheck -mode exhaust -scenario race -n 3 -max-runs 4096
+//	mcpcheck -mutation skip-mutable -expect-violation -out ce.schedule
+//	mcpcheck -mode replay -schedule ce.schedule -mutation skip-mutable -expect-violation
+//	mcpcheck -mode shrink -schedule ce.schedule -mutation skip-mutable -out min.schedule
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mutablecp/internal/core"
+	"mutablecp/internal/explore"
+	"mutablecp/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// mutationNames maps -mutation values to engine mutations.
+var mutationNames = map[string]core.Mutation{
+	"none":           core.MutNone,
+	"mr-suppression": core.MutLiteralMRSuppression,
+	"skip-mutable":   core.MutSkipMutableCheckpoint,
+	"skip-sent-gate": core.MutSkipSentGate,
+}
+
+func mutationList() string {
+	names := make([]string, 0, len(mutationNames))
+	for n := range mutationNames {
+		names = append(names, n)
+	}
+	// Stable order for usage text.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcpcheck", flag.ContinueOnError)
+	scenario := fs.String("scenario", "race",
+		"scenario: "+strings.Join(explore.ScenarioNames(), ", "))
+	n := fs.Int("n", 4, "number of processes")
+	budget := fs.Int("budget", 0, "per-run kernel step budget (0 = scenario default)")
+	mode := fs.String("mode", "walk", "strategy: walk, exhaust, replay, shrink")
+	runs := fs.Int("runs", 256, "with -mode walk: number of random-walk schedules")
+	seed := fs.Uint64("seed", 1, "with -mode walk: first walk seed")
+	workers := fs.Int("workers", 0, "with -mode walk: worker pool size (0 = all CPUs)")
+	maxRuns := fs.Int("max-runs", 4096, "with -mode exhaust: schedule budget")
+	maxDepth := fs.Int("max-depth", 64, "with -mode exhaust: branching depth bound")
+	noPrune := fs.Bool("no-prune", false, "with -mode exhaust: disable fingerprint pruning")
+	mutation := fs.String("mutation", "none", "engine mutation to inject: "+mutationList())
+	schedule := fs.String("schedule", "", "with -mode replay/shrink: schedule file to load")
+	out := fs.String("out", "", "write the (shrunken) counterexample schedule to this file")
+	doShrink := fs.Bool("shrink", true, "shrink counterexamples found by walk/exhaust")
+	expect := fs.Bool("expect-violation", false,
+		"invert the exit status: succeed only if a violation is found (mutation testing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Validate flag combinations up front, before any run starts.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch *mode {
+	case "walk", "exhaust", "replay", "shrink":
+	default:
+		return fmt.Errorf("unknown -mode %q (want walk, exhaust, replay, or shrink)", *mode)
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be >= 1")
+	}
+	if *budget < 0 {
+		return fmt.Errorf("-budget must be >= 0")
+	}
+	if *mode == "replay" || *mode == "shrink" {
+		if *schedule == "" {
+			return fmt.Errorf("-mode %s requires -schedule", *mode)
+		}
+	} else if set["schedule"] {
+		return fmt.Errorf("-schedule only applies to -mode replay/shrink (got -mode %s)", *mode)
+	}
+	if *mode != "walk" {
+		for _, f := range []string{"runs", "seed", "workers"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode walk (got -mode %s)", f, *mode)
+			}
+		}
+	}
+	if *mode != "exhaust" {
+		for _, f := range []string{"max-runs", "max-depth", "no-prune"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode exhaust (got -mode %s)", f, *mode)
+			}
+		}
+	}
+	mut, ok := mutationNames[*mutation]
+	if !ok {
+		return fmt.Errorf("unknown -mutation %q (want %s)", *mutation, mutationList())
+	}
+
+	s, err := explore.ScenarioByName(*scenario, *n)
+	if err != nil {
+		return err
+	}
+	s.Mutation = mut
+	s.Budget = *budget
+
+	var found *explore.RunResult
+	switch *mode {
+	case "walk":
+		start := time.Now()
+		rep, err := s.Walks(*seed, *runs, *workers)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("scenario             %s (n=%d, mutation=%v)\n", s.Name, s.N, mut)
+		fmt.Printf("walks                %d (base seed %d)\n", rep.Runs, rep.BaseSeed)
+		fmt.Printf("throughput           %.0f schedules/sec (%d steps, %d decisions)\n",
+			float64(rep.Runs)/elapsed.Seconds(), rep.Steps, rep.Decisions)
+		fmt.Printf("unique executions    %d\n", rep.Unique)
+		fmt.Printf("violations           %d\n", rep.Violations)
+		if rep.First != nil {
+			fmt.Printf("first violation      seed %d: %v\n", rep.FirstSeed, rep.First.Violation)
+			found = rep.First
+		}
+	case "exhaust":
+		rep, err := s.Exhaust(explore.ExhaustOptions{
+			MaxRuns: *maxRuns, MaxDepth: *maxDepth, NoPrune: *noPrune,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario             %s (n=%d, mutation=%v)\n", s.Name, s.N, mut)
+		fmt.Printf("schedules explored   %d (unique %d, pruned %d, truncated %v)\n",
+			rep.Runs, rep.Unique, rep.Pruned, rep.Truncated)
+		if rep.Violation != nil {
+			fmt.Printf("violation            %v\n", rep.Violation.Violation)
+			found = rep.Violation
+		}
+	case "replay", "shrink":
+		rec, err := loadSchedule(*schedule)
+		if err != nil {
+			return err
+		}
+		if rec.Name != s.Name && !set["scenario"] {
+			// The record knows which scenario it belongs to.
+			if s, err = explore.ScenarioByName(rec.Name, *n); err != nil {
+				return err
+			}
+			s.Mutation = mut
+			s.Budget = *budget
+		}
+		if !set["mutation"] && rec.Mutation != 0 {
+			s.Mutation = core.Mutation(rec.Mutation)
+		}
+		fmt.Printf("scenario             %s (n=%d, mutation=%v)\n", s.Name, s.N, s.Mutation)
+		fmt.Printf("schedule             %v (divergence %d)\n", rec.Choices, explore.Divergence(rec.Choices))
+		if *mode == "shrink" {
+			shr, err := s.Shrink(rec.Choices)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("shrunk               %v (divergence %d) in %d replays\n",
+				shr.Schedule, explore.Divergence(shr.Schedule), shr.Runs)
+			fmt.Printf("violation            %v\n", shr.Result.Violation)
+			found = shr.Result
+		} else {
+			res, err := s.Replay(rec.Choices)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("steps                %d (%d decisions)\n", res.Steps, res.Decisions())
+			fmt.Printf("fingerprint          %016x\n", res.Fingerprint)
+			if res.Violation != nil {
+				fmt.Printf("violation            %v\n", res.Violation)
+				found = res
+			} else {
+				fmt.Printf("violation            none\n")
+			}
+		}
+	}
+
+	if found != nil && *doShrink && (*mode == "walk" || *mode == "exhaust") {
+		shr, err := s.Shrink(found.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shrunk               %v (divergence %d) in %d replays\n",
+			shr.Schedule, explore.Divergence(shr.Schedule), shr.Runs)
+		found = shr.Result
+		found.Schedule = shr.Schedule
+	}
+	if found != nil && *out != "" {
+		if err := saveSchedule(*out, &wire.ScheduleRecord{
+			Name:     s.Name,
+			Mutation: uint8(s.Mutation),
+			Choices:  found.Schedule,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("counterexample       written to %s\n", *out)
+	}
+
+	if *expect && found == nil {
+		return fmt.Errorf("expected a violation, found none")
+	}
+	if !*expect && found != nil {
+		return fmt.Errorf("violation found: %v", found.Violation)
+	}
+	return nil
+}
+
+func loadSchedule(path string) (*wire.ScheduleRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := wire.DecodeScheduleRecord(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func saveSchedule(path string, rec *wire.ScheduleRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := wire.EncodeScheduleRecord(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

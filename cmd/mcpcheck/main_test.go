@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown mode", []string{"-mode", "fuzz"}, "unknown -mode"},
+		{"bad runs", []string{"-runs", "0"}, "-runs must be >= 1"},
+		{"negative budget", []string{"-budget", "-1"}, "-budget must be >= 0"},
+		{"replay needs schedule", []string{"-mode", "replay"}, "requires -schedule"},
+		{"shrink needs schedule", []string{"-mode", "shrink"}, "requires -schedule"},
+		{"schedule with walk", []string{"-schedule", "x"}, "-schedule only applies"},
+		{"runs with exhaust", []string{"-mode", "exhaust", "-runs", "9"}, "-runs only applies to -mode walk"},
+		{"seed with exhaust", []string{"-mode", "exhaust", "-seed", "9"}, "-seed only applies to -mode walk"},
+		{"max-runs with walk", []string{"-max-runs", "9"}, "-max-runs only applies to -mode exhaust"},
+		{"no-prune with walk", []string{"-no-prune"}, "-no-prune only applies to -mode exhaust"},
+		{"unknown mutation", []string{"-mutation", "bogus"}, "unknown -mutation"},
+		{"unknown scenario", []string{"-scenario", "bogus"}, "unknown scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want error containing %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestWalkCleanAndMutationPipeline exercises the CLI end to end: a clean
+// walk exits zero, a mutated walk finds + shrinks + saves a
+// counterexample, and replay/shrink modes consume the saved file.
+func TestWalkCleanAndMutationPipeline(t *testing.T) {
+	if err := run([]string{"-runs", "16", "-workers", "2"}); err != nil {
+		t.Fatalf("clean walk failed: %v", err)
+	}
+	if err := run([]string{"-runs", "16", "-expect-violation"}); err == nil {
+		t.Fatal("clean walk with -expect-violation must fail")
+	}
+
+	ce := filepath.Join(t.TempDir(), "ce.schedule")
+	if err := run([]string{"-mutation", "skip-mutable", "-runs", "64",
+		"-expect-violation", "-out", ce}); err != nil {
+		t.Fatalf("mutated walk did not find a violation: %v", err)
+	}
+
+	// The saved record carries the mutation, so replay needs no -mutation.
+	if err := run([]string{"-mode", "replay", "-schedule", ce, "-expect-violation"}); err != nil {
+		t.Fatalf("replay of saved counterexample: %v", err)
+	}
+	// Forcing the mutation off must make the same schedule pass.
+	if err := run([]string{"-mode", "replay", "-schedule", ce, "-mutation", "none"}); err != nil {
+		t.Fatalf("unmutated replay of counterexample should be clean: %v", err)
+	}
+	if err := run([]string{"-mode", "shrink", "-schedule", ce, "-expect-violation"}); err != nil {
+		t.Fatalf("shrink of saved counterexample: %v", err)
+	}
+}
+
+func TestExhaustMode(t *testing.T) {
+	if err := run([]string{"-mode", "exhaust", "-scenario", "race", "-n", "3",
+		"-max-runs", "50"}); err != nil {
+		t.Fatalf("clean exhaust failed: %v", err)
+	}
+	if err := run([]string{"-mode", "exhaust", "-scenario", "race", "-n", "3",
+		"-max-runs", "200", "-mutation", "mr-suppression", "-expect-violation"}); err != nil {
+		t.Fatalf("exhaust did not detect mr-suppression: %v", err)
+	}
+}

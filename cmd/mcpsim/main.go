@@ -33,6 +33,80 @@ func main() {
 	}
 }
 
+// validate rejects bad values and conflicting flag combinations before
+// any experiment starts, so a long sweep never dies halfway through (or
+// silently ignores a flag the user thought was in effect).
+func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
+	horizon time.Duration, seedCount, parallel int, chaos bool,
+	chaosDrop, chaosDup float64, chaosCrashes int, store string, mssRestart bool) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	valid := false
+	for _, a := range harness.Algorithms() {
+		if a == algo {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown -algo %q (want %s)", algo, strings.Join(harness.Algorithms(), ", "))
+	}
+	if n < 2 {
+		return fmt.Errorf("-n must be >= 2 (checkpointing needs at least two processes)")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be > 0")
+	}
+	if ratio < 1 {
+		return fmt.Errorf("-ratio must be >= 1 (intra-group rate relative to inter-group)")
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("-horizon must be positive")
+	}
+	if seedCount < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs)")
+	}
+
+	if chaos {
+		// The chaos gauntlet fixes its own algorithm and workload; reject
+		// flags it would silently ignore.
+		for _, f := range []string{"algo", "workload", "ratio", "horizon", "rate", "n"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply to -chaos (the gauntlet fixes its own experiment shape)", f)
+			}
+		}
+	} else {
+		for _, f := range []string{"chaos-drop", "chaos-dup", "chaos-jitter",
+			"chaos-partition", "chaos-crashes", "chaos-mss-restart"} {
+			if set[f] {
+				return fmt.Errorf("-%s requires -chaos", f)
+			}
+		}
+	}
+	for _, f := range []string{"chaos-dup", "chaos-jitter", "chaos-partition", "chaos-crashes"} {
+		if set[f] && !set["chaos-drop"] {
+			return fmt.Errorf("-%s only applies with -chaos-drop (the default grid sets its own fault mix)", f)
+		}
+	}
+	if set["chaos-drop"] && (chaosDrop < 0 || chaosDrop > 1) {
+		return fmt.Errorf("-chaos-drop must be a probability in [0, 1]")
+	}
+	if chaosDup < 0 || chaosDup > 1 {
+		return fmt.Errorf("-chaos-dup must be a probability in [0, 1]")
+	}
+	if chaosCrashes < 0 {
+		return fmt.Errorf("-chaos-crashes must be >= 0")
+	}
+	if mssRestart && store == "" {
+		return fmt.Errorf("-chaos-mss-restart requires -store (in-memory stores cannot survive a storage restart)")
+	}
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcpsim", flag.ContinueOnError)
 	algo := fs.String("algo", harness.AlgoMutable,
@@ -61,11 +135,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *seedCount < 1 {
-		return fmt.Errorf("-seeds must be >= 1")
-	}
-	if *mssRestart && *store == "" {
-		return fmt.Errorf("-chaos-mss-restart requires -store (in-memory stores cannot survive a storage restart)")
+	if err := validate(fs, *algo, *n, *rate, *ratio, *horizon, *seedCount,
+		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart); err != nil {
+		return err
 	}
 	seedList := make([]uint64, *seedCount)
 	for i := range seedList {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunMutable(t *testing.T) {
 	if testing.Short() {
@@ -39,5 +42,46 @@ func TestUnknownWorkloadRejected(t *testing.T) {
 func TestUnknownAlgorithmRejected(t *testing.T) {
 	if err := run([]string{"-algo", "nope", "-horizon", "1h"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestFlagValidation pins the up-front combination checks: every bad
+// value or conflicting pair is rejected with a clear error before any
+// simulation starts.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"n too small", []string{"-n", "1"}, "-n must be >= 2"},
+		{"zero rate", []string{"-rate", "0"}, "-rate must be > 0"},
+		{"negative rate", []string{"-rate", "-0.1"}, "-rate must be > 0"},
+		{"ratio below one", []string{"-ratio", "0.5"}, "-ratio must be >= 1"},
+		{"zero horizon", []string{"-horizon", "0s"}, "-horizon must be positive"},
+		{"zero seeds", []string{"-seeds", "0"}, "-seeds must be >= 1"},
+		{"negative parallel", []string{"-parallel", "-1"}, "-parallel must be >= 0"},
+		{"algo under chaos", []string{"-chaos", "-algo", "koo-toueg"}, "-algo does not apply to -chaos"},
+		{"rate under chaos", []string{"-chaos", "-rate", "0.1"}, "-rate does not apply to -chaos"},
+		{"chaos-drop without chaos", []string{"-chaos-drop", "0.1"}, "-chaos-drop requires -chaos"},
+		{"chaos-crashes without chaos", []string{"-chaos-crashes", "2"}, "-chaos-crashes requires -chaos"},
+		{"mss-restart without chaos", []string{"-chaos-mss-restart"}, "-chaos-mss-restart requires -chaos"},
+		{"dup without drop", []string{"-chaos", "-chaos-dup", "0.1"}, "-chaos-dup only applies with -chaos-drop"},
+		{"jitter without drop", []string{"-chaos", "-chaos-jitter", "1ms"}, "-chaos-jitter only applies with -chaos-drop"},
+		{"drop above one", []string{"-chaos", "-chaos-drop", "1.5"}, "-chaos-drop must be a probability"},
+		{"dup above one", []string{"-chaos", "-chaos-drop", "0.1", "-chaos-dup", "2"}, "-chaos-dup must be a probability"},
+		{"negative crashes", []string{"-chaos", "-chaos-drop", "0.1", "-chaos-crashes", "-1"}, "-chaos-crashes must be >= 0"},
+		{"mss-restart without store", []string{"-chaos", "-chaos-mss-restart"}, "requires -store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want error containing %q", tc.args, err.Error(), tc.want)
+			}
+		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mutablecp/internal/des"
+	"mutablecp/internal/explore"
 	"mutablecp/internal/harness"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/stable"
@@ -194,6 +195,27 @@ func Suite() []Benchmark {
 				b.ReportMetric(float64(b.N)/secs, "reschedules/sec")
 			}
 			tk.Stop()
+		}},
+		{Name: "explore/walks-256", Run: func(b *testing.B) {
+			// One iteration = 256 random-walk schedules of the race
+			// scenario through the full explorer stack (chooser hook,
+			// invariant oracle, fingerprinting, deterministic merge).
+			s := explore.RaceScenario(4)
+			var walks uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.Walks(1, 256, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Violations != 0 {
+					b.Fatalf("unmutated engine violated: %v", rep.First.Violation)
+				}
+				walks += uint64(rep.Runs)
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(walks)/secs, "schedules/sec")
+			}
 		}},
 		{Name: "stable/commit-sync", Run: storeCommit(stable.SyncOnCommit)},
 		{Name: "stable/commit-nosync", Run: storeCommit(stable.SyncNever)},

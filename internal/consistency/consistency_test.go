@@ -2,6 +2,7 @@ package consistency_test
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -99,6 +100,157 @@ func TestShortVectorsError(t *testing.T) {
 	s[1] = st
 	if err := consistency.Check(s); err == nil {
 		t.Fatal("short vectors accepted")
+	}
+}
+
+// fig1States encodes the checkpoint counters of the paper's Fig. 1 trace
+// (P1,P2,P3 = ids 0,1,2): m_a P1->P2 and m_b P3->P2 are recorded on both
+// sides; m1 P1->P3 is sent after C1,1 so it is absent from P1's
+// checkpoint. With naive checkpointing P3's checkpoint is cut after
+// processing m1 — the figure's orphan; with a mutable checkpoint it is
+// cut before, and the line is consistent.
+func fig1States(naive bool) map[protocol.ProcessID]protocol.State {
+	s := mkStates(3)
+	s[0].SentTo[1] = 1
+	s[1].RecvFrom[0] = 1
+	s[2].SentTo[1] = 1
+	s[1].RecvFrom[2] = 1
+	if naive {
+		s[2].RecvFrom[0] = 1
+	}
+	return s
+}
+
+// fig2States encodes Fig. 2 (P1..P5 = ids 0..4): m P4->P1, m3 P2->P5, m4
+// P5->P4 (the z-dependency), m5 P5->P2 all recorded on both sides. P2
+// additionally sent a second message to P5 that is still in the channel
+// when P5's checkpoint is cut — a legitimate in-transit message. The
+// naive variant cuts P2's checkpoint after processing P5's
+// post-checkpoint send m5b, recreating the orphan the mutable checkpoint
+// exists to prevent.
+func fig2States(naive bool) map[protocol.ProcessID]protocol.State {
+	s := mkStates(5)
+	s[3].SentTo[0] = 1 // m
+	s[0].RecvFrom[3] = 1
+	s[1].SentTo[4] = 2 // m3 + one still in transit
+	s[4].RecvFrom[1] = 1
+	s[4].SentTo[3] = 1 // m4
+	s[3].RecvFrom[4] = 1
+	s[4].SentTo[1] = 1 // m5 (m5b sent after C5,1 is absent)
+	s[1].RecvFrom[4] = 1
+	if naive {
+		s[1].RecvFrom[4] = 2 // m5b processed before P2's checkpoint
+	}
+	return s
+}
+
+// TestInTransitAgreesWithCheckOnFigureTraces pins the contract that
+// InTransit accepts exactly the global checkpoints Check accepts, and
+// reports the identical orphan set when both reject, on the paper's
+// Fig. 1 and Fig. 2 interleavings.
+func TestInTransitAgreesWithCheckOnFigureTraces(t *testing.T) {
+	cases := []struct {
+		name        string
+		states      map[protocol.ProcessID]protocol.State
+		wantOrphan  *consistency.Orphan
+		wantTransit map[[2]protocol.ProcessID]uint64
+	}{
+		{
+			name:        "fig1 mutable line",
+			states:      fig1States(false),
+			wantTransit: map[[2]protocol.ProcessID]uint64{},
+		},
+		{
+			name:       "fig1 naive line",
+			states:     fig1States(true),
+			wantOrphan: &consistency.Orphan{Sender: 0, Receiver: 2, Sent: 0, Received: 1},
+		},
+		{
+			name:   "fig2 mutable line",
+			states: fig2States(false),
+			wantTransit: map[[2]protocol.ProcessID]uint64{
+				{1, 4}: 1,
+			},
+		},
+		{
+			name:       "fig2 naive line",
+			states:     fig2States(true),
+			wantOrphan: &consistency.Orphan{Sender: 4, Receiver: 1, Sent: 1, Received: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkErr := consistency.Check(tc.states)
+			transit, transitErr := consistency.InTransit(tc.states)
+			if (checkErr == nil) != (transitErr == nil) {
+				t.Fatalf("Check err=%v but InTransit err=%v", checkErr, transitErr)
+			}
+			if tc.wantOrphan != nil {
+				var ce, te *consistency.InconsistencyError
+				if !errors.As(checkErr, &ce) || !errors.As(transitErr, &te) {
+					t.Fatalf("error types: Check=%T InTransit=%T", checkErr, transitErr)
+				}
+				if !reflect.DeepEqual(ce.Orphans, te.Orphans) {
+					t.Fatalf("orphan sets differ: Check=%+v InTransit=%+v", ce.Orphans, te.Orphans)
+				}
+				if len(ce.Orphans) != 1 || ce.Orphans[0] != *tc.wantOrphan {
+					t.Fatalf("orphans = %+v, want exactly %+v", ce.Orphans, *tc.wantOrphan)
+				}
+				return
+			}
+			if checkErr != nil {
+				t.Fatalf("consistent figure line rejected: %v", checkErr)
+			}
+			if len(transit) != len(tc.wantTransit) {
+				t.Fatalf("in-transit = %v, want %v", transit, tc.wantTransit)
+			}
+			for ch, n := range tc.wantTransit {
+				if transit[ch] != n {
+					t.Fatalf("in-transit[%v] = %d, want %d", ch, transit[ch], n)
+				}
+			}
+		})
+	}
+}
+
+// TestInTransitMalformedStates pins the error path: state maps whose
+// counter vectors cannot cover every present process are rejected, never
+// silently mis-indexed.
+func TestInTransitMalformedStates(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() map[protocol.ProcessID]protocol.State
+	}{
+		{"nil SentTo", func() map[protocol.ProcessID]protocol.State {
+			s := mkStates(3)
+			st := s[1]
+			st.SentTo = nil
+			s[1] = st
+			return s
+		}},
+		{"truncated RecvFrom", func() map[protocol.ProcessID]protocol.State {
+			s := mkStates(3)
+			st := s[2]
+			st.RecvFrom = st.RecvFrom[:1]
+			s[2] = st
+			return s
+		}},
+		{"sparse id beyond vectors", func() map[protocol.ProcessID]protocol.State {
+			s := mkStates(2)
+			s[5] = protocol.State{Proc: 5, SentTo: make([]uint64, 2), RecvFrom: make([]uint64, 2)}
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			states := tc.mk()
+			if _, err := consistency.InTransit(states); err == nil {
+				t.Fatal("malformed state map accepted by InTransit")
+			}
+			if err := consistency.Check(states); err == nil {
+				t.Fatal("malformed state map accepted by Check")
+			}
+		})
 	}
 }
 

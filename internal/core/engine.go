@@ -47,11 +47,58 @@ const (
 	CommitTargeted
 )
 
+// Mutation selects a deliberately injected engine defect. Production code
+// always runs MutNone; the non-zero values exist so the schedule explorer
+// (internal/explore, cmd/mcpcheck) can prove it detects real protocol bugs:
+// each mutation removes one safety-critical guard, and the explorer must
+// find an interleaving that turns the missing guard into an orphan message
+// on a committed recovery line.
+type Mutation int
+
+const (
+	// MutNone runs the engine unmodified.
+	MutNone Mutation = iota
+	// MutLiteralMRSuppression drops the R-bit guard from prop_cp's MR
+	// suppression check, leaving the literal csn comparison. Against
+	// never-checkpointed dependencies (csn 0) the comparison 0 >= 0 holds
+	// vacuously, so the request is suppressed and the dependency never
+	// takes a checkpoint for the instance.
+	MutLiteralMRSuppression
+	// MutSkipMutableCheckpoint skips the §3.3.3 mutable checkpoint even
+	// when all three conditions hold, so a process that already sent
+	// messages joins the instance without capturing its pre-join state.
+	MutSkipMutableCheckpoint
+	// MutSkipSentGate never raises sent_i on PrepareSend, so the §3.3.3
+	// sent-flag condition fails vacuously and the mutable checkpoint is
+	// skipped exactly when it was needed.
+	MutSkipSentGate
+)
+
+// String names the mutation for traces and CLI flags.
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutLiteralMRSuppression:
+		return "mr-suppression"
+	case MutSkipMutableCheckpoint:
+		return "skip-mutable"
+	case MutSkipSentGate:
+		return "skip-sent-gate"
+	default:
+		return "unknown"
+	}
+}
+
 // Options tunes the engine beyond the paper's defaults.
 type Options struct {
 	// Dissemination selects the second-phase fan-out; zero means
 	// CommitBroadcast (what the paper's evaluation uses).
 	Dissemination CommitDissemination
+
+	// Mutation injects a deliberate defect for model-checker self-tests.
+	// Leave zero (MutNone) everywhere except mutation testing.
+	Mutation Mutation
 }
 
 // mutableCP is the engine-side bookkeeping for one mutable checkpoint: the
@@ -193,7 +240,9 @@ func (e *Engine) PrepareSend(m *protocol.Message) {
 	} else {
 		m.Trigger = protocol.NoTrigger
 	}
-	e.sent = true
+	if e.opts.Mutation != MutSkipSentGate {
+		e.sent = true
+	}
 }
 
 // Initiate starts a checkpointing instance at this process (§3.3.1).
@@ -257,7 +306,11 @@ func (e *Engine) propCP(r []bool, mr []protocol.MREntry, trig protocol.Trigger, 
 		if k == e.id || !r[k] {
 			continue
 		}
-		if temp[k].R && temp[k].CSN >= e.csn[k] {
+		if e.opts.Mutation == MutLiteralMRSuppression {
+			if temp[k].CSN >= e.csn[k] {
+				continue
+			}
+		} else if temp[k].R && temp[k].CSN >= e.csn[k] {
 			// Someone already sent P_k a request with req_csn >= csn_i[k].
 			continue
 		}
@@ -347,7 +400,7 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 	e.csn[j] = m.CSN
 
 	if !m.Trigger.IsNone() && e.sent && m.Trigger != e.ownTrigger {
-		if _, have := e.mutables[m.Trigger]; !have {
+		if _, have := e.mutables[m.Trigger]; !have && e.opts.Mutation != MutSkipMutableCheckpoint {
 			// Conditions 1–3 of §3.3.3 hold: take a mutable checkpoint
 			// before processing m.
 			e.takeMutable(m.Trigger)

@@ -1,0 +1,166 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// chooserFunc adapts a function to the Chooser interface.
+type chooserFunc func(now time.Duration, k int) int
+
+func (f chooserFunc) Choose(now time.Duration, k int) int { return f(now, k) }
+
+// record schedules labelled no-op events and returns the firing order.
+func runOrder(t *testing.T, chooser Chooser, batches [][]string) []string {
+	t.Helper()
+	sim := New()
+	sim.SetChooser(chooser)
+	var got []string
+	for i, batch := range batches {
+		at := time.Duration(i+1) * time.Second
+		for _, name := range batch {
+			name := name
+			sim.ScheduleAt(at, func() { got = append(got, name) })
+		}
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestChooserZeroMatchesDefault(t *testing.T) {
+	batches := [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}
+	def := runOrder(t, nil, batches)
+	zero := runOrder(t, chooserFunc(func(time.Duration, int) int { return 0 }), batches)
+	if len(def) != len(zero) {
+		t.Fatalf("lengths differ: %v vs %v", def, zero)
+	}
+	for i := range def {
+		if def[i] != zero[i] {
+			t.Fatalf("always-0 chooser diverged from default at %d: %v vs %v", i, def, zero)
+		}
+	}
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	for i := range want {
+		if def[i] != want[i] {
+			t.Fatalf("default order = %v, want %v", def, want)
+		}
+	}
+}
+
+func TestChooserLastReversesTies(t *testing.T) {
+	last := chooserFunc(func(_ time.Duration, k int) int { return k - 1 })
+	got := runOrder(t, last, [][]string{{"a", "b", "c"}, {"d", "e"}})
+	want := []string{"c", "b", "a", "e", "d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestChooserRequeuePreservesScheduleOrder checks that the events not
+// chosen go back on the heap with their original tie-break order: picking
+// index 1 out of {a,b,c} must leave {a,c} in that order.
+func TestChooserRequeuePreservesScheduleOrder(t *testing.T) {
+	first := true
+	ch := chooserFunc(func(_ time.Duration, k int) int {
+		if first {
+			first = false
+			return 1
+		}
+		return 0
+	})
+	got := runOrder(t, ch, [][]string{{"a", "b", "c"}})
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestChooserSkipsSingletons verifies the chooser is only consulted at real
+// decision points (k > 1).
+func TestChooserSkipsSingletons(t *testing.T) {
+	calls := 0
+	ch := chooserFunc(func(_ time.Duration, k int) int {
+		calls++
+		if k < 2 {
+			t.Fatalf("chooser consulted with k=%d", k)
+		}
+		return 0
+	})
+	runOrder(t, ch, [][]string{{"a"}, {"b", "c"}, {"d"}})
+	if calls != 1 {
+		t.Fatalf("chooser called %d times, want 1", calls)
+	}
+}
+
+// TestChooserCancelledTiesPruned verifies tombstoned events never count
+// toward the batch arity.
+func TestChooserCancelledTiesPruned(t *testing.T) {
+	sim := New()
+	var ks []int
+	sim.SetChooser(chooserFunc(func(_ time.Duration, k int) int {
+		ks = append(ks, k)
+		return k - 1
+	}))
+	var got []string
+	add := func(name string) EventID {
+		return sim.ScheduleAt(time.Second, func() { got = append(got, name) })
+	}
+	add("a")
+	id := add("b")
+	add("c")
+	sim.Cancel(id)
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 || ks[0] != 2 {
+		t.Fatalf("decision arities = %v, want [2]", ks)
+	}
+	want := []string{"c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestChooserNewEventsAtSameInstant verifies that events scheduled by a
+// firing callback for the current instant join subsequent decisions after
+// the already-queued ties, matching default kernel semantics.
+func TestChooserNewEventsAtSameInstant(t *testing.T) {
+	sim := New()
+	sim.SetChooser(chooserFunc(func(_ time.Duration, k int) int { return 0 }))
+	var got []string
+	sim.ScheduleAt(time.Second, func() {
+		got = append(got, "a")
+		sim.Schedule(0, func() { got = append(got, "spawned") })
+	})
+	sim.ScheduleAt(time.Second, func() { got = append(got, "b") })
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "spawned"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChooserOutOfRangePanics(t *testing.T) {
+	sim := New()
+	sim.SetChooser(chooserFunc(func(_ time.Duration, k int) int { return k }))
+	sim.ScheduleAt(time.Second, func() {})
+	sim.ScheduleAt(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range choice")
+		}
+	}()
+	sim.RunAll() //nolint:errcheck
+}

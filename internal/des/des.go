@@ -62,6 +62,16 @@ type slot struct {
 // and the sweep would cost more than it saves.
 const compactMinTombstones = 64
 
+// Chooser selects which of k same-timestamp events fires next. It is the
+// model checker's entry point into the kernel: with no chooser installed,
+// ties break in schedule order (choice 0); with one installed, every
+// instant at which k > 1 events are ready becomes an explicit decision
+// point. Choose must return a value in [0, k). The events are presented in
+// schedule order, so returning 0 reproduces the default behaviour exactly.
+type Chooser interface {
+	Choose(now time.Duration, k int) int
+}
+
 // Simulator is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all event callbacks run on the goroutine that calls
 // Run or Step.
@@ -73,6 +83,9 @@ type Simulator struct {
 	free    []uint32 // recycled slot indices
 	dead    int      // cancelled events still sitting in heap
 	stopped bool
+
+	chooser Chooser
+	scratch []event // same-timestamp batch buffer for chooseStep
 
 	// Executed counts events that have fired, for diagnostics.
 	executed uint64
@@ -206,9 +219,19 @@ func (s *Simulator) compact() {
 // current event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// SetChooser installs (or, with nil, removes) a tie-break strategy. With a
+// chooser installed, Step collects every live event sharing the earliest
+// timestamp and asks the chooser which fires first; the rest are requeued
+// with their original schedule order intact, so a chooser that always
+// returns 0 is byte-identical to the default kernel.
+func (s *Simulator) SetChooser(c Chooser) { s.chooser = c }
+
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
+	if s.chooser != nil {
+		return s.chooseStep()
+	}
 	s.pruneRoot()
 	if len(s.heap) == 0 {
 		return false
@@ -218,6 +241,47 @@ func (s *Simulator) Step() bool {
 	s.slots[ev.slot].pending = false
 	s.freeSlot(ev.slot)
 	s.now = ev.at
+	s.executed++
+	ev.fn()
+	return true
+}
+
+// chooseStep is Step with an installed chooser: the whole batch of live
+// events at the earliest timestamp is popped into a scratch buffer (they
+// arrive in schedule order, tombstones pruned along the way), the chooser
+// picks one, and the others go back on the heap with their original seq so
+// later ties still break the same way. No user code runs while events sit
+// in the scratch buffer, so nothing can Cancel them mid-decision.
+func (s *Simulator) chooseStep() bool {
+	s.pruneRoot()
+	if len(s.heap) == 0 {
+		return false
+	}
+	at := s.heap[0].at
+	s.scratch = s.scratch[:0]
+	for len(s.heap) > 0 && s.heap[0].at == at {
+		ev := s.heap[0]
+		s.popRoot()
+		s.scratch = append(s.scratch, ev)
+		s.pruneRoot()
+	}
+	choice := 0
+	if k := len(s.scratch); k > 1 {
+		choice = s.chooser.Choose(at, k)
+		if choice < 0 || choice >= k {
+			panic("des: chooser returned choice out of range")
+		}
+	}
+	ev := s.scratch[choice]
+	for i, other := range s.scratch {
+		if i != choice {
+			s.push(other)
+		}
+		s.scratch[i] = event{} // release fn closures
+	}
+	s.slots[ev.slot].pending = false
+	s.freeSlot(ev.slot)
+	s.now = at
 	s.executed++
 	ev.fn()
 	return true

@@ -1,0 +1,79 @@
+package explore
+
+// The committed counterexample corpus: every testdata/*.schedule file is
+// a shrunken schedule that makes a specific engine mutation violate a
+// safety invariant. The regression test replays each against its
+// mutation (must fail, byte-deterministically) and against the unmutated
+// engine (must pass), so any future change that silently re-opens or
+// masks one of these interleavings is caught. Regenerate with
+// `go test ./internal/explore -run TestMutations -update`.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mutablecp/internal/core"
+	"mutablecp/internal/wire"
+)
+
+func TestCorpusRegression(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.schedule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < len(mutations()) {
+		t.Fatalf("corpus has %d schedules, want at least one per mutation (%d)", len(files), len(mutations()))
+	}
+	covered := make(map[core.Mutation]bool)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := wire.DecodeScheduleRecord(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		mut := core.Mutation(rec.Mutation)
+		covered[mut] = true
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := ScenarioByName(rec.Name, corpusN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Mutation = mut
+			first, err := s.Replay(rec.Choices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Violation == nil {
+				t.Fatalf("corpus schedule no longer violates under mutation %v", mut)
+			}
+			second, err := s.Replay(rec.Choices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Fingerprint != second.Fingerprint {
+				t.Fatalf("corpus replay not byte-deterministic: %x vs %x", first.Fingerprint, second.Fingerprint)
+			}
+			clean, err := ScenarioByName(rec.Name, corpusN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := clean.Replay(rec.Choices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixed.Violation != nil {
+				t.Fatalf("unmutated engine fails the corpus schedule: %v", fixed.Violation)
+			}
+		})
+	}
+	for _, mut := range mutations() {
+		if !covered[mut] {
+			t.Errorf("no corpus schedule covers mutation %v", mut)
+		}
+	}
+}

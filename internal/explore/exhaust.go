@@ -1,0 +1,95 @@
+package explore
+
+import "fmt"
+
+// ExhaustOptions bounds the depth-first search over tie-break choices.
+type ExhaustOptions struct {
+	// MaxRuns caps how many schedules are executed (default 4096).
+	MaxRuns int
+	// MaxDepth caps the decision index at which the search still
+	// branches; deeper decisions always take the default (default 64).
+	MaxDepth int
+	// NoPrune disables the state-fingerprint visited set. With pruning
+	// (the default) a schedule whose execution fingerprint was already
+	// seen is not expanded: an identical execution can only spawn
+	// already-covered children.
+	NoPrune bool
+}
+
+func (o ExhaustOptions) defaults() ExhaustOptions {
+	if o.MaxRuns == 0 {
+		o.MaxRuns = 4096
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+	return o
+}
+
+// ExhaustReport summarizes one bounded exhaustive search.
+type ExhaustReport struct {
+	// Runs is the number of schedules executed; Unique counts distinct
+	// execution fingerprints among them; Pruned counts schedules whose
+	// expansion was skipped as duplicates.
+	Runs   int
+	Unique int
+	Pruned int
+	// Truncated reports that MaxRuns ended the search with unexplored
+	// branches remaining.
+	Truncated bool
+	// Violation is the first violating run in search order, nil if the
+	// explored space is clean.
+	Violation *RunResult
+}
+
+// Exhaust searches the scenario's tie-break choice tree depth-first. The
+// root is the default schedule; each run's children diverge from it at
+// one decision point at a time (prefix + a single non-default choice), so
+// every bounded schedule is visited exactly once. The search stops at the
+// first violation.
+func (s Scenario) Exhaust(opt ExhaustOptions) (*ExhaustReport, error) {
+	opt = opt.defaults()
+	rep := &ExhaustReport{}
+	seen := make(map[uint64]bool)
+	stack := [][]int{nil}
+	for len(stack) > 0 {
+		if rep.Runs >= opt.MaxRuns {
+			rep.Truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res, err := s.Replay(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("explore: exhaust at schedule %v: %w", prefix, err)
+		}
+		rep.Runs++
+		if res.Violation != nil {
+			rep.Violation = res
+			break
+		}
+		if !opt.NoPrune {
+			if seen[res.Fingerprint] {
+				rep.Pruned++
+				continue
+			}
+			seen[res.Fingerprint] = true
+		}
+		// Children diverge at decision points the prefix left at the
+		// default: res.Schedule[:i] is prefix plus defaulted zeros, so
+		// each child is a canonical minimal divergence.
+		for i := len(prefix); i < len(res.Arities) && i < opt.MaxDepth; i++ {
+			for c := 1; c < res.Arities[i]; c++ {
+				child := make([]int, i+1)
+				copy(child, res.Schedule[:i])
+				child[i] = c
+				stack = append(stack, child)
+			}
+		}
+	}
+	rep.Unique = len(seen)
+	if rep.Violation == nil && len(stack) > 0 {
+		rep.Truncated = true
+	}
+	return rep, nil
+}

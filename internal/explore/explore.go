@@ -1,0 +1,386 @@
+// Package explore is a schedule-space model checker for the
+// mutable-checkpoint protocol. It takes control of the one source of
+// nondeterminism the deterministic DES kernel leaves — the order in which
+// same-timestamp events fire — and searches the interleaving space of
+// small scripted scenarios for safety violations.
+//
+// The pieces:
+//
+//   - A Scenario scripts a fixed workload (sends, initiations, aborts) on
+//     a quantized-latency network, so many events land on the same instant
+//     and every such instant becomes an explicit tie-break decision point
+//     via the kernel's des.Chooser hook.
+//   - Strategies drive the chooser: Replay runs an exact recorded
+//     schedule (choices past the end default to schedule order),
+//     RandomWalk samples schedules from a seeded xrand stream, and
+//     Exhaust walks the whole bounded choice tree depth-first with a
+//     state-fingerprint visited set for pruning.
+//   - An invariant oracle checks every run: each committed recovery line
+//     is orphan-free (Theorem 1, via consistency.Check on the replayed
+//     permanent history), no tentative/mutable checkpoint or termination
+//     weight leaks after the run drains (Lemma 2 / §3.6 clean abort),
+//     at most one pending tentative per process (Lemma 1), and the run
+//     terminates within its step budget (Theorem 2).
+//   - Every run records its schedule, so a violation is reproducible
+//     byte-for-byte; Shrink minimizes a failing schedule's divergence
+//     from the default order, and wire.ScheduleRecord persists it.
+//
+// cmd/mcpcheck is the CLI; the committed corpus under testdata holds
+// shrunken counterexamples for deliberately mutated engines
+// (core.Mutation), replayed as regression tests.
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"mutablecp/internal/consistency"
+	"mutablecp/internal/core"
+	"mutablecp/internal/des"
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/netsim"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/trace"
+	"mutablecp/internal/xrand"
+)
+
+// Send scripts one application message, sent at quantum At.
+type Send struct {
+	At       int
+	From, To protocol.ProcessID
+}
+
+// Init scripts a checkpointing initiation at quantum At.
+type Init struct {
+	At int
+	By protocol.ProcessID
+}
+
+// Abort scripts a §3.6 initiator abort at quantum At (a no-op if By is
+// not initiating at that instant).
+type Abort struct {
+	At int
+	By protocol.ProcessID
+}
+
+// Scenario is one fully scripted run: N processes on a network where
+// every message takes exactly Quantum, with all script times on the
+// quantum lattice so concurrent activity collides on the same instants.
+type Scenario struct {
+	Name    string
+	N       int
+	Quantum time.Duration
+	// Budget bounds kernel steps; exceeding it is a termination violation.
+	Budget int
+
+	Inits  []Init
+	Sends  []Send
+	Aborts []Abort
+
+	// Mutation injects a deliberate engine defect (mutation testing).
+	Mutation core.Mutation
+}
+
+func (s Scenario) defaults() Scenario {
+	if s.N == 0 {
+		s.N = 4
+	}
+	if s.Quantum == 0 {
+		s.Quantum = time.Millisecond
+	}
+	if s.Budget == 0 {
+		s.Budget = 4096
+	}
+	return s
+}
+
+// Violation kinds reported by the oracle.
+const (
+	KindOrphanLine   = "orphan-line"   // Theorem 1: orphan message on a committed line
+	KindLeak         = "leak"          // §3.6/Lemma 2: leaked checkpoint or unreturned weight
+	KindClusterError = "cluster-error" // runtime invariant tripped inside simrt
+	KindPendingBound = "pending-bound" // Lemma 1: >1 pending tentative on one process
+	KindWeightBound  = "weight-bound"  // Lemma 2: initiator weight exceeded 1
+	KindTermination  = "termination"   // Theorem 2: step budget exhausted
+)
+
+// Violation is one invariant failure found by the oracle.
+type Violation struct {
+	Kind   string
+	Detail string
+}
+
+func (v *Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// RunResult is the outcome of executing one schedule of a scenario.
+type RunResult struct {
+	// Schedule holds the choice taken at every decision point, in order;
+	// Arities holds the number of ready events at each (always >= 2).
+	Schedule []int
+	Arities  []int
+	// Steps is the number of kernel events fired.
+	Steps int
+	// Fingerprint digests the full execution (trace, final states,
+	// permanent checkpoints); equal schedules must produce equal
+	// fingerprints.
+	Fingerprint uint64
+	// Violation is nil for a clean run.
+	Violation *Violation
+}
+
+// Decisions reports how many tie-break decision points the run hit.
+func (r *RunResult) Decisions() int { return len(r.Schedule) }
+
+// quantumNet delivers every message after exactly the configured latency,
+// regardless of size or contention. Unlike the shared-medium LAN (which
+// serializes transmissions and so spreads arrivals out in time), it keeps
+// concurrent activity on the quantum lattice — maximizing same-instant
+// ties, which is exactly the space the explorer searches.
+type quantumNet struct {
+	sim     *des.Simulator
+	n       int
+	latency time.Duration
+}
+
+var _ netsim.Transport = (*quantumNet)(nil)
+
+func (q *quantumNet) Unicast(_, _ protocol.ProcessID, _ int, deliver func()) {
+	q.sim.Schedule(q.latency, deliver)
+}
+
+func (q *quantumNet) Broadcast(from protocol.ProcessID, _ int, deliver func(to protocol.ProcessID)) {
+	for to := 0; to < q.n; to++ {
+		if protocol.ProcessID(to) == from {
+			continue
+		}
+		to := protocol.ProcessID(to)
+		q.sim.Schedule(q.latency, func() { deliver(to) })
+	}
+}
+
+func (q *quantumNet) StableTransfer(_ protocol.ProcessID, _ int, done func()) {
+	if done != nil {
+		q.sim.Schedule(q.latency, done)
+	}
+}
+
+// recorder drives the kernel's chooser hook with a policy and records
+// every decision (choice and arity) for replay.
+type recorder struct {
+	policy  func(k int) int
+	choices []int
+	arities []int
+}
+
+func (r *recorder) Choose(_ time.Duration, k int) int {
+	c := r.policy(k)
+	if c < 0 || c >= k {
+		c = 0
+	}
+	r.choices = append(r.choices, c)
+	r.arities = append(r.arities, k)
+	return c
+}
+
+// replayPolicy replays a fixed schedule; decisions past its end take the
+// default choice 0 (schedule order).
+func replayPolicy(schedule []int) func(k int) int {
+	i := 0
+	return func(k int) int {
+		if i >= len(schedule) {
+			return 0
+		}
+		c := schedule[i]
+		i++
+		return c
+	}
+}
+
+// Replay executes the scenario under the exact recorded schedule.
+func (s Scenario) Replay(schedule []int) (*RunResult, error) {
+	return s.execute(&recorder{policy: replayPolicy(schedule)})
+}
+
+// RandomWalk executes the scenario with seeded uniform tie-breaks.
+func (s Scenario) RandomWalk(seed uint64) (*RunResult, error) {
+	rng := xrand.New(seed)
+	return s.execute(&recorder{policy: func(k int) int { return rng.Intn(k) }})
+}
+
+// engineProbe is the core.Engine surface the per-step invariant checks
+// need.
+type engineProbe interface {
+	Initiating() bool
+	Weight() dyadic.Weight
+	PendingTentatives() int
+}
+
+// scriptedAborter is the initiator surface a scripted abort drives.
+type scriptedAborter interface {
+	Initiating() bool
+	AbortCurrent() error
+}
+
+// execute builds the cluster, installs the script, and steps the kernel
+// to completion under the recorder, checking invariants as it goes.
+func (s Scenario) execute(rec *recorder) (*RunResult, error) {
+	s = s.defaults()
+	tl := trace.New()
+	cluster, err := simrt.New(simrt.Config{
+		N:    s.N,
+		Seed: 1,
+		NewEngine: func(env protocol.Env) protocol.Engine {
+			return core.NewWithOptions(env, core.Options{Mutation: s.Mutation})
+		},
+		NewTransport: func(sim *des.Simulator, n int) netsim.Transport {
+			return &quantumNet{sim: sim, n: n, latency: s.Quantum}
+		},
+		// Local checkpoint copies cost one quantum, so busy-delayed
+		// deliveries stay on the tie lattice.
+		MutableSaveTime:  s.Quantum,
+		SingleInitiation: true,
+		Trace:            tl,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	sim := cluster.Sim()
+	// Install script events up front, in category order (initiations,
+	// sends, aborts): ties among them break in this order by default and
+	// become decision points under a chooser.
+	for _, in := range s.Inits {
+		in := in
+		sim.ScheduleAt(time.Duration(in.At)*s.Quantum, func() {
+			cluster.Proc(in.By).MaybeInitiate()
+		})
+	}
+	for _, sd := range s.Sends {
+		sd := sd
+		sim.ScheduleAt(time.Duration(sd.At)*s.Quantum, func() {
+			cluster.SendApp(sd.From, sd.To, nil)
+		})
+	}
+	for _, ab := range s.Aborts {
+		ab := ab
+		sim.ScheduleAt(time.Duration(ab.At)*s.Quantum, func() {
+			if a, ok := cluster.Proc(ab.By).Engine().(scriptedAborter); ok && a.Initiating() {
+				if err := a.AbortCurrent(); err != nil {
+					// Surfaces through cluster.Errors via the oracle.
+					_ = err
+				}
+			}
+		})
+	}
+	sim.SetChooser(rec)
+
+	res := &RunResult{}
+	for sim.Step() {
+		res.Steps++
+		if res.Violation = s.stepInvariants(cluster); res.Violation != nil {
+			break
+		}
+		if res.Steps >= s.Budget {
+			res.Violation = &Violation{Kind: KindTermination, Detail: fmt.Sprintf(
+				"budget of %d steps exhausted with %d events pending", s.Budget, sim.Pending())}
+			break
+		}
+	}
+	res.Schedule = append([]int(nil), rec.choices...)
+	res.Arities = append([]int(nil), rec.arities...)
+	if res.Violation == nil {
+		res.Violation = s.verify(cluster)
+	}
+	res.Fingerprint = fingerprint(tl, cluster)
+	return res, nil
+}
+
+// stepInvariants checks the always-true invariants after every kernel
+// event: Lemma 1 (at most one pending tentative per process under single
+// initiation) and Lemma 2's upper bound (an initiator's accumulated
+// weight never exceeds 1).
+func (s Scenario) stepInvariants(cluster *simrt.Cluster) *Violation {
+	one := dyadic.One()
+	for p := 0; p < s.N; p++ {
+		eng, ok := cluster.Proc(protocol.ProcessID(p)).Engine().(engineProbe)
+		if !ok {
+			continue
+		}
+		if pend := eng.PendingTentatives(); pend > 1 {
+			return &Violation{Kind: KindPendingBound, Detail: fmt.Sprintf(
+				"P%d holds %d pending tentative checkpoints", p, pend)}
+		}
+		if eng.Initiating() && eng.Weight().Cmp(one) > 0 {
+			return &Violation{Kind: KindWeightBound, Detail: fmt.Sprintf(
+				"P%d accumulated weight %v > 1", p, eng.Weight())}
+		}
+	}
+	return nil
+}
+
+// verify is the post-run oracle: it replays the run's permanent history
+// as a sequence of global recovery lines (orphan-checking each committed
+// one) and audits every process for leaked state. The run has fully
+// drained when it is called.
+func (s Scenario) verify(cluster *simrt.Cluster) *Violation {
+	for _, e := range cluster.Errors() {
+		return &Violation{Kind: KindClusterError, Detail: e.Error()}
+	}
+	n := cluster.N()
+	line := make(map[protocol.ProcessID]protocol.State, n)
+	perm := make([]map[protocol.Trigger]protocol.State, n)
+	for p := 0; p < n; p++ {
+		hist := cluster.Proc(protocol.ProcessID(p)).Stable().History()
+		line[protocol.ProcessID(p)] = hist[0].State
+		perm[p] = make(map[protocol.Trigger]protocol.State, len(hist)-1)
+		for _, rec := range hist[1:] {
+			perm[p][rec.Trigger] = rec.State
+		}
+	}
+	recs := completedByEnd(cluster)
+	for _, rec := range recs {
+		updated := 0
+		for p := 0; p < n; p++ {
+			if st, ok := perm[p][rec.Trigger]; ok {
+				line[protocol.ProcessID(p)] = st
+				updated++
+			}
+		}
+		if updated == 0 {
+			// Clean abort: the line stands.
+			continue
+		}
+		if err := consistency.Check(line); err != nil {
+			return &Violation{Kind: KindOrphanLine, Detail: fmt.Sprintf(
+				"committed line for trigger %+v: %v", rec.Trigger, err)}
+		}
+	}
+	for p := 0; p < n; p++ {
+		proc := cluster.Proc(protocol.ProcessID(p))
+		if tents := proc.Stable().TentativeTriggers(); len(tents) > 0 {
+			return &Violation{Kind: KindLeak, Detail: fmt.Sprintf(
+				"P%d leaked tentative checkpoint(s) %v after drain", p, tents)}
+		}
+		if muts := proc.Mutable().Triggers(); len(muts) > 0 {
+			return &Violation{Kind: KindLeak, Detail: fmt.Sprintf(
+				"P%d leaked mutable checkpoint(s) %v after drain", p, muts)}
+		}
+		if eng, ok := proc.Engine().(engineProbe); ok && eng.Initiating() {
+			return &Violation{Kind: KindLeak, Detail: fmt.Sprintf(
+				"P%d still holds termination weight %v after drain", p, eng.Weight())}
+		}
+	}
+	return nil
+}
+
+// completedByEnd returns terminated instances ordered by termination time
+// (stable on the metrics' initiation order for equal instants).
+func completedByEnd(cluster *simrt.Cluster) []*simrt.InitiationRecord {
+	recs := append([]*simrt.InitiationRecord(nil), cluster.Metrics().Completed()...)
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].End < recs[j-1].End; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+	return recs
+}

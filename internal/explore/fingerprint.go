@@ -1,0 +1,47 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/trace"
+)
+
+// fingerprint digests one finished run: the full structured trace (every
+// send, receive, request, checkpoint, commit, in execution order), each
+// process's final counters and engine state, the permanent checkpoint
+// history, and the event count. Two runs with equal fingerprints executed
+// identically, which is what makes the digest safe both as the replay
+// byte-determinism check and as the Exhaust visited-set key.
+func fingerprint(tl *trace.Log, cluster *simrt.Cluster) uint64 {
+	h := fnv.New64a()
+	for _, ev := range tl.Events() {
+		io.WriteString(h, ev.String()) //nolint:errcheck
+		h.Write([]byte{'\n'})          //nolint:errcheck
+	}
+	for p := 0; p < cluster.N(); p++ {
+		proc := cluster.Proc(protocol.ProcessID(p))
+		st := proc.CaptureState()
+		fmt.Fprintf(h, "P%d sent=%v recv=%v\n", p, st.SentTo, st.RecvFrom)
+		if eng, ok := proc.Engine().(engineState); ok {
+			fmt.Fprintf(h, "csn=%v r=%v sent=%v old=%d\n",
+				eng.CSN(), eng.DependencyVector(), eng.Sent(), eng.OldCSN())
+		}
+		for _, rec := range proc.Stable().History() {
+			fmt.Fprintf(h, "perm csn=%d trig=%+v\n", rec.State.CSN, rec.Trigger)
+		}
+	}
+	fmt.Fprintf(h, "events=%d", cluster.Sim().Executed())
+	return h.Sum64()
+}
+
+// engineState is the engine surface the fingerprint folds in.
+type engineState interface {
+	CSN() []int
+	DependencyVector() []bool
+	Sent() bool
+	OldCSN() int
+}

@@ -1,0 +1,119 @@
+package explore
+
+import "fmt"
+
+// ShrinkResult is a minimized counterexample.
+type ShrinkResult struct {
+	// Schedule is the shrunken schedule; Result is its (still failing)
+	// replay.
+	Schedule []int
+	Result   *RunResult
+	// Runs counts replays spent shrinking.
+	Runs int
+}
+
+// maxShrinkRuns is a safety valve; greedy shrinking converges in far
+// fewer replays because every accepted step strictly reduces the
+// schedule's divergence measure.
+const maxShrinkRuns = 2048
+
+// Shrink minimizes a failing schedule's divergence from the default
+// order: it repeatedly tries zeroing whole suffixes, zeroing individual
+// non-default choices, and lowering the choices that remain, keeping any
+// change under which the scenario still violates an invariant (not
+// necessarily the same one — any failure reproduces a bug). The result
+// is locally minimal: no single remaining choice can be removed or
+// lowered.
+func (s Scenario) Shrink(schedule []int) (*ShrinkResult, error) {
+	res := &ShrinkResult{Schedule: trimZeros(schedule)}
+	fails := func(cand []int) (bool, *RunResult, error) {
+		if res.Runs >= maxShrinkRuns {
+			return false, nil, fmt.Errorf("explore: shrink exceeded %d replays", maxShrinkRuns)
+		}
+		res.Runs++
+		run, err := s.Replay(cand)
+		if err != nil {
+			return false, nil, err
+		}
+		return run.Violation != nil, run, nil
+	}
+	ok, run, err := fails(res.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("explore: shrink of a passing schedule %v", schedule)
+	}
+	res.Result = run
+	for changed := true; changed; {
+		changed = false
+		// 1. Cut suffixes: everything after position i reverts to default.
+		for i := 0; i < len(res.Schedule); i++ {
+			cand := trimZeros(res.Schedule[:i])
+			if len(cand) == len(res.Schedule) {
+				continue
+			}
+			ok, run, err := fails(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Schedule, res.Result, changed = cand, run, true
+				break
+			}
+		}
+		// 2. Zero single choices, left to right.
+		for i := 0; i < len(res.Schedule); i++ {
+			if res.Schedule[i] == 0 {
+				continue
+			}
+			cand := append([]int(nil), res.Schedule...)
+			cand[i] = 0
+			cand = trimZeros(cand)
+			ok, run, err := fails(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Schedule, res.Result, changed = cand, run, true
+			}
+		}
+		// 3. Lower surviving choices toward 1.
+		for i := 0; i < len(res.Schedule); i++ {
+			for v := 1; v < res.Schedule[i]; v++ {
+				cand := append([]int(nil), res.Schedule...)
+				cand[i] = v
+				ok, run, err := fails(cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					res.Schedule, res.Result, changed = cand, run, true
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// trimZeros drops trailing default choices (they replay implicitly).
+func trimZeros(schedule []int) []int {
+	end := len(schedule)
+	for end > 0 && schedule[end-1] == 0 {
+		end--
+	}
+	return append([]int(nil), schedule[:end]...)
+}
+
+// Divergence counts the non-default choices in a schedule — the measure
+// Shrink minimizes.
+func Divergence(schedule []int) int {
+	d := 0
+	for _, c := range schedule {
+		if c != 0 {
+			d++
+		}
+	}
+	return d
+}

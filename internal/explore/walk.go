@@ -1,0 +1,64 @@
+package explore
+
+import (
+	"fmt"
+
+	"mutablecp/internal/harness"
+)
+
+// WalkReport merges a batch of random-walk runs. The merge is performed
+// in seed order regardless of worker count or completion order, so the
+// verdict — including which violation counts as First — is deterministic
+// for a given (scenario, BaseSeed, Runs).
+type WalkReport struct {
+	Scenario string
+	BaseSeed uint64
+	Runs     int
+
+	// Steps and Decisions aggregate across all runs; Unique counts
+	// distinct execution fingerprints (a coverage proxy: how much of the
+	// schedule space the walks actually reached).
+	Steps     uint64
+	Decisions uint64
+	Unique    int
+
+	// Violations counts failing runs; First is the failing run with the
+	// lowest seed offset and FirstSeed its seed.
+	Violations int
+	First      *RunResult
+	FirstSeed  uint64
+}
+
+// Walks runs `runs` random-walk schedules with seeds BaseSeed+0..runs-1,
+// fanned over the harness worker pool, and merges the verdicts
+// deterministically.
+func (s Scenario) Walks(baseSeed uint64, runs, workers int) (*WalkReport, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("explore: walks need a positive run count, got %d", runs)
+	}
+	results, err := harness.RunJobs(harness.Parallel(workers).Workers(), runs,
+		func(i int) (*RunResult, error) {
+			return s.RandomWalk(baseSeed + uint64(i))
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &WalkReport{Scenario: s.Name, BaseSeed: baseSeed, Runs: runs}
+	seen := make(map[uint64]bool, runs)
+	for i, run := range results {
+		rep.Steps += uint64(run.Steps)
+		rep.Decisions += uint64(run.Decisions())
+		if !seen[run.Fingerprint] {
+			seen[run.Fingerprint] = true
+		}
+		if run.Violation != nil {
+			rep.Violations++
+			if rep.First == nil {
+				rep.First = run
+				rep.FirstSeed = baseSeed + uint64(i)
+			}
+		}
+	}
+	rep.Unique = len(seen)
+	return rep, nil
+}

@@ -474,7 +474,7 @@ func (r *Runner) ChaosGauntlet(points []ChaosPoint, seeds []uint64) ([]ChaosRow,
 		return nil, fmt.Errorf("harness: no seeds")
 	}
 	nS := len(seeds)
-	flat, err := runJobs(r.Workers(), len(points)*nS, func(i int) (*ChaosResult, error) {
+	flat, err := RunJobs(r.Workers(), len(points)*nS, func(i int) (*ChaosResult, error) {
 		cfg := points[i/nS].Config
 		cfg.Seed = seeds[i%nS]
 		res, err := RunChaos(cfg)

@@ -42,11 +42,14 @@ func (r *Runner) Workers() int {
 	return r.workers
 }
 
-// runJobs executes n independent jobs over the pool and returns their
-// results in index order. When any job fails, the error of the
+// RunJobs executes n independent jobs over a pool of workers and returns
+// their results in index order. When any job fails, the error of the
 // lowest-indexed failing job is returned — independent of completion
-// order — so parallel and sequential runs fail identically.
-func runJobs[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
+// order — so parallel and sequential runs fail identically. It is the
+// fan-out primitive behind every grid in this package and is exported for
+// other deterministic-merge consumers (internal/explore fans random-walk
+// schedules over it).
+func RunJobs[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	if workers > n {
@@ -95,7 +98,7 @@ func (r *Runner) runGrid(cells int, seeds []uint64,
 		return nil, fmt.Errorf("harness: no seeds")
 	}
 	nS := len(seeds)
-	flat, err := runJobs(r.Workers(), cells*nS, func(i int) (*Result, error) {
+	flat, err := RunJobs(r.Workers(), cells*nS, func(i int) (*Result, error) {
 		cfg := configFor(i / nS)
 		cfg.Seed = seeds[i%nS]
 		res, err := Run(cfg)
@@ -122,7 +125,7 @@ func (r *Runner) RunSeeds(cfg Config, seeds []uint64) (*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("harness: no seeds")
 	}
-	results, err := runJobs(r.Workers(), len(seeds), func(i int) (*Result, error) {
+	results, err := RunJobs(r.Workers(), len(seeds), func(i int) (*Result, error) {
 		c := cfg
 		c.Seed = seeds[i]
 		res, err := Run(c)

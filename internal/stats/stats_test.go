@@ -131,6 +131,68 @@ func TestMergeEmptyCases(t *testing.T) {
 	}
 }
 
+// TestPropMergeEquivalentToSequentialAdd is the merge correctness
+// property: for any observation sequence and any partition of it into
+// chunks — including empty and single-observation chunks — folding the
+// per-chunk samples with Merge yields the same statistics (n, mean,
+// variance, min, max, CI95) as feeding every observation to one Sample
+// with Add. This is what licenses the harness to aggregate per-seed
+// samples from parallel workers.
+func TestPropMergeEquivalentToSequentialAdd(t *testing.T) {
+	f := func(raw []float64, cuts []uint8) bool {
+		vals := raw[:0:0]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+
+		// Partition vals into chunks at positions drawn from cuts. Chunk
+		// sizes of 0 and 1 arise naturally (repeated or adjacent cuts),
+		// exercising the empty-receiver, empty-other, and single-obs paths.
+		var sequential stats.Sample
+		for _, v := range vals {
+			sequential.Add(v)
+		}
+		var merged stats.Sample
+		start := 0
+		for _, c := range cuts {
+			end := start
+			if len(vals) > start {
+				end = start + int(c)%(len(vals)-start+1)
+			}
+			var chunk stats.Sample
+			for _, v := range vals[start:end] {
+				chunk.Add(v)
+			}
+			merged.Merge(&chunk)
+			start = end
+		}
+		var tail stats.Sample
+		for _, v := range vals[start:] {
+			tail.Add(v)
+		}
+		merged.Merge(&tail)
+
+		if merged.N() != sequential.N() {
+			return false
+		}
+		if merged.N() == 0 {
+			return merged.Mean() == 0 && merged.Variance() == 0 && merged.CI95() == 0
+		}
+		scale := math.Max(1, math.Abs(sequential.Mean()))
+		return math.Abs(merged.Mean()-sequential.Mean()) < 1e-9*scale &&
+			math.Abs(merged.Variance()-sequential.Variance()) < 1e-6*math.Max(1, sequential.Variance()) &&
+			math.Abs(merged.CI95()-sequential.CI95()) < 1e-6*math.Max(1, sequential.CI95()) &&
+			merged.Min() == sequential.Min() &&
+			merged.Max() == sequential.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropMeanWithinMinMax(t *testing.T) {
 	f := func(vals []float64) bool {
 		var s stats.Sample

@@ -1,0 +1,184 @@
+package wire
+
+// Persisted tie-break schedules: the frame format internal/explore uses
+// for recorded counterexamples. A stored frame is
+//
+//	[4-byte BE body length][4-byte BE CRC32C of body][varint body]
+//
+// reusing the stable-record framing discipline, but the body is packed
+// with uvarints instead of gob: a schedule is a long run of tiny integers
+// (most tie-break choices fit one byte), and the compact form keeps the
+// committed regression corpus small and diffable byte-for-byte.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ScheduleRecord is one recorded schedule: the sequence of tie-break
+// choices taken at each decision point of a scenario run, with enough
+// metadata to replay it against the scenario that produced it.
+type ScheduleRecord struct {
+	// Name is the scenario the schedule belongs to.
+	Name string
+	// Mutation is the engine mutation the schedule was found against
+	// (core.Mutation's numeric value; wire stays protocol-agnostic).
+	Mutation uint8
+	// Seed is the random-walk seed that first produced the schedule
+	// (0 for shrunken or hand-written schedules).
+	Seed uint64
+	// Choices holds the chosen index at every decision point, in order.
+	// Decision points past the end replay as 0 (schedule order).
+	Choices []int
+}
+
+const (
+	scheduleVersion = 1
+	// maxScheduleName bounds the scenario-name field.
+	maxScheduleName = 1024
+	// maxScheduleChoice bounds a single tie-break choice; no instant ever
+	// has this many simultaneous events in a bounded scenario.
+	maxScheduleChoice = 1 << 20
+)
+
+// ErrCorruptSchedule reports a schedule frame that is complete but does
+// not decode (bad checksum, version, or field bounds). Torn frames reuse
+// ErrTornRecord.
+var ErrCorruptSchedule = errors.New("wire: corrupt schedule record")
+
+// AppendScheduleRecord appends the framed record to dst and returns the
+// extended slice.
+func AppendScheduleRecord(dst []byte, r *ScheduleRecord) ([]byte, error) {
+	if len(r.Name) > maxScheduleName {
+		return dst, fmt.Errorf("wire: encode schedule: name too long (%d bytes)", len(r.Name))
+	}
+	body := make([]byte, 0, 16+len(r.Name)+len(r.Choices))
+	body = binary.AppendUvarint(body, scheduleVersion)
+	body = binary.AppendUvarint(body, uint64(len(r.Name)))
+	body = append(body, r.Name...)
+	body = binary.AppendUvarint(body, uint64(r.Mutation))
+	body = binary.AppendUvarint(body, r.Seed)
+	body = binary.AppendUvarint(body, uint64(len(r.Choices)))
+	for _, c := range r.Choices {
+		if c < 0 || c > maxScheduleChoice {
+			return dst, fmt.Errorf("wire: encode schedule: choice %d out of range", c)
+		}
+		body = binary.AppendUvarint(body, uint64(c))
+	}
+	if len(body) > MaxFrame {
+		return dst, fmt.Errorf("wire: schedule record too large (%d bytes)", len(body))
+	}
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...), nil
+}
+
+// EncodeScheduleRecord writes one framed record and returns the number of
+// bytes written.
+func EncodeScheduleRecord(w io.Writer, r *ScheduleRecord) (int, error) {
+	frame, err := AppendScheduleRecord(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(frame)
+}
+
+// DecodeScheduleRecord reads one framed record and reports how many bytes
+// of the stream it consumed. Errors mirror DecodeStableRecord: io.EOF for
+// a clean end, ErrTornRecord for an incomplete frame, ErrCorruptSchedule
+// for a complete frame that fails validation.
+func DecodeScheduleRecord(rd io.Reader) (*ScheduleRecord, int, error) {
+	var hdr [recordHeaderLen]byte
+	n, err := io.ReadFull(rd, hdr[:])
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short header (%d bytes)", ErrTornRecord, n)
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[:4])
+	if bodyLen > MaxFrame {
+		return nil, n, fmt.Errorf("%w: length prefix %d exceeds MaxFrame", ErrCorruptSchedule, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	m, err := io.ReadFull(rd, body)
+	n += m
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short body (%d of %d bytes)", ErrTornRecord, m, bodyLen)
+	}
+	if got, want := crc32.Checksum(body, castagnoli), binary.BigEndian.Uint32(hdr[4:]); got != want {
+		return nil, n, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptSchedule, got, want)
+	}
+	rec, err := decodeScheduleBody(body)
+	if err != nil {
+		return nil, n, err
+	}
+	return rec, n, nil
+}
+
+// decodeScheduleBody unpacks the varint body of a checksum-verified frame.
+func decodeScheduleBody(body []byte) (*ScheduleRecord, error) {
+	next := func(field string) (uint64, error) {
+		v, k := binary.Uvarint(body)
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated %s", ErrCorruptSchedule, field)
+		}
+		body = body[k:]
+		return v, nil
+	}
+	ver, err := next("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != scheduleVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSchedule, ver)
+	}
+	nameLen, err := next("name length")
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxScheduleName || nameLen > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: bad name length %d", ErrCorruptSchedule, nameLen)
+	}
+	rec := &ScheduleRecord{Name: string(body[:nameLen])}
+	body = body[nameLen:]
+	mut, err := next("mutation")
+	if err != nil {
+		return nil, err
+	}
+	if mut > 0xff {
+		return nil, fmt.Errorf("%w: mutation %d out of range", ErrCorruptSchedule, mut)
+	}
+	rec.Mutation = uint8(mut)
+	if rec.Seed, err = next("seed"); err != nil {
+		return nil, err
+	}
+	count, err := next("choice count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(body)) {
+		// Every choice takes at least one body byte.
+		return nil, fmt.Errorf("%w: choice count %d exceeds body", ErrCorruptSchedule, count)
+	}
+	rec.Choices = make([]int, count)
+	for i := range rec.Choices {
+		c, err := next("choice")
+		if err != nil {
+			return nil, err
+		}
+		if c > maxScheduleChoice {
+			return nil, fmt.Errorf("%w: choice %d out of range", ErrCorruptSchedule, c)
+		}
+		rec.Choices[i] = int(c)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptSchedule, len(body))
+	}
+	return rec, nil
+}

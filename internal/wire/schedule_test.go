@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestScheduleRecordRoundTrip(t *testing.T) {
+	recs := []*ScheduleRecord{
+		{Name: "race", Mutation: 2, Seed: 42, Choices: []int{0, 1, 0, 2, 1}},
+		{Name: "", Mutation: 0, Seed: 0, Choices: nil},
+		{Name: "burst", Mutation: 3, Seed: 1 << 60, Choices: []int{maxScheduleChoice}},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if _, err := EncodeScheduleRecord(&buf, r); err != nil {
+			t.Fatalf("encode %+v: %v", r, err)
+		}
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	for i, want := range recs {
+		got, _, err := DecodeScheduleRecord(rd)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got.Name != want.Name || got.Mutation != want.Mutation || got.Seed != want.Seed {
+			t.Fatalf("decode %d: got %+v want %+v", i, got, want)
+		}
+		if len(got.Choices) != len(want.Choices) {
+			t.Fatalf("decode %d: choices %v want %v", i, got.Choices, want.Choices)
+		}
+		for j := range want.Choices {
+			if got.Choices[j] != want.Choices[j] {
+				t.Fatalf("decode %d: choices %v want %v", i, got.Choices, want.Choices)
+			}
+		}
+	}
+	if _, _, err := DecodeScheduleRecord(rd); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestScheduleRecordRejectsBadInput(t *testing.T) {
+	if _, err := AppendScheduleRecord(nil, &ScheduleRecord{Choices: []int{-1}}); err == nil {
+		t.Fatal("negative choice encoded")
+	}
+	if _, err := AppendScheduleRecord(nil, &ScheduleRecord{Choices: []int{maxScheduleChoice + 1}}); err == nil {
+		t.Fatal("oversized choice encoded")
+	}
+	if _, err := AppendScheduleRecord(nil, &ScheduleRecord{Name: string(make([]byte, maxScheduleName+1))}); err == nil {
+		t.Fatal("oversized name encoded")
+	}
+}
+
+func TestScheduleRecordTornAndCorrupt(t *testing.T) {
+	frame, err := AppendScheduleRecord(nil, &ScheduleRecord{Name: "race", Choices: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn at every prefix short of the full frame.
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, err := DecodeScheduleRecord(bytes.NewReader(frame[:cut]))
+		if !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut %d: got %v, want ErrTornRecord", cut, err)
+		}
+	}
+	// Flip each body byte: the CRC must catch it.
+	for i := recordHeaderLen; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		_, _, err := DecodeScheduleRecord(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptSchedule) {
+			t.Fatalf("flip %d: got %v, want ErrCorruptSchedule", i, err)
+		}
+	}
+	// A hostile choice count larger than the remaining body, behind a
+	// valid CRC: the decoder must reject it before allocating.
+	body := []byte{scheduleVersion, 0 /* name len */, 0 /* mutation */, 0 /* seed */, 200 /* count */}
+	_, _, err = DecodeScheduleRecord(bytes.NewReader(frameBody(body)))
+	if !errors.Is(err, ErrCorruptSchedule) {
+		t.Fatalf("hostile count: got %v, want ErrCorruptSchedule", err)
+	}
+	// A version from the future must be refused, not misparsed.
+	_, _, err = DecodeScheduleRecord(bytes.NewReader(frameBody([]byte{99, 0, 0, 0, 0})))
+	if !errors.Is(err, ErrCorruptSchedule) {
+		t.Fatalf("future version: got %v, want ErrCorruptSchedule", err)
+	}
+}
+
+// frameBody wraps a raw body in a valid length+CRC header.
+func frameBody(body []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	return append(hdr[:], body...)
+}
