@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mutablecp/internal/benchreg"
+	"mutablecp/internal/profiling"
 )
 
 func main() {
@@ -37,28 +38,67 @@ func run(args []string) error {
 	filter := fs.String("bench", "", "only run suite benchmarks whose name contains this substring")
 	benchtime := fs.String("benchtime", "0.5s", "per-benchmark measuring time (testing -benchtime syntax, e.g. 1s or 100x)")
 	print := fs.Bool("print", false, "print the report table to stdout")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validate(fs, *diff, *threshold); err != nil {
+		return err
+	}
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	profileErr := func(runErr error) error {
+		if err := stopProfiles(); err != nil && runErr == nil {
+			return err
+		}
+		return runErr
+	}
 
 	if *diff != "" {
-		return runDiff(*diff, *filter, *benchtime, *threshold, *out)
+		return profileErr(runDiff(*diff, *filter, *benchtime, *threshold, *out))
 	}
 
 	report, err := benchreg.RunSuite(*filter, *benchtime)
 	if err != nil {
-		return err
+		return profileErr(err)
 	}
 	path := *out
 	if path == "" {
 		path = report.DefaultFilename()
 	}
 	if err := report.WriteFile(path); err != nil {
-		return err
+		return profileErr(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Entries))
 	if *print {
 		fmt.Print(report.Format())
+	}
+	return profileErr(nil)
+}
+
+// validate rejects bad values and flag combinations that would silently
+// do nothing — in particular, a two-file -diff runs no benchmarks, so
+// flags that shape or observe a benchmark run are errors there.
+func validate(fs *flag.FlagSet, diff string, threshold float64) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if threshold < 0 {
+		return fmt.Errorf("-threshold must be >= 0")
+	}
+	if strings.Count(diff, ",") > 1 {
+		return fmt.Errorf("-diff wants \"old.json\" or \"old.json,new.json\", got %q", diff)
+	}
+	if strings.Contains(diff, ",") {
+		for _, f := range []string{"bench", "benchtime", "out", "cpuprofile", "memprofile"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply to a two-file -diff (no benchmarks run)", f)
+			}
+		}
 	}
 	return nil
 }

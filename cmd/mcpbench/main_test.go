@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins the up-front checks: bad values and flag
+// combinations that would silently do nothing are rejected before any
+// benchmark runs or file is written.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative threshold", []string{"-threshold", "-0.1"}, "-threshold must be >= 0"},
+		{"bench with two-file diff", []string{"-diff", "a.json,b.json", "-bench", "des/"},
+			"-bench does not apply to a two-file -diff"},
+		{"benchtime with two-file diff", []string{"-diff", "a.json,b.json", "-benchtime", "1s"},
+			"-benchtime does not apply to a two-file -diff"},
+		{"out with two-file diff", []string{"-diff", "a.json,b.json", "-out", "c.json"},
+			"-out does not apply to a two-file -diff"},
+		{"cpuprofile with two-file diff", []string{"-diff", "a.json,b.json", "-cpuprofile", "x.cpu"},
+			"-cpuprofile does not apply to a two-file -diff"},
+		{"memprofile with two-file diff", []string{"-diff", "a.json,b.json", "-memprofile", "x.mem"},
+			"-memprofile does not apply to a two-file -diff"},
+		{"bad cpuprofile path", []string{"-bench", "none", "-cpuprofile", "/nonexistent-dir/x.cpu"},
+			"-cpuprofile"},
+		{"three-part diff", []string{"-diff", "a.json,b.json,c.json"}, "-diff wants"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want error containing %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestProfileFilesWritten runs the cheapest suite benchmark with both
+// profiling flags and checks that non-empty pprof files appear.
+func TestProfileFilesWritten(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "bench.cpu")
+	mem := filepath.Join(dir, "bench.mem")
+	out := filepath.Join(dir, "bench.json")
+	args := []string{"-bench", "des/cancel", "-benchtime", "100x",
+		"-out", out, "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, out} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"mutablecp/internal/harness"
+	"mutablecp/internal/profiling"
 )
 
 func main() {
@@ -38,9 +40,42 @@ func main() {
 // silently ignores a flag the user thought was in effect).
 func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	horizon time.Duration, seedCount, parallel int, chaos bool,
-	chaosDrop, chaosDup float64, chaosCrashes int, store string, mssRestart bool) error {
+	chaosDrop, chaosDup float64, chaosCrashes int, store string, mssRestart bool,
+	wl string, servers int, scale string) error {
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	switch wl {
+	case "p2p", "group", "client-server":
+	default:
+		return fmt.Errorf("unknown workload %q (want p2p, group, or client-server)", wl)
+	}
+	if set["servers"] && wl != "client-server" {
+		return fmt.Errorf("-servers only applies to -workload client-server")
+	}
+	if servers < 0 {
+		return fmt.Errorf("-servers must be >= 0 (0 picks n/8)")
+	}
+	if scale != "" {
+		if chaos {
+			return fmt.Errorf("-scale does not apply to -chaos (the gauntlet fixes its own experiment shape)")
+		}
+		if set["n"] {
+			return fmt.Errorf("-n does not apply with -scale (the ladder sets the process count per rung)")
+		}
+		ladder, err := parseScale(scale)
+		if err != nil {
+			return err
+		}
+		for _, rung := range ladder {
+			if servers >= rung {
+				return fmt.Errorf("-servers %d must be below every -scale rung (smallest is %d)", servers, rung)
+			}
+		}
+	}
+	if servers >= n && scale == "" {
+		return fmt.Errorf("-servers must be < -n")
+	}
 
 	valid := false
 	for _, a := range harness.Algorithms() {
@@ -107,13 +142,42 @@ func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	return nil
 }
 
+// parseScale parses the -scale ladder ("8,64,512,4096") into ascending
+// process counts.
+func parseScale(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ladder := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-scale wants a comma-separated list of process counts, got %q", p)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("-scale rung %d must be >= 2", n)
+		}
+		ladder = append(ladder, n)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			return nil, fmt.Errorf("-scale rungs must be strictly increasing")
+		}
+	}
+	return ladder, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcpsim", flag.ContinueOnError)
 	algo := fs.String("algo", harness.AlgoMutable,
 		"algorithm: "+strings.Join(harness.Algorithms(), ", "))
 	n := fs.Int("n", 16, "number of processes")
 	rate := fs.Float64("rate", 0.05, "per-process message sending rate (msgs/s)")
-	wl := fs.String("workload", "p2p", "workload: p2p or group")
+	wl := fs.String("workload", "p2p", "workload: p2p, group, or client-server")
+	servers := fs.Int("servers", 0,
+		"client-server workload: number of server processes (0 = n/8, minimum 2)")
+	scale := fs.String("scale", "",
+		"run a large-N ladder instead of one experiment: comma-separated process counts, e.g. 8,64,512,4096")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	ratio := fs.Float64("ratio", 1000, "group workload intra/inter rate ratio")
 	horizon := fs.Duration("horizon", 10*time.Hour, "simulated time to run")
 	seed := fs.Uint64("seed", 1, "random seed (first seed when -seeds > 1)")
@@ -136,8 +200,19 @@ func run(args []string) error {
 		return err
 	}
 	if err := validate(fs, *algo, *n, *rate, *ratio, *horizon, *seedCount,
-		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart); err != nil {
+		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart,
+		*wl, *servers, *scale); err != nil {
 		return err
+	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	profileErr := func(runErr error) error {
+		if err := stopProfiles(); err != nil && runErr == nil {
+			return err
+		}
+		return runErr
 	}
 	seedList := make([]uint64, *seedCount)
 	for i := range seedList {
@@ -164,7 +239,7 @@ func run(args []string) error {
 		}
 		rows, err := harness.Parallel(*parallel).ChaosGauntlet(points, seedList)
 		if err != nil {
-			return err
+			return profileErr(err)
 		}
 		fmt.Print(harness.FormatChaos(rows))
 		if *store != "" {
@@ -174,7 +249,7 @@ func run(args []string) error {
 			}
 			fmt.Printf(")\n")
 		}
-		return nil
+		return profileErr(nil)
 	}
 
 	cfg := harness.Config{
@@ -192,13 +267,24 @@ func run(args []string) error {
 		cfg.Workload = harness.WorkloadP2P
 	case "group":
 		cfg.Workload = harness.WorkloadGroup
+	case "client-server":
+		cfg.Workload = harness.WorkloadClientServer
+		cfg.Servers = *servers
 	default:
-		return fmt.Errorf("unknown workload %q (want p2p or group)", *wl)
+		return profileErr(fmt.Errorf("unknown workload %q (want p2p, group, or client-server)", *wl))
+	}
+
+	if *scale != "" {
+		ladder, err := parseScale(*scale)
+		if err != nil {
+			return profileErr(err)
+		}
+		return profileErr(runScale(cfg, ladder, seedList, *parallel, *wl))
 	}
 
 	res, err := harness.Parallel(*parallel).RunSeeds(cfg, seedList)
 	if err != nil {
-		return err
+		return profileErr(err)
 	}
 	fmt.Printf("algorithm            %s\n", *algo)
 	fmt.Printf("workload             %s rate=%g seeds=%d\n", *wl, *rate, *seedCount)
@@ -232,7 +318,37 @@ func run(args []string) error {
 		fmt.Printf("cluster error        %v\n", e)
 	}
 	if len(res.ClusterErrors) > 0 || (!res.ConsistencyOK && !cfg.SkipConsistency) || !res.DiskLineOK {
-		return fmt.Errorf("run finished with errors")
+		return profileErr(fmt.Errorf("run finished with errors"))
+	}
+	return profileErr(nil)
+}
+
+// runScale runs the same experiment at every process count on the ladder
+// and prints one table row per rung: wall-clock cost, simulated work, and
+// the per-initiation system-message overhead whose growth in N is exactly
+// what the dependency-vector representation controls.
+func runScale(cfg harness.Config, ladder []int, seedList []uint64, parallel int, wl string) error {
+	fmt.Printf("scale ladder         algo=%s workload=%s rate=%g horizon=%v seeds=%d\n",
+		cfg.Algorithm, wl, cfg.Rate, cfg.Horizon, len(seedList))
+	fmt.Printf("%8s %12s %14s %14s %8s %16s\n",
+		"n", "wall", "simevents", "comp msgs", "inits", "sys msgs/init")
+	for _, n := range ladder {
+		rung := cfg
+		rung.N = n
+		start := time.Now()
+		res, err := harness.Parallel(parallel).RunSeeds(rung, seedList)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		wall := time.Since(start).Round(time.Millisecond)
+		fmt.Printf("%8d %12v %14d %14d %8d %16.1f\n",
+			n, wall, res.SimulatedEvents, res.CompMsgs, res.Initiations, res.SysMsgs.Mean())
+		for _, e := range res.ClusterErrors {
+			return fmt.Errorf("n=%d: cluster error: %w", n, e)
+		}
+		if !rung.SkipConsistency && !res.ConsistencyOK {
+			return fmt.Errorf("n=%d: consistency violated: %w", n, res.ConsistencyErr)
+		}
 	}
 	return nil
 }

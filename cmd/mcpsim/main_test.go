@@ -72,6 +72,18 @@ func TestFlagValidation(t *testing.T) {
 		{"dup above one", []string{"-chaos", "-chaos-drop", "0.1", "-chaos-dup", "2"}, "-chaos-dup must be a probability"},
 		{"negative crashes", []string{"-chaos", "-chaos-drop", "0.1", "-chaos-crashes", "-1"}, "-chaos-crashes must be >= 0"},
 		{"mss-restart without store", []string{"-chaos", "-chaos-mss-restart"}, "requires -store"},
+		{"unknown workload", []string{"-workload", "mesh"}, "unknown workload"},
+		{"servers without client-server", []string{"-servers", "4"}, "-servers only applies"},
+		{"negative servers", []string{"-workload", "client-server", "-servers", "-1"}, "-servers must be >= 0"},
+		{"servers not below n", []string{"-workload", "client-server", "-servers", "16"}, "-servers must be < -n"},
+		{"scale under chaos", []string{"-chaos", "-scale", "8,64"}, "-scale does not apply to -chaos"},
+		{"scale with explicit n", []string{"-scale", "8,64", "-n", "32"}, "-n does not apply with -scale"},
+		{"scale not a number", []string{"-scale", "8,big"}, "comma-separated list"},
+		{"scale rung too small", []string{"-scale", "1,8"}, "must be >= 2"},
+		{"scale not increasing", []string{"-scale", "64,8"}, "strictly increasing"},
+		{"scale rung not above servers", []string{"-workload", "client-server", "-servers", "8", "-scale", "8,64"},
+			"below every -scale rung"},
+		{"bad cpuprofile path", []string{"-horizon", "1s", "-cpuprofile", "/nonexistent-dir/x.cpu"}, "-cpuprofile"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

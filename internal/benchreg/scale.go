@@ -1,0 +1,173 @@
+package benchreg
+
+import (
+	"testing"
+	"time"
+
+	"mutablecp/internal/core"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+	"mutablecp/internal/xrand"
+)
+
+// scaleWorld is an engine-only cluster for the large-N ladder: a FIFO
+// message queue, no DES, and an Env whose store and trace callbacks are
+// no-ops of constant cost. What remains in the measured loop is the
+// protocol's own work — dependency tracking, MR piggybacking, weight
+// accounting — which is exactly the overhead the dependency-vector
+// representation determines.
+type scaleWorld struct {
+	n       int
+	engines []*core.Engine
+	queue   []*protocol.Message
+	head    int
+}
+
+type scaleEnv struct {
+	w  *scaleWorld
+	id protocol.ProcessID
+}
+
+var _ protocol.Env = (*scaleEnv)(nil)
+
+func (e *scaleEnv) ID() protocol.ProcessID { return e.id }
+func (e *scaleEnv) N() int                 { return e.w.n }
+func (e *scaleEnv) Now() time.Duration     { return 0 }
+
+func (e *scaleEnv) Send(m *protocol.Message) {
+	m.From = e.id
+	e.w.queue = append(e.w.queue, m)
+}
+
+func (e *scaleEnv) Broadcast(m *protocol.Message) {
+	m.From = e.id
+	for to := 0; to < e.w.n; to++ {
+		if to == e.id {
+			continue
+		}
+		cp := *m
+		cp.To = to
+		e.w.queue = append(e.w.queue, &cp)
+	}
+}
+
+func (e *scaleEnv) CaptureState() protocol.State { return protocol.State{Proc: e.id} }
+
+func (e *scaleEnv) SaveTentative(protocol.State, protocol.Trigger)  {}
+func (e *scaleEnv) SaveMutable(protocol.State, protocol.Trigger)    {}
+func (e *scaleEnv) PromoteMutable(protocol.Trigger)                 {}
+func (e *scaleEnv) DiscardMutable(protocol.Trigger)                 {}
+func (e *scaleEnv) MakePermanent(protocol.Trigger)                  {}
+func (e *scaleEnv) DropTentative(protocol.Trigger)                  {}
+func (e *scaleEnv) DeliverApp(*protocol.Message)                    {}
+func (e *scaleEnv) BlockApp()                                       {}
+func (e *scaleEnv) UnblockApp()                                     {}
+func (e *scaleEnv) CheckpointingDone(protocol.Trigger, bool)        {}
+func (e *scaleEnv) Trace(trace.Kind, int, string, ...any)           {}
+func (e *scaleEnv) Tracing() bool                                   { return false }
+
+func newScaleWorld(n int) *scaleWorld {
+	w := &scaleWorld{n: n, engines: make([]*core.Engine, n)}
+	for i := 0; i < n; i++ {
+		w.engines[i] = core.New(&scaleEnv{w: w, id: i})
+	}
+	return w
+}
+
+// pump delivers queued messages in FIFO order until the queue drains.
+func (w *scaleWorld) pump() {
+	for w.head < len(w.queue) {
+		m := w.queue[w.head]
+		w.queue[w.head] = nil
+		w.head++
+		w.engines[m.To].HandleMessage(m)
+	}
+	w.queue = w.queue[:0]
+	w.head = 0
+}
+
+// sendComp issues one computation message and delivers it immediately.
+func (w *scaleWorld) sendComp(m *protocol.Message, from, to protocol.ProcessID) {
+	m.From, m.To = from, to
+	w.engines[from].PrepareSend(m)
+	w.engines[to].HandleMessage(m)
+}
+
+// scaleInstance is one full checkpointing instance at n processes: build a
+// random dependency graph of about 8 edges per process, initiate, and pump
+// the request tree plus the commit broadcast to completion. Reported as
+// instances/sec; allocs/op and bytes/op expose the per-instance cost of the
+// piggybacked MR vectors and dependency clones.
+func scaleInstance(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w := newScaleWorld(n)
+		rng := xrand.New(uint64(n))
+		var m protocol.Message
+		edges := 8 * n
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < edges; s++ {
+				from := rng.Intn(n)
+				to := rng.Intn(n - 1)
+				if to >= from {
+					to++
+				}
+				w.sendComp(&m, from, to)
+			}
+			if err := w.engines[rng.Intn(n)].Initiate(); err != nil {
+				b.Fatal(err)
+			}
+			w.pump()
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "instances/sec")
+		}
+	}
+}
+
+// scaleSteadySend measures the computation-message send+receive path at
+// steady state (no instance in flight) at n processes: the engine-side
+// cost every single application message pays.
+func scaleSteadySend(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w := newScaleWorld(n)
+		rng := xrand.New(uint64(n))
+		// One committed instance first, so csn vectors and oldCSN are at
+		// their steady-state (non-zero) values.
+		for s := 0; s < 4*n; s++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			var warm protocol.Message
+			w.sendComp(&warm, from, to)
+		}
+		if err := w.engines[0].Initiate(); err != nil {
+			b.Fatal(err)
+		}
+		w.pump()
+		var m protocol.Message
+		// The steady-state computation path must be allocation-free: any
+		// regression (a trace arg boxed, a vector cloned) fails the suite,
+		// not just a number in a report.
+		var i int
+		if allocs := testing.AllocsPerRun(100, func() {
+			w.sendComp(&m, i%n, (i+1)%n)
+			i++
+		}); allocs != 0 {
+			b.Fatalf("steady-state send path allocates (%v allocs/op, want 0)", allocs)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from := i % n
+			to := (i + 1) % n
+			w.sendComp(&m, from, to)
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "sends/sec")
+		}
+	}
+}

@@ -167,6 +167,21 @@ func Suite() []Benchmark {
 			reportEventRate(b, sim.Executed())
 		}},
 		{Name: "des/cancel", Run: func(b *testing.B) {
+			// Cancellation (and the compaction it triggers) must be
+			// allocation-free: the free list is pre-grown on the schedule
+			// path. Assert it, don't just report it.
+			probe := des.New()
+			probeIDs := make([]des.EventID, 4096)
+			for i := range probeIDs {
+				probeIDs[i] = probe.Schedule(time.Second, func() {})
+			}
+			var j int
+			if allocs := testing.AllocsPerRun(2048, func() {
+				probe.Cancel(probeIDs[j])
+				j++
+			}); allocs != 0 {
+				b.Fatalf("Cancel allocates (%v allocs/op, want 0)", allocs)
+			}
 			sim := des.New()
 			ids := make([]des.EventID, b.N)
 			for i := range ids {
@@ -217,6 +232,11 @@ func Suite() []Benchmark {
 				b.ReportMetric(float64(walks)/secs, "schedules/sec")
 			}
 		}},
+		{Name: "engine/scale-64", Run: scaleInstance(64)},
+		{Name: "engine/scale-512", Run: scaleInstance(512)},
+		{Name: "engine/scale-1024", Run: scaleInstance(1024)},
+		{Name: "engine/scale-4096", Run: scaleInstance(4096)},
+		{Name: "engine/steady-send", Run: scaleSteadySend(1024)},
 		{Name: "stable/commit-sync", Run: storeCommit(stable.SyncOnCommit)},
 		{Name: "stable/commit-nosync", Run: storeCommit(stable.SyncNever)},
 		{Name: "stable/open-256", Run: storeOpen(256)},

@@ -1,0 +1,244 @@
+// Package bitset provides the dense dependency-vector representation the
+// checkpointing engines piggyback on every message: a []uint64-backed bit
+// set of fixed length, plus an immutable Snapshot form that shares the
+// backing words by reference. Taking a snapshot is O(1); the owning Set
+// copies its words only on the first mutation after a snapshot
+// (copy-on-write), so the common case — a vector captured at a checkpoint
+// and fanned out across N request messages — costs one word-array per
+// checkpoint instead of one per message.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// words returns the backing-array length for n bits (at least one word for
+// n >= 1, so a non-nil word slice always distinguishes "present but empty"
+// from "absent").
+func words(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Set is a mutable fixed-length bit set. The zero value is unusable; call
+// New. Set is not safe for concurrent use.
+type Set struct {
+	n      int
+	w      []uint64
+	shared bool // w is referenced by a Snapshot; copy before mutating
+}
+
+// New returns an empty set of n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Set{n: n, w: make([]uint64, words(n))}
+}
+
+// FromBools builds a set from a []bool vector.
+func FromBools(bs []bool) *Set {
+	s := New(len(bs))
+	for i, b := range bs {
+		if b {
+			s.w[i/wordBits] |= 1 << (i % wordBits)
+		}
+	}
+	return s
+}
+
+// Len returns the number of bits.
+func (s *Set) Len() int { return s.n }
+
+// own gives the set private backing words again after a snapshot shared
+// them: the copy-on-write step, run at most once per snapshot.
+func (s *Set) own() {
+	if s.shared {
+		s.w = append([]uint64(nil), s.w...)
+		s.shared = false
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.own()
+	s.w[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.own()
+	s.w[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Test reports bit i.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.w[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	if s.shared {
+		// The snapshot keeps the old words; start fresh rather than copy
+		// bits we are about to zero.
+		s.w = make([]uint64, words(s.n))
+		s.shared = false
+		return
+	}
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}
+
+// Or folds every bit of o into s. Lengths must match.
+func (s *Set) Or(o Snapshot) {
+	if o.IsZero() {
+		return
+	}
+	if o.n != s.n {
+		panic("bitset: length mismatch")
+	}
+	s.own()
+	for i, w := range o.w {
+		s.w[i] |= w
+	}
+}
+
+// CopyFrom overwrites s with o's bits; an absent snapshot clears s.
+// Lengths must match when o is present.
+func (s *Set) CopyFrom(o Snapshot) {
+	if o.IsZero() {
+		s.Reset()
+		return
+	}
+	if o.n != s.n {
+		panic("bitset: length mismatch")
+	}
+	if s.shared {
+		s.w = make([]uint64, len(o.w))
+		s.shared = false
+	}
+	copy(s.w, o.w)
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int { return count(s.w) }
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool { return anyBit(s.w) }
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (s *Set) NextSet(i int) int { return nextSet(s.w, s.n, i) }
+
+// Clone returns an independent mutable copy.
+func (s *Set) Clone() *Set {
+	return &Set{n: s.n, w: append([]uint64(nil), s.w...)}
+}
+
+// Snapshot returns an immutable view sharing the current words. The view
+// stays valid forever: any later mutation of s copies the words first.
+func (s *Set) Snapshot() Snapshot {
+	s.shared = true
+	return Snapshot{n: s.n, w: s.w}
+}
+
+// Bools renders the set as a []bool (trace/wire boundary; allocates).
+func (s *Set) Bools() []bool { return bools(s.w, s.n) }
+
+// Snapshot is an immutable bit vector sharing words with the Set it was
+// taken from. The zero Snapshot is "absent" — distinct from a snapshot of
+// an all-false set, whose word slice is non-nil. Snapshots are values;
+// copying one is two words.
+type Snapshot struct {
+	n int
+	w []uint64
+}
+
+// SnapshotFromBools builds a (necessarily present) snapshot from []bool.
+func SnapshotFromBools(bs []bool) Snapshot {
+	return FromBools(bs).Snapshot()
+}
+
+// IsZero reports absence: no vector was recorded, as opposed to an empty
+// one.
+func (p Snapshot) IsZero() bool { return p.w == nil }
+
+// Len returns the number of bits (0 when absent).
+func (p Snapshot) Len() int { return p.n }
+
+// Test reports bit i; absent snapshots and out-of-range indices are false.
+func (p Snapshot) Test(i int) bool {
+	if i < 0 || i >= p.n {
+		return false
+	}
+	return p.w[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (p Snapshot) Count() int { return count(p.w) }
+
+// Any reports whether any bit is set.
+func (p Snapshot) Any() bool { return anyBit(p.w) }
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (p Snapshot) NextSet(i int) int { return nextSet(p.w, p.n, i) }
+
+// Bools renders the snapshot as a []bool; nil when absent.
+func (p Snapshot) Bools() []bool { return bools(p.w, p.n) }
+
+// Mutable returns an independent mutable copy of the snapshot.
+func (p Snapshot) Mutable() *Set {
+	return &Set{n: p.n, w: append([]uint64(nil), p.w...)}
+}
+
+func count(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+func anyBit(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func nextSet(w []uint64, n, i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < n {
+		word := w[i/wordBits] >> (i % wordBits)
+		if word != 0 {
+			i += bits.TrailingZeros64(word)
+			if i >= n {
+				return -1
+			}
+			return i
+		}
+		i = (i/wordBits + 1) * wordBits
+	}
+	return -1
+}
+
+func bools(w []uint64, n int) []bool {
+	if w == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = w[i/wordBits]&(1<<(i%wordBits)) != 0
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSetTestClear(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65, 127, 128, 200} {
+		s := New(n)
+		ref := make([]bool, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for op := 0; op < 4*n; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				s.Clear(i)
+				ref[i] = false
+			} else {
+				s.Set(i)
+				ref[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != ref[i] {
+				t.Fatalf("n=%d bit %d: got %v want %v", n, i, s.Test(i), ref[i])
+			}
+		}
+		if !reflect.DeepEqual(s.Bools(), ref) {
+			t.Fatalf("n=%d Bools mismatch", n)
+		}
+		wantCount := 0
+		for _, b := range ref {
+			if b {
+				wantCount++
+			}
+		}
+		if s.Count() != wantCount {
+			t.Fatalf("n=%d Count=%d want %d", n, s.Count(), wantCount)
+		}
+		if s.Any() != (wantCount > 0) {
+			t.Fatalf("n=%d Any mismatch", n)
+		}
+		if got := FromBools(ref); !reflect.DeepEqual(got.Bools(), ref) {
+			t.Fatalf("n=%d FromBools round trip", n)
+		}
+	}
+}
+
+func TestNextSetMatchesLinearScan(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 130} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				s.Set(i)
+			}
+		}
+		for from := 0; from <= n; from++ {
+			want := -1
+			for i := from; i < n; i++ {
+				if s.Test(i) {
+					want = i
+					break
+				}
+			}
+			got := -1
+			if from < n {
+				got = s.NextSet(from)
+			}
+			if got != want {
+				t.Fatalf("n=%d NextSet(%d)=%d want %d", n, from, got, want)
+			}
+		}
+		// Iterating via NextSet visits exactly the set bits, in order.
+		var visited []int
+		for i := s.NextSet(0); i >= 0; i = next(s, i) {
+			visited = append(visited, i)
+		}
+		var wantVisited []int
+		for i := 0; i < n; i++ {
+			if s.Test(i) {
+				wantVisited = append(wantVisited, i)
+			}
+		}
+		if !reflect.DeepEqual(visited, wantVisited) {
+			t.Fatalf("n=%d NextSet walk %v want %v", n, visited, wantVisited)
+		}
+	}
+}
+
+func next(s *Set, i int) int {
+	if i+1 >= s.Len() {
+		return -1
+	}
+	return s.NextSet(i + 1)
+}
+
+func TestSnapshotIsImmutableUnderMutation(t *testing.T) {
+	s := New(100)
+	s.Set(3)
+	s.Set(70)
+	snap := s.Snapshot()
+	s.Set(5)
+	s.Clear(3)
+	s.Reset()
+	if !snap.Test(3) || !snap.Test(70) || snap.Test(5) {
+		t.Fatalf("snapshot changed under mutation: %v", snap.Bools())
+	}
+	if s.Any() {
+		t.Fatalf("reset set still has bits")
+	}
+	// The set is fully usable after the copy-on-write.
+	s.Set(99)
+	if !s.Test(99) || snap.Test(99) {
+		t.Fatal("post-COW mutation leaked into snapshot")
+	}
+}
+
+func TestSnapshotSharingIsZeroCopyUntilMutation(t *testing.T) {
+	s := New(256)
+	s.Set(1)
+	a := s.Snapshot()
+	b := s.Snapshot()
+	if &a.w[0] != &b.w[0] {
+		t.Fatal("consecutive snapshots of an unchanged set must share words")
+	}
+	if &a.w[0] != &s.w[0] {
+		t.Fatal("snapshot must share the set's words until mutation")
+	}
+	s.Set(2)
+	if &s.w[0] == &a.w[0] {
+		t.Fatal("mutation must copy away from shared words")
+	}
+	c := s.Snapshot()
+	if c.Test(2) != true || a.Test(2) != false {
+		t.Fatal("snapshot contents wrong after COW")
+	}
+}
+
+func TestZeroSnapshotMeansAbsent(t *testing.T) {
+	var zero Snapshot
+	if !zero.IsZero() {
+		t.Fatal("zero Snapshot must be absent")
+	}
+	if zero.Test(0) || zero.Any() || zero.Count() != 0 || zero.Bools() != nil {
+		t.Fatal("absent snapshot must read as empty")
+	}
+	// A present snapshot of an all-false set is NOT absent: the engine
+	// uses the distinction for "replied with no dependencies" vs "never
+	// replied".
+	empty := New(8).Snapshot()
+	if empty.IsZero() {
+		t.Fatal("snapshot of an empty set must be present")
+	}
+	if got := SnapshotFromBools(make([]bool, 8)); got.IsZero() {
+		t.Fatal("SnapshotFromBools of all-false must be present")
+	}
+}
+
+func TestOrFoldsSnapshots(t *testing.T) {
+	s := New(130)
+	s.Set(0)
+	other := New(130)
+	other.Set(64)
+	other.Set(129)
+	s.Or(other.Snapshot())
+	for _, i := range []int{0, 64, 129} {
+		if !s.Test(i) {
+			t.Fatalf("bit %d missing after Or", i)
+		}
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count=%d want 3", s.Count())
+	}
+	// Or with an absent snapshot is a no-op, including on a shared set.
+	snap := s.Snapshot()
+	s.Or(Snapshot{})
+	if &s.w[0] != &snap.w[0] {
+		t.Fatal("Or(absent) must not trigger a copy")
+	}
+}
+
+func TestCloneAndMutableAreIndependent(t *testing.T) {
+	s := New(70)
+	s.Set(69)
+	c := s.Clone()
+	c.Set(1)
+	if s.Test(1) {
+		t.Fatal("Clone shares storage")
+	}
+	m := s.Snapshot().Mutable()
+	m.Set(2)
+	if s.Test(2) {
+		t.Fatal("Snapshot.Mutable shares storage")
+	}
+	if !m.Test(69) {
+		t.Fatal("Mutable lost bits")
+	}
+}
+
+func TestResetWhileSharedAllocatesFresh(t *testing.T) {
+	s := New(64)
+	s.Set(7)
+	snap := s.Snapshot()
+	s.Reset()
+	if !snap.Test(7) {
+		t.Fatal("Reset clobbered snapshot")
+	}
+	s.Set(3)
+	if snap.Test(3) {
+		t.Fatal("post-Reset set still shares snapshot words")
+	}
+}
+
+// BenchmarkSnapshot proves snapshotting is allocation-free: the whole
+// point of piggybacking by reference.
+func BenchmarkSnapshot(b *testing.B) {
+	s := New(4096)
+	s.Set(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var alive Snapshot
+	for i := 0; i < b.N; i++ {
+		alive = s.Snapshot()
+	}
+	_ = alive
+	if b.N > 0 && testing.AllocsPerRun(100, func() { _ = s.Snapshot() }) != 0 {
+		b.Fatal("Snapshot allocates")
+	}
+}

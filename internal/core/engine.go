@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mutablecp/internal/bitset"
 	"mutablecp/internal/dyadic"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/trace"
@@ -103,16 +104,18 @@ type Options struct {
 
 // mutableCP is the engine-side bookkeeping for one mutable checkpoint: the
 // dependency vector and sent flag captured when it was taken, needed both
-// for prop_cp on promotion and for restoration on discard.
+// for prop_cp on promotion and for restoration on discard. The vector is a
+// copy-on-write snapshot: taking it is O(1), and the live R set copies its
+// words only when next mutated.
 type mutableCP struct {
-	r    []bool
+	r    bitset.Snapshot
 	sent bool
 }
 
 // savedContext remembers the variables a tentative checkpoint clobbers so
 // an abort (§3.6) can restore them.
 type savedContext struct {
-	r      []bool
+	r      bitset.Snapshot
 	sent   bool
 	oldCSN int
 	// csnAt is the csn the tentative checkpoint was taken at. An abort may
@@ -131,7 +134,7 @@ type Engine struct {
 	n   int
 
 	csn        []int            // csn_i[*]
-	r          []bool           // R_i[*]
+	r          *bitset.Set      // R_i[*]
 	sent       bool             // sent_i
 	cpState    bool             // cp_state_i
 	oldCSN     int              // old_csn_i
@@ -161,11 +164,21 @@ type Engine struct {
 	weight     dyadic.Weight
 	// participantDeps collects each participant's dependency vector from
 	// its reply, enabling Kim–Park partial commit on failure (§3.6).
-	participantDeps map[protocol.ProcessID][]bool
+	// Indexed by pid; a zero (absent) snapshot means "never replied" —
+	// the distinction AbortPartialStrict's contamination seed needs. Nil
+	// outside an initiation.
+	participantDeps []bitset.Snapshot
 
 	// Pending tentative checkpoints (normally at most one) with the saved
 	// context needed by the abort path.
 	pending map[protocol.Trigger]savedContext
+
+	// mrScratch assembles prop_cp's temp MR without allocating per call;
+	// the frozen result is shared by reference across the whole request
+	// fan-out (copy-on-write protects it from the next reuse).
+	mrScratch *protocol.MRBuilder
+	// targetScratch is prop_cp's reusable request-target list.
+	targetScratch []protocol.ProcessID
 }
 
 var (
@@ -190,7 +203,8 @@ func NewWithOptions(env protocol.Env, opts Options) *Engine {
 		id:          env.ID(),
 		n:           n,
 		csn:         make([]int, n),
-		r:           make([]bool, n),
+		r:           bitset.New(n),
+		mrScratch:   protocol.NewMRBuilder(n),
 		ownTrigger:  protocol.Trigger{Pid: env.ID(), Inum: 0},
 		mutables:    make(map[protocol.Trigger]*mutableCP),
 		pending:     make(map[protocol.Trigger]savedContext),
@@ -214,8 +228,9 @@ func (e *Engine) InProgress() bool { return e.cpState }
 // CSN exposes a copy of the csn vector (tests and tools).
 func (e *Engine) CSN() []int { return append([]int(nil), e.csn...) }
 
-// DependencyVector exposes a copy of R (tests and tools).
-func (e *Engine) DependencyVector() []bool { return append([]bool(nil), e.r...) }
+// DependencyVector exposes a copy of R as []bool (tests and tools; the
+// rendering is part of the fingerprint format and must not change).
+func (e *Engine) DependencyVector() []bool { return e.r.Bools() }
 
 // MutableCount reports how many mutable checkpoints are currently held.
 func (e *Engine) MutableCount() int { return len(e.mutables) }
@@ -254,12 +269,16 @@ func (e *Engine) Initiate() error {
 	e.ownTrigger = protocol.Trigger{Pid: e.id, Inum: e.csn[e.id]}
 	e.cpState = true
 	e.initiating = true
-	e.env.Trace(trace.KindInitiate, -1, "trigger=%v", e.ownTrigger)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindInitiate, -1, "trigger=%v", e.ownTrigger)
+	}
 
-	mr := make([]protocol.MREntry, e.n)
-	mr[e.id] = protocol.MREntry{CSN: e.csn[e.id], R: true}
-	e.recordParticipantDeps(e.id, depsToMR(e.r))
-	e.weight = e.propCP(e.r, mr, e.ownTrigger, dyadic.One())
+	deps := e.r.Snapshot()
+	e.mrScratch.Load(protocol.MRVec{})
+	e.mrScratch.SetCSN(e.id, e.csn[e.id])
+	e.mrScratch.SetFlag(e.id)
+	e.recordParticipantDeps(e.id, deps)
+	e.weight = e.propCPLoaded(deps, e.ownTrigger, dyadic.One())
 
 	e.takeTentative(e.ownTrigger)
 
@@ -273,7 +292,7 @@ func (e *Engine) Initiate() error {
 // initiator and request-inheriting paths.
 func (e *Engine) takeTentative(trig protocol.Trigger) {
 	e.pending[trig] = savedContext{
-		r:      append([]bool(nil), e.r...),
+		r:      e.r.Snapshot(),
 		sent:   e.sent,
 		oldCSN: e.oldCSN,
 		csnAt:  e.csn[e.id],
@@ -281,46 +300,56 @@ func (e *Engine) takeTentative(trig protocol.Trigger) {
 	st := e.env.CaptureState()
 	st.CSN = e.csn[e.id]
 	e.env.SaveTentative(st, trig)
-	e.env.Trace(trace.KindTentative, -1, "csn=%d trigger=%v", st.CSN, trig)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindTentative, -1, "csn=%d trigger=%v", st.CSN, trig)
+	}
 	e.oldCSN = e.csn[e.id]
 	e.sent = false
 	e.resetR()
 }
 
-func (e *Engine) resetR() {
-	for i := range e.r {
-		e.r[i] = false
-	}
-}
+func (e *Engine) resetR() { e.r.Reset() }
 
 // propCP implements the paper's prop_cp subroutine: propagate the request
 // to every dependency not already covered by MR, halving the carried
 // weight per request, and return the remaining weight.
-func (e *Engine) propCP(r []bool, mr []protocol.MREntry, trig protocol.Trigger, recvWeight dyadic.Weight) dyadic.Weight {
-	temp := protocol.CloneMR(mr)
-	if temp == nil {
-		temp = make([]protocol.MREntry, e.n)
-	}
-	var targets []protocol.ProcessID
-	for k := 0; k < e.n; k++ {
-		if k == e.id || !r[k] {
+func (e *Engine) propCP(r bitset.Snapshot, mr protocol.MRVec, trig protocol.Trigger, recvWeight dyadic.Weight) dyadic.Weight {
+	e.mrScratch.Load(mr)
+	return e.propCPLoaded(r, trig, recvWeight)
+}
+
+// propCPLoaded is propCP after the caller primed mrScratch with the
+// received MR. One frozen MR vector is shared by reference across every
+// request of the fan-out — the piggybacked payload costs O(N) words per
+// prop_cp instead of O(N) per request.
+func (e *Engine) propCPLoaded(r bitset.Snapshot, trig protocol.Trigger, recvWeight dyadic.Weight) dyadic.Weight {
+	temp := e.mrScratch
+	targets := e.targetScratch[:0]
+	for k := r.NextSet(0); k >= 0; k = r.NextSet(k + 1) {
+		if k == e.id {
 			continue
 		}
 		if e.opts.Mutation == MutLiteralMRSuppression {
-			if temp[k].CSN >= e.csn[k] {
+			if temp.CSN(k) >= e.csn[k] {
 				continue
 			}
-		} else if temp[k].R && temp[k].CSN >= e.csn[k] {
+		} else if temp.Flag(k) && temp.CSN(k) >= e.csn[k] {
 			// Someone already sent P_k a request with req_csn >= csn_i[k].
 			continue
 		}
 		targets = append(targets, k)
-		if e.csn[k] > temp[k].CSN {
-			temp[k].CSN = e.csn[k]
+		if e.csn[k] > temp.CSN(k) {
+			temp.SetCSN(k, e.csn[k])
 		}
-		temp[k].R = true
+		temp.SetFlag(k)
 	}
+	e.targetScratch = targets
 	w := recvWeight
+	if len(targets) == 0 {
+		return w
+	}
+	frozen := temp.Freeze()
+	tracing := e.env.Tracing()
 	for _, k := range targets {
 		w = w.Half()
 		req := &protocol.Message{
@@ -330,10 +359,12 @@ func (e *Engine) propCP(r []bool, mr []protocol.MREntry, trig protocol.Trigger, 
 			CSN:     e.csn[e.id],
 			Trigger: trig,
 			ReqCSN:  e.csn[k],
-			MR:      protocol.CloneMR(temp),
+			MR:      frozen,
 			Weight:  w,
 		}
-		e.env.Trace(trace.KindRequest, k, "req_csn=%d trigger=%v w=%v", req.ReqCSN, trig, w)
+		if tracing {
+			e.env.Trace(trace.KindRequest, k, "req_csn=%d trigger=%v w=%v", req.ReqCSN, trig, w)
+		}
 		e.env.Send(req)
 	}
 	return w
@@ -349,13 +380,13 @@ func (e *Engine) HandleMessage(m *protocol.Message) {
 	case protocol.KindReply:
 		if e.initiating && m.Trigger == e.ownTrigger {
 			e.repliers[m.From] = true
-			if m.MR != nil {
-				e.recordParticipantDeps(m.From, m.MR)
+			if !m.MR.IsZero() {
+				e.recordParticipantDeps(m.From, m.MR.Flags())
 			}
 		}
 		e.credit(m.Trigger, m.Weight)
 	case protocol.KindCommit:
-		if len(m.MR) > e.id && m.MR[e.id].R {
+		if m.MR.Flag(e.id) {
 			// Kim–Park partial commit: this process is in the
 			// contaminated closure and must abort its contribution.
 			e.handleAbort(m.Trigger)
@@ -373,9 +404,11 @@ func (e *Engine) HandleMessage(m *protocol.Message) {
 // message from P_j" (§3.3.3).
 func (e *Engine) handleComputation(m *protocol.Message) {
 	j := m.From
-	e.env.Trace(trace.KindReceive, j, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindReceive, j, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	}
 	if m.CSN <= e.csn[j] {
-		e.r[j] = true
+		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
 	}
@@ -383,7 +416,7 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 		// Fast path: P_i already knows about this initiation (it has taken
 		// a checkpoint for it or saw its commit), so m cannot be an orphan.
 		e.csn[j] = m.CSN
-		e.r[j] = true
+		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
 	}
@@ -393,7 +426,7 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 		// Taking a mutable checkpoint here would leak (no commit or abort
 		// will ever arrive again to discard it).
 		e.csn[j] = m.CSN
-		e.r[j] = true
+		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
 	}
@@ -411,7 +444,7 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 		e.csn[e.id]++
 		e.ownTrigger = m.Trigger
 	}
-	e.r[j] = true
+	e.r.Set(j)
 	e.env.DeliverApp(m)
 }
 
@@ -420,9 +453,11 @@ func (e *Engine) takeMutable(trig protocol.Trigger) {
 	st := e.env.CaptureState()
 	st.CSN = e.csn[e.id]
 	e.env.SaveMutable(st, trig)
-	e.env.Trace(trace.KindMutable, -1, "csn=%d trigger=%v", st.CSN, trig)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindMutable, -1, "csn=%d trigger=%v", st.CSN, trig)
+	}
 	e.mutables[trig] = &mutableCP{
-		r:    append([]bool(nil), e.r...),
+		r:    e.r.Snapshot(),
 		sent: e.sent,
 	}
 	e.sent = false
@@ -446,7 +481,7 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 	if e.oldCSN > m.ReqCSN {
 		// The send that created the dependency is already recorded in our
 		// current tentative/permanent checkpoint (§3.1.3, Fig. 4).
-		e.reply(initiator, m.Trigger, m.Weight, nil)
+		e.reply(initiator, m.Trigger, m.Weight, bitset.Snapshot{})
 		return
 	}
 	e.cpState = true
@@ -456,7 +491,9 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 		// propagate the request along its saved dependency vector.
 		remaining := e.propCP(cp.r, m.MR, m.Trigger, m.Weight)
 		e.env.PromoteMutable(m.Trigger)
-		e.env.Trace(trace.KindPromote, -1, "trigger=%v", m.Trigger)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindPromote, -1, "trigger=%v", m.Trigger)
+		}
 		delete(e.mutables, m.Trigger)
 		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN, csnAt: e.csn[e.id]}
 		e.oldCSN = e.csn[e.id]
@@ -465,43 +502,42 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 	}
 	if m.Trigger == e.ownTrigger {
 		// Already took (or is taking) a checkpoint for this initiation.
-		e.reply(initiator, m.Trigger, m.Weight, nil)
+		e.reply(initiator, m.Trigger, m.Weight, bitset.Snapshot{})
 		return
 	}
 
 	// Inherit the request: take a tentative checkpoint.
 	e.csn[e.id]++
 	e.ownTrigger = m.Trigger
-	deps := append([]bool(nil), e.r...)
-	remaining := e.propCP(e.r, m.MR, m.Trigger, m.Weight)
+	deps := e.r.Snapshot()
+	remaining := e.propCP(deps, m.MR, m.Trigger, m.Weight)
 	e.takeTentative(m.Trigger)
 	e.reply(initiator, m.Trigger, remaining, deps)
 }
 
 // reply sends the carried weight back to the initiator; when this process
-// is itself the initiator the weight is credited directly. A non-nil deps
-// vector reports the dependency set of the checkpoint this process
-// contributed, which the initiator needs for Kim–Park partial commit.
-func (e *Engine) reply(initiator protocol.ProcessID, trig protocol.Trigger, w dyadic.Weight, deps []bool) {
-	var mr []protocol.MREntry
-	if deps != nil {
-		mr = depsToMR(deps)
-	}
+// is itself the initiator the weight is credited directly. A present deps
+// snapshot reports the dependency set of the checkpoint this process
+// contributed, which the initiator needs for Kim–Park partial commit; the
+// zero snapshot means no checkpoint was contributed.
+func (e *Engine) reply(initiator protocol.ProcessID, trig protocol.Trigger, w dyadic.Weight, deps bitset.Snapshot) {
 	if initiator == e.id {
-		if deps != nil && e.initiating && trig == e.ownTrigger {
-			e.recordParticipantDeps(e.id, mr)
+		if !deps.IsZero() && e.initiating && trig == e.ownTrigger {
+			e.recordParticipantDeps(e.id, deps)
 		}
 		e.credit(trig, w)
 		return
 	}
-	e.env.Trace(trace.KindReply, initiator, "w=%v", w)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindReply, initiator, "w=%v", w)
+	}
 	e.env.Send(&protocol.Message{
 		Kind:    protocol.KindReply,
 		From:    e.id,
 		To:      initiator,
 		Trigger: trig,
 		Weight:  w,
-		MR:      mr,
+		MR:      protocol.MRFlags(deps),
 	})
 }
 
@@ -527,18 +563,28 @@ func (e *Engine) maybeCommit() {
 	if e.opts.Dissemination == CommitTargeted {
 		// §3.3.5 update approach: commit only to the processes that
 		// replied; they forward along their notify sets.
-		e.env.Trace(trace.KindCommit, -1, "targeted trigger=%v to=%d repliers", trig, len(e.repliers))
-		for p := range e.repliers {
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindCommit, -1, "targeted trigger=%v to=%d repliers", trig, len(e.repliers))
+		}
+		// Ascending pid order keeps commit emission deterministic (map
+		// iteration order is not), which replay and the fingerprint
+		// equivalence oracle rely on.
+		for p := 0; p < e.n; p++ {
+			if !e.repliers[protocol.ProcessID(p)] {
+				continue
+			}
 			e.env.Send(&protocol.Message{
 				Kind:    protocol.KindCommit,
 				From:    e.id,
-				To:      p,
+				To:      protocol.ProcessID(p),
 				Trigger: trig,
 			})
 		}
 		e.repliers = make(map[protocol.ProcessID]bool)
 	} else {
-		e.env.Trace(trace.KindCommit, -1, "broadcast trigger=%v", trig)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindCommit, -1, "broadcast trigger=%v", trig)
+		}
 		e.env.Broadcast(&protocol.Message{
 			Kind:    protocol.KindCommit,
 			From:    e.id,
@@ -560,37 +606,45 @@ func (e *Engine) handleCommit(trig protocol.Trigger) {
 		// Forward the commit to everyone we sent computation messages to
 		// while inside the instance, so they clear cp_state and discard
 		// mutable checkpoints (the update approach's notification duty).
-		for p := range e.notifySet {
-			if p == trig.Pid {
+		for p := 0; p < e.n; p++ {
+			if protocol.ProcessID(p) == trig.Pid || !e.notifySet[protocol.ProcessID(p)] {
 				continue
 			}
 			e.env.Send(&protocol.Message{
 				Kind:    protocol.KindCommit,
 				From:    e.id,
-				To:      p,
+				To:      protocol.ProcessID(p),
 				Trigger: trig,
 			})
 		}
 		e.notifySet = make(map[protocol.ProcessID]bool)
 	}
 	e.csn[trig.Pid] = trig.Inum
-	e.cpState = false
+	if trig == e.ownTrigger {
+		// Only the committed instance's own participants leave cp_state.
+		// A commit broadcast for a previous instance can still be in
+		// flight when the next initiation starts; clearing cp_state
+		// unconditionally here would strip the trigger off this process's
+		// outgoing messages mid-instance, and receivers would then skip
+		// the §3.3.3 forced checkpoint and orphan them.
+		e.cpState = false
+	}
 	if cp, ok := e.mutables[trig]; ok {
 		// Discard the mutable checkpoint: its interval merges back into
 		// the current one, so restore the R and sent unions.
 		e.sent = e.sent || cp.sent
-		for i, v := range cp.r {
-			if v {
-				e.r[i] = true
-			}
-		}
+		e.r.Or(cp.r)
 		delete(e.mutables, trig)
 		e.env.DiscardMutable(trig)
-		e.env.Trace(trace.KindDiscardMutable, -1, "trigger=%v", trig)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindDiscardMutable, -1, "trigger=%v", trig)
+		}
 	}
 	if _, ok := e.pending[trig]; ok {
 		e.env.MakePermanent(trig)
-		e.env.Trace(trace.KindPermanent, -1, "trigger=%v", trig)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindPermanent, -1, "trigger=%v", trig)
+		}
 		delete(e.pending, trig)
 	}
 }
@@ -605,7 +659,9 @@ func (e *Engine) AbortCurrent() error {
 	e.initiating = false
 	e.weight = dyadic.Zero()
 	e.participantDeps = nil
-	e.env.Trace(trace.KindAbort, -1, "broadcast trigger=%v", trig)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindAbort, -1, "broadcast trigger=%v", trig)
+	}
 	e.env.Broadcast(&protocol.Message{
 		Kind:    protocol.KindAbort,
 		From:    e.id,
@@ -630,26 +686,22 @@ func (e *Engine) handleAbort(trig protocol.Trigger) {
 	}
 	if cp, ok := e.mutables[trig]; ok {
 		e.sent = e.sent || cp.sent
-		for i, v := range cp.r {
-			if v {
-				e.r[i] = true
-			}
-		}
+		e.r.Or(cp.r)
 		delete(e.mutables, trig)
 		e.env.DiscardMutable(trig)
-		e.env.Trace(trace.KindDiscardMutable, -1, "abort trigger=%v", trig)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindDiscardMutable, -1, "abort trigger=%v", trig)
+		}
 	}
 	if saved, ok := e.pending[trig]; ok {
 		e.env.DropTentative(trig)
-		e.env.Trace(trace.KindAbort, -1, "drop tentative trigger=%v", trig)
+		if e.env.Tracing() {
+			e.env.Trace(trace.KindAbort, -1, "drop tentative trigger=%v", trig)
+		}
 		delete(e.pending, trig)
 		// Restore the variables the tentative checkpoint reset.
 		e.sent = e.sent || saved.sent
-		for i, v := range saved.r {
-			if v {
-				e.r[i] = true
-			}
-		}
+		e.r.Or(saved.r)
 		if saved.csnAt == e.oldCSN {
 			e.oldCSN = saved.oldCSN
 		}

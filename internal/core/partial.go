@@ -18,19 +18,11 @@ package core
 import (
 	"fmt"
 
+	"mutablecp/internal/bitset"
 	"mutablecp/internal/dyadic"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/trace"
 )
-
-// depsToMR encodes a dependency vector in MR entries (R bits).
-func depsToMR(deps []bool) []protocol.MREntry {
-	out := make([]protocol.MREntry, len(deps))
-	for i, d := range deps {
-		out[i].R = d
-	}
-	return out
-}
 
 // AbortPartial resolves the instance this process initiated after
 // participant `failed` crashed, using Kim–Park partial commit: the
@@ -62,7 +54,7 @@ func (e *Engine) AbortPartialStrict(failed protocol.ProcessID) error {
 	}
 	seed := map[protocol.ProcessID]bool{failed: true}
 	for p := 0; p < e.n; p++ {
-		if _, replied := e.participantDeps[protocol.ProcessID(p)]; !replied {
+		if e.participantDeps == nil || e.participantDeps[p].IsZero() {
 			seed[protocol.ProcessID(p)] = true
 		}
 	}
@@ -79,16 +71,18 @@ func (e *Engine) abortPartial(seed map[protocol.ProcessID]bool) error {
 	e.weight = dyadic.Zero()
 	defer func() { e.participantDeps = nil }()
 
-	excluded := make([]bool, e.n)
+	excluded := bitset.New(e.n)
 	for p := range contaminated {
-		excluded[p] = true
+		excluded.Set(p)
 	}
-	e.env.Trace(trace.KindCommit, -1, "partial commit trigger=%v excluded=%v", trig, contaminated)
+	if e.env.Tracing() {
+		e.env.Trace(trace.KindCommit, -1, "partial commit trigger=%v excluded=%v", trig, contaminated)
+	}
 	e.env.Broadcast(&protocol.Message{
 		Kind:    protocol.KindCommit,
 		From:    e.id,
 		Trigger: trig,
-		MR:      depsToMR(excluded),
+		MR:      protocol.MRFlags(excluded.Snapshot()),
 	})
 	if contaminated[e.id] {
 		e.handleAbort(trig)
@@ -108,14 +102,21 @@ func (e *Engine) contaminatedClosure(seed map[protocol.ProcessID]bool) map[proto
 	for p := range seed {
 		closure[p] = true
 	}
+	if len(e.participantDeps) == 0 {
+		return closure
+	}
 	for changed := true; changed; {
 		changed = false
-		for p, deps := range e.participantDeps {
+		for p := 0; p < e.n; p++ {
 			if closure[p] {
 				continue
 			}
-			for q, d := range deps {
-				if d && closure[q] {
+			deps := e.participantDeps[p]
+			if deps.IsZero() {
+				continue
+			}
+			for q := deps.NextSet(0); q >= 0; q = deps.NextSet(q + 1) {
+				if closure[q] {
 					closure[p] = true
 					changed = true
 					break
@@ -127,16 +128,12 @@ func (e *Engine) contaminatedClosure(seed map[protocol.ProcessID]bool) map[proto
 }
 
 // recordParticipantDeps stores a participant's dependency vector from its
-// reply (initiator side).
-func (e *Engine) recordParticipantDeps(p protocol.ProcessID, mr []protocol.MREntry) {
+// reply (initiator side). A zero snapshot means "never replied"; a
+// participant whose reply carried an empty-but-present vector is recorded
+// with non-nil words, which is how the strict closure tells the two apart.
+func (e *Engine) recordParticipantDeps(p protocol.ProcessID, deps bitset.Snapshot) {
 	if e.participantDeps == nil {
-		e.participantDeps = make(map[protocol.ProcessID][]bool, e.n)
-	}
-	deps := make([]bool, e.n)
-	for i := range mr {
-		if i < e.n {
-			deps[i] = mr[i].R
-		}
+		e.participantDeps = make([]bitset.Snapshot, e.n)
 	}
 	e.participantDeps[p] = deps
 }

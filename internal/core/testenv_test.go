@@ -243,3 +243,5 @@ func (e *fakeEnv) Trace(kind trace.Kind, peer int, format string, args ...any) {
 		e.w.t.Logf("P%d %v peer=%d %s", e.id, kind, peer, fmt.Sprintf(format, args...))
 	}
 }
+
+func (e *fakeEnv) Tracing() bool { return testing.Verbose() }

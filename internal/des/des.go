@@ -135,6 +135,14 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) EventID {
 	} else {
 		s.slots = append(s.slots, slot{gen: 1})
 		idx = uint32(len(s.slots) - 1)
+		if cap(s.free) < cap(s.slots) {
+			// Keep cap(free) >= len(slots) so freeSlot never reallocates:
+			// cancellation and compaction stay allocation-free, paying the
+			// growth here on the (already allocating) schedule path.
+			free := make([]uint32, len(s.free), cap(s.slots))
+			copy(free, s.free)
+			s.free = free
+		}
 	}
 	sl := &s.slots[idx]
 	sl.pending = true

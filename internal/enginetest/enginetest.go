@@ -244,3 +244,6 @@ func (e *Env) Trace(kind trace.Kind, peer int, format string, args ...any) {
 		e.w.T.Logf("P%d %v peer=%d %s", e.id, kind, peer, fmt.Sprintf(format, args...))
 	}
 }
+
+// Tracing implements protocol.Env.
+func (e *Env) Tracing() bool { return testing.Verbose() }

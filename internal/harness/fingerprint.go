@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/trace"
+)
+
+// TraceFingerprint runs one experiment with a structured trace attached
+// and digests the complete execution: every trace event string in order,
+// each process's final channel counters and engine state, the permanent
+// checkpoint history, and the simulated event count. Two runs with equal
+// fingerprints executed byte-identically, which makes the digest the
+// equivalence oracle for engine-representation refactors: any change to
+// message contents, checkpoint decisions, trace formatting, or state
+// accessors shows up as a different fingerprint for the same seed.
+func TraceFingerprint(cfg Config) (string, error) {
+	cfg = cfg.defaults()
+	tl := trace.New()
+	cluster, err := runCluster(cfg, tl)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	for _, ev := range tl.Events() {
+		io.WriteString(h, ev.String()) //nolint:errcheck
+		h.Write([]byte{'\n'})          //nolint:errcheck
+	}
+	for p := 0; p < cluster.N(); p++ {
+		proc := cluster.Proc(protocol.ProcessID(p))
+		st := proc.CaptureState()
+		fmt.Fprintf(h, "P%d sent=%v recv=%v\n", p, st.SentTo, st.RecvFrom)
+		if eng, ok := proc.Engine().(engineState); ok {
+			fmt.Fprintf(h, "csn=%v r=%v sent=%v old=%d\n",
+				eng.CSN(), eng.DependencyVector(), eng.Sent(), eng.OldCSN())
+		}
+		for _, rec := range proc.Stable().History() {
+			fmt.Fprintf(h, "perm csn=%d trig=%+v\n", rec.State.CSN, rec.Trigger)
+		}
+	}
+	fmt.Fprintf(h, "events=%d", cluster.Sim().Executed())
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// engineState is the engine surface the fingerprint folds in. The []bool
+// and []int forms are the stable cross-representation boundary: engines
+// may store state however they like but must render it identically here.
+type engineState interface {
+	CSN() []int
+	DependencyVector() []bool
+	Sent() bool
+	OldCSN() int
+}

@@ -21,6 +21,7 @@ import (
 	"mutablecp/internal/simrt"
 	"mutablecp/internal/stable"
 	"mutablecp/internal/stats"
+	"mutablecp/internal/trace"
 	"mutablecp/internal/workload"
 )
 
@@ -79,6 +80,10 @@ type WorkloadKind int
 const (
 	WorkloadP2P WorkloadKind = iota + 1
 	WorkloadGroup
+	// WorkloadClientServer is the asymmetric mobile traffic shape: a few
+	// server processes (the lowest pids) answer requests from every
+	// client, concentrating dependencies on the servers.
+	WorkloadClientServer
 )
 
 // Config describes one experiment run.
@@ -95,6 +100,9 @@ type Config struct {
 	GroupRatio float64
 	// Groups is the number of groups (default 4).
 	Groups int
+	// Servers is the number of server processes (client-server workloads
+	// only; default max(2, N/8)).
+	Servers int
 
 	// Horizon is the simulated time to run. Zero means enough for
 	// MinInitiations completed instances (default 40 intervals).
@@ -141,6 +149,12 @@ func (c Config) defaults() Config {
 	}
 	if c.Groups == 0 {
 		c.Groups = 4
+	}
+	if c.Servers == 0 {
+		c.Servers = c.N / 8
+		if c.Servers < 2 {
+			c.Servers = 2
+		}
 	}
 	if c.Interval == 0 {
 		c.Interval = 900 * time.Second
@@ -192,9 +206,32 @@ type Result struct {
 	DiskLineErr error
 }
 
-// Run executes one experiment.
-func Run(cfg Config) (*Result, error) {
-	cfg = cfg.defaults()
+// newGenerator builds the workload generator for one experiment config.
+func newGenerator(cfg Config) (workload.Generator, error) {
+	switch cfg.Workload {
+	case WorkloadP2P:
+		active := 0
+		if cfg.DozeCount > 0 {
+			if cfg.DozeCount >= cfg.N-1 {
+				return nil, fmt.Errorf("harness: DozeCount %d leaves no active pair", cfg.DozeCount)
+			}
+			active = cfg.N - cfg.DozeCount
+		}
+		return &workload.PointToPoint{Rate: cfg.Rate, Active: active}, nil
+	case WorkloadGroup:
+		return &workload.Group{Groups: cfg.Groups, IntraRate: cfg.Rate, InterRatio: cfg.GroupRatio}, nil
+	case WorkloadClientServer:
+		return &workload.ClientServer{Servers: cfg.Servers, Rate: cfg.Rate}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown workload kind %d", cfg.Workload)
+	}
+}
+
+// runCluster builds one simulated cluster for cfg (optionally with a
+// structured trace attached), drives the workload over the horizon, and
+// drains it. Callers read metrics, state, or the trace off the returned
+// cluster.
+func runCluster(cfg Config, tl *trace.Log) (*simrt.Cluster, error) {
 	factory, err := NewEngine(cfg.Algorithm)
 	if err != nil {
 		return nil, err
@@ -206,6 +243,7 @@ func Run(cfg Config) (*Result, error) {
 		CheckpointInterval:  cfg.Interval,
 		ScheduleCheckpoints: true,
 		SingleInitiation:    true,
+		Trace:               tl,
 	}
 	storeOpts := stable.Options{Keep: 1}
 	if cfg.StoreDir != "" {
@@ -219,21 +257,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	var gen workload.Generator
-	switch cfg.Workload {
-	case WorkloadP2P:
-		active := 0
-		if cfg.DozeCount > 0 {
-			if cfg.DozeCount >= cfg.N-1 {
-				return nil, fmt.Errorf("harness: DozeCount %d leaves no active pair", cfg.DozeCount)
-			}
-			active = cfg.N - cfg.DozeCount
-		}
-		gen = &workload.PointToPoint{Rate: cfg.Rate, Active: active}
-	case WorkloadGroup:
-		gen = &workload.Group{Groups: cfg.Groups, IntraRate: cfg.Rate, InterRatio: cfg.GroupRatio}
-	default:
-		return nil, fmt.Errorf("harness: unknown workload kind %d", cfg.Workload)
+	gen, err := newGenerator(cfg)
+	if err != nil {
+		return nil, err
 	}
 	gen.Install(cluster)
 	for i := cfg.N - cfg.DozeCount; cfg.DozeCount > 0 && i < cfg.N; i++ {
@@ -248,6 +274,16 @@ func Run(cfg Config) (*Result, error) {
 	cluster.StopTimers()
 	if err := cluster.Drain(); err != nil {
 		return nil, fmt.Errorf("harness: drain: %w", err)
+	}
+	return cluster, nil
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.defaults()
+	cluster, err := runCluster(cfg, nil)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{

@@ -474,3 +474,6 @@ func (n *Node) Trace(kind trace.Kind, peer int, format string, args ...any) {
 	}
 	n.c.cfg.Trace.Addf(n.Now(), kind, n.id, peer, format, args...)
 }
+
+// Tracing implements protocol.Env.
+func (n *Node) Tracing() bool { return n.c.cfg.Trace != nil }

@@ -96,6 +96,12 @@ func NewCellular(sim *des.Simulator, n int, cfg CellularConfig) *Cellular {
 	return c
 }
 
+// DeliversExactlyOnce marks the cellular transport as duplicate-free: the
+// resequencing buffer releases each delivery exactly once, in order.
+func (c *Cellular) DeliversExactlyOnce() {}
+
+var _ ExactlyOnce = (*Cellular)(nil)
+
 // CellOf returns the cell a process is currently in.
 func (c *Cellular) CellOf(p protocol.ProcessID) int { return c.location[p] }
 

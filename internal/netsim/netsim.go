@@ -17,6 +17,15 @@ import (
 	"mutablecp/internal/protocol"
 )
 
+// ExactlyOnce marks transports that invoke every deliver callback at most
+// once (no duplication; reliable transports also never invent copies).
+// The process runtime recycles message structs only over such transports:
+// a duplicating transport would hand one recycled — and by then reused —
+// struct to two deliveries.
+type ExactlyOnce interface {
+	DeliversExactlyOnce()
+}
+
 // Transport is what the process runtime uses to move bytes.
 type Transport interface {
 	// Unicast schedules delivery of size bytes from one process to
@@ -122,9 +131,18 @@ func (m *Medium) Utilization() float64 {
 type LAN struct {
 	medium *Medium
 	n      int
+	// scratch is Broadcast's reusable delivery-closure list; the medium
+	// schedules every entry before TransmitBroadcast returns, so the
+	// backing array is free for the next broadcast.
+	scratch []func()
 }
 
 var _ Transport = (*LAN)(nil)
+var _ ExactlyOnce = (*LAN)(nil)
+
+// DeliversExactlyOnce marks the LAN as duplicate-free: one transmission,
+// one scheduled delivery per destination.
+func (l *LAN) DeliversExactlyOnce() {}
 
 // NewLAN builds the shared-medium topology for n processes.
 func NewLAN(sim *des.Simulator, n int, b Bandwidth) *LAN {
@@ -141,7 +159,7 @@ func (l *LAN) Unicast(_, _ protocol.ProcessID, size int, deliver func()) {
 
 // Broadcast implements Transport: one transmission reaches all stations.
 func (l *LAN) Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID)) {
-	delivers := make([]func(), 0, l.n-1)
+	delivers := l.scratch[:0]
 	for to := 0; to < l.n; to++ {
 		if to == from {
 			continue
@@ -150,6 +168,7 @@ func (l *LAN) Broadcast(from protocol.ProcessID, size int, deliver func(to proto
 		delivers = append(delivers, func() { deliver(to) })
 	}
 	l.medium.TransmitBroadcast(size, delivers)
+	l.scratch = delivers
 }
 
 // StableTransfer implements Transport: the checkpoint crosses the wireless

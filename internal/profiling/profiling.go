@@ -1,0 +1,50 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flag pair
+// into a command's lifecycle: start CPU profiling up front, snapshot the
+// heap at exit. Both CLIs (mcpsim, mcpbench) share this so their flags
+// behave identically and feed straight into `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that ends it and, when memPath is non-empty, writes a
+// heap profile. Either path may be empty; Start never returns a nil stop
+// function on success.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting it
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

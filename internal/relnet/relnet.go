@@ -114,6 +114,12 @@ type Reliable struct {
 }
 
 var _ netsim.Transport = (*Reliable)(nil)
+var _ netsim.ExactlyOnce = (*Reliable)(nil)
+
+// DeliversExactlyOnce marks the ARQ layer as duplicate-free toward the
+// runtime: whatever the inner transport drops or duplicates, onData's
+// sequence check invokes each deliver callback at most once.
+func (r *Reliable) DeliversExactlyOnce() {}
 
 // New wraps inner with the ARQ sublayer for n processes.
 func New(sim *des.Simulator, inner netsim.Transport, n int, cfg Config) *Reliable {

@@ -140,6 +140,14 @@ type Cluster struct {
 	skippedInProgress uint64
 	skippedActive     uint64
 
+	// msgPool recycles protocol.Message structs on the send/deliver hot
+	// path. Enabled only when the transport guarantees exactly-once
+	// delivery (netsim.ExactlyOnce): under a duplicating transport a
+	// recycled struct could still be referenced by a second in-flight
+	// delivery. The DES is single-threaded, so a plain free list suffices.
+	pooling bool
+	msgPool []*protocol.Message
+
 	// OnDeliver, when non-nil, observes every computation-message delivery
 	// (application hook used by tests and examples).
 	OnDeliver func(to, from protocol.ProcessID, payload []byte)
@@ -166,6 +174,7 @@ func New(cfg Config) (*Cluster, error) {
 		rng:         xrand.New(cfg.Seed),
 		activeOwner: -1,
 	}
+	_, c.pooling = c.transport.(netsim.ExactlyOnce)
 	c.procs = make([]*Proc, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		p, err := newProc(c, i)
@@ -353,6 +362,28 @@ func (c *Cluster) PermanentLine() map[protocol.ProcessID]protocol.State {
 		out[p.id] = p.stable.Permanent().State
 	}
 	return out
+}
+
+// newMessage returns a zeroed message struct, recycled from the pool when
+// the transport permits it.
+func (c *Cluster) newMessage() *protocol.Message {
+	if n := len(c.msgPool); n > 0 {
+		m := c.msgPool[n-1]
+		c.msgPool = c.msgPool[:n-1]
+		return m
+	}
+	return &protocol.Message{}
+}
+
+// releaseMessage recycles a fully-handled message struct. Only the struct
+// is reset; payloads and MR snapshot words it pointed at stay valid for
+// anyone who copied them out (engines never retain the struct itself).
+func (c *Cluster) releaseMessage(m *protocol.Message) {
+	if !c.pooling {
+		return
+	}
+	*m = protocol.Message{}
+	c.msgPool = append(c.msgPool, m)
 }
 
 // firstFailed returns the lowest-numbered fail-stopped process, or -1.

@@ -162,7 +162,8 @@ func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
 		p.queue = append(p.queue, queuedSend{to: to, payload: payload})
 		return
 	}
-	m := &protocol.Message{From: p.id, To: to, Payload: payload}
+	m := p.c.newMessage()
+	m.From, m.To, m.Payload = p.id, to, payload
 	p.engine.PrepareSend(m)
 	p.seq++
 	m.Seq = p.seq
@@ -170,7 +171,12 @@ func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
 	p.sentTo[to]++
 	p.c.metrics.CompMsgs++
 	p.c.metrics.CompBytes += uint64(m.Size)
-	p.Trace(trace.KindSend, to, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	if p.Tracing() {
+		// Guarded at the call site: variadic Trace boxes its arguments
+		// even when the log is nil, which is the hot path's only
+		// avoidable allocation.
+		p.Trace(trace.KindSend, to, "csn=%d trigger=%v", m.CSN, m.Trigger)
+	}
 	dst := p.c.procs[to]
 	p.c.transport.Unicast(p.id, to, m.Size, func() { dst.receive(m) })
 }
@@ -214,6 +220,10 @@ func (p *Proc) deliverNow(m *protocol.Message) {
 		return
 	}
 	p.engine.HandleMessage(m)
+	// Engines consume messages synchronously and retain at most the
+	// immutable data they point at (MR snapshot words, payload bytes), so
+	// the struct itself can be recycled the moment handling returns.
+	p.c.releaseMessage(m)
 }
 
 // --- protocol.Env implementation ---
@@ -244,10 +254,12 @@ func (p *Proc) Broadcast(m *protocol.Message) {
 	m.Size = p.c.cfg.SysMsgBytes
 	p.countSys(m, 1)
 	p.c.transport.Broadcast(p.id, m.Size, func(to protocol.ProcessID) {
-		// Each destination gets its own shallow copy so engines may not
-		// alias each other's MR slices.
-		cp := *m
-		p.c.procs[to].receive(&cp)
+		// Each destination gets its own shallow copy so deliveries can be
+		// recycled independently (the MR snapshot words are immutable and
+		// safely shared).
+		cp := p.c.newMessage()
+		*cp = *m
+		p.c.procs[to].receive(cp)
 	})
 }
 
@@ -438,6 +450,9 @@ func (p *Proc) Trace(kind trace.Kind, peer int, format string, args ...any) {
 	}
 	p.c.cfg.Trace.Addf(p.c.sim.Now(), kind, p.id, peer, format, args...)
 }
+
+// Tracing implements protocol.Env.
+func (p *Proc) Tracing() bool { return p.c.cfg.Trace != nil }
 
 // --- mobility operations (§2.2) ---
 

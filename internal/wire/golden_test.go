@@ -1,0 +1,110 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mutablecp/internal/dyadic"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite golden frames from the current encoder")
+
+// goldenMessages covers every frame shape livenet peers exchange; the
+// request carries a populated MR vector, the piece of the format most
+// exposed to engine-representation changes.
+func goldenMessages() map[string]*protocol.Message {
+	return map[string]*protocol.Message{
+		"request":     sampleMessage(),
+		"computation": {Kind: protocol.KindComputation, From: 1, To: 2, Seq: 5, Size: 1024, CSN: 3, Trigger: protocol.NoTrigger},
+		"reply": {Kind: protocol.KindReply, From: 7, To: 3, Trigger: protocol.Trigger{Pid: 3, Inum: 9},
+			Weight: dyadic.FromFraction(1, 8)},
+		"commit": {Kind: protocol.KindCommit, From: 3, Trigger: protocol.Trigger{Pid: 3, Inum: 9}, Commit: true},
+		"abort":  {Kind: protocol.KindAbort, From: 3, Trigger: protocol.Trigger{Pid: 3, Inum: 9}},
+	}
+}
+
+const goldenFramesPath = "testdata/golden_frames.hex"
+
+// TestGoldenFrameBytes locks the on-the-wire gob encoding byte for byte.
+// The committed file was captured while Message.MR was a []MREntry field,
+// so it proves representation refactors keep old and new peers
+// byte-compatible in both directions.
+func TestGoldenFrameBytes(t *testing.T) {
+	msgs := goldenMessages()
+	got := make(map[string]string, len(msgs))
+	for name, m := range msgs {
+		var buf bytes.Buffer
+		if err := wire.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = hex.EncodeToString(buf.Bytes())
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenFramesPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, name := range []string{"request", "computation", "reply", "commit", "abort"} {
+			sb.WriteString(name)
+			sb.WriteString(" ")
+			sb.WriteString(got[name])
+			sb.WriteString("\n")
+		}
+		if err := os.WriteFile(goldenFramesPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	buf, err := os.ReadFile(goldenFramesPath)
+	if err != nil {
+		t.Fatalf("missing golden frames (run with -update to capture): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(buf)), "\n") {
+		name, frame, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[name] = frame
+	}
+	for name := range msgs {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden frame recorded (run with -update)", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: encoded frame drifted from the recorded wire format:\n got %s\nwant %s", name, got[name], w)
+		}
+	}
+	// And decoding the golden bytes must reproduce the message: old peers'
+	// frames stay readable.
+	for name, frame := range want {
+		raw, err := hex.DecodeString(frame)
+		if err != nil {
+			t.Fatalf("%s: bad golden hex: %v", name, err)
+		}
+		m, err := wire.NewDecoder(bytes.NewReader(raw)).Decode()
+		if err != nil {
+			t.Fatalf("%s: golden frame no longer decodes: %v", name, err)
+		}
+		orig := msgs[name]
+		if m.Kind != orig.Kind || m.From != orig.From || m.To != orig.To ||
+			m.CSN != orig.CSN || m.Trigger != orig.Trigger || m.Commit != orig.Commit {
+			t.Errorf("%s: golden frame decoded to %+v, want %+v", name, m, orig)
+		}
+		if m.MR.Len() != orig.MR.Len() {
+			t.Errorf("%s: golden MR decoded to %d entries, want %d", name, m.MR.Len(), orig.MR.Len())
+		}
+		if !m.Weight.Equal(orig.Weight) {
+			t.Errorf("%s: golden weight decoded to %v, want %v", name, m.Weight, orig.Weight)
+		}
+	}
+}

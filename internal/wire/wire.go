@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 
+	"mutablecp/internal/dyadic"
 	"mutablecp/internal/protocol"
 )
 
@@ -21,6 +22,63 @@ import (
 // corruption (the largest legitimate message is a request carrying an MR
 // vector, far below this).
 const MaxFrame = 1 << 20
+
+// Message is the gob wire form of protocol.Message, frozen when MR was
+// still a []MREntry field. protocol.Message now holds MR as the dense
+// protocol.MRVec, but the bytes on the wire must not change — old and new
+// peers interoperate — so Encode/Decode convert through this mirror. The
+// struct's name and the declaration order, names, and types of its fields
+// are all part of the gob format: do not reorder or rename.
+type Message struct {
+	Kind    protocol.Kind
+	From    protocol.ProcessID
+	To      protocol.ProcessID
+	Seq     uint64
+	Size    int
+	Payload []byte
+	CSN     int
+	Trigger protocol.Trigger
+	ReqCSN  int
+	MR      []protocol.MREntry
+	Weight  dyadic.Weight
+	Commit  bool
+}
+
+// toWire converts to the frozen gob form.
+func toWire(m *protocol.Message) *Message {
+	return &Message{
+		Kind:    m.Kind,
+		From:    m.From,
+		To:      m.To,
+		Seq:     m.Seq,
+		Size:    m.Size,
+		Payload: m.Payload,
+		CSN:     m.CSN,
+		Trigger: m.Trigger,
+		ReqCSN:  m.ReqCSN,
+		MR:      m.MR.Entries(),
+		Weight:  m.Weight,
+		Commit:  m.Commit,
+	}
+}
+
+// fromWire converts a decoded frame back to the in-memory form.
+func fromWire(w *Message) *protocol.Message {
+	return &protocol.Message{
+		Kind:    w.Kind,
+		From:    w.From,
+		To:      w.To,
+		Seq:     w.Seq,
+		Size:    w.Size,
+		Payload: w.Payload,
+		CSN:     w.CSN,
+		Trigger: w.Trigger,
+		ReqCSN:  w.ReqCSN,
+		MR:      protocol.MRFromEntries(w.MR),
+		Weight:  w.Weight,
+		Commit:  w.Commit,
+	}
+}
 
 // Encoder writes framed messages to a stream. It is safe for concurrent
 // use.
@@ -43,7 +101,7 @@ func (e *Encoder) Encode(m *protocol.Message) error {
 	// A fresh gob encoder per frame keeps frames self-contained so a
 	// reader can resynchronize after reconnecting; the type overhead is
 	// acceptable at checkpointing message rates.
-	if err := gob.NewEncoder(&e.buf).Encode(m); err != nil {
+	if err := gob.NewEncoder(&e.buf).Encode(toWire(m)); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
 	if e.buf.Len() > MaxFrame {
@@ -91,11 +149,11 @@ func (d *Decoder) Decode() (*protocol.Message, error) {
 	if _, err := io.ReadFull(d.r, body); err != nil {
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
-	var m protocol.Message
+	var m Message
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
-	return &m, nil
+	return fromWire(&m), nil
 }
 
 // RoundTrip encodes and decodes a message through memory (tests and

@@ -23,9 +23,9 @@ func sampleMessage() *protocol.Message {
 		CSN:     9,
 		Trigger: protocol.Trigger{Pid: 3, Inum: 9},
 		ReqCSN:  4,
-		MR: []protocol.MREntry{
+		MR: protocol.MRFromEntries([]protocol.MREntry{
 			{CSN: 1, R: true}, {CSN: 0, R: false}, {CSN: 7, R: true},
-		},
+		}),
 		Weight: dyadic.FromFraction(3, 5),
 		Commit: true,
 	}
@@ -37,13 +37,13 @@ func TestRoundTripAllFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(in.MR, out.MR) {
-		t.Fatalf("MR mismatch: %+v vs %+v", in.MR, out.MR)
+	if !reflect.DeepEqual(in.MR.Entries(), out.MR.Entries()) {
+		t.Fatalf("MR mismatch: %+v vs %+v", in.MR.Entries(), out.MR.Entries())
 	}
 	if !in.Weight.Equal(out.Weight) {
 		t.Fatalf("weight mismatch: %v vs %v", in.Weight, out.Weight)
 	}
-	in.MR, out.MR = nil, nil
+	in.MR, out.MR = protocol.MRVec{}, protocol.MRVec{}
 	in.Weight, out.Weight = dyadic.Weight{}, dyadic.Weight{}
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("message mismatch:\n in=%+v\nout=%+v", in, out)
