@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	horizon time.Duration, seedCount, parallel int, chaos bool,
 	chaosDrop, chaosDup float64, chaosCrashes int, store string, mssRestart bool,
-	wl string, servers int, scale string) error {
+	wl string, servers int, scale string, cells, cellWorkers, active int) error {
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
@@ -55,6 +56,27 @@ func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	}
 	if servers < 0 {
 		return fmt.Errorf("-servers must be >= 0 (0 picks n/8)")
+	}
+	if cells < 0 {
+		return fmt.Errorf("-cells must be >= 0 (0 or 1 = single sequential kernel)")
+	}
+	if cellWorkers < 0 {
+		return fmt.Errorf("-cell-workers must be >= 0 (0 = all CPUs)")
+	}
+	if set["cell-workers"] && cells <= 1 {
+		return fmt.Errorf("-cell-workers requires -cells > 1")
+	}
+	if cells > 1 && chaos {
+		return fmt.Errorf("-cells does not apply to -chaos (fault injection drives the single kernel directly)")
+	}
+	if active < 0 {
+		return fmt.Errorf("-active must be >= 0 (0 = every process generates load)")
+	}
+	if active > 0 && wl != "p2p" {
+		return fmt.Errorf("-active only applies to -workload p2p")
+	}
+	if active == 1 {
+		return fmt.Errorf("-active must be >= 2 (messaging needs a pair)")
 	}
 	if scale != "" {
 		if chaos {
@@ -71,10 +93,24 @@ func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 			if servers >= rung {
 				return fmt.Errorf("-servers %d must be below every -scale rung (smallest is %d)", servers, rung)
 			}
+			if cells > rung {
+				return fmt.Errorf("-cells %d must not exceed any -scale rung (smallest is %d)", cells, rung)
+			}
+			if active > rung {
+				return fmt.Errorf("-active %d must not exceed any -scale rung (smallest is %d)", active, rung)
+			}
 		}
 	}
-	if servers >= n && scale == "" {
-		return fmt.Errorf("-servers must be < -n")
+	if scale == "" {
+		if servers >= n {
+			return fmt.Errorf("-servers must be < -n")
+		}
+		if cells > n {
+			return fmt.Errorf("-cells must be <= -n (at least one process per cell)")
+		}
+		if active > n {
+			return fmt.Errorf("-active must be <= -n")
+		}
 	}
 
 	valid := false
@@ -176,6 +212,12 @@ func run(args []string) error {
 		"client-server workload: number of server processes (0 = n/8, minimum 2)")
 	scale := fs.String("scale", "",
 		"run a large-N ladder instead of one experiment: comma-separated process counts, e.g. 8,64,512,4096")
+	cells := fs.Int("cells", 0,
+		"shard the simulation into this many cells on the conservative parallel kernel (0 or 1 = single sequential kernel)")
+	cellWorkers := fs.Int("cell-workers", 0,
+		"with -cells: worker pool size for the parallel kernel; 0 = all CPUs, 1 = sequential reference execution")
+	active := fs.Int("active", 0,
+		"p2p workload: only the first N processes generate load and schedule checkpoints (0 = all); the scale ladder's min-process regime")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	ratio := fs.Float64("ratio", 1000, "group workload intra/inter rate ratio")
@@ -201,7 +243,7 @@ func run(args []string) error {
 	}
 	if err := validate(fs, *algo, *n, *rate, *ratio, *horizon, *seedCount,
 		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart,
-		*wl, *servers, *scale); err != nil {
+		*wl, *servers, *scale, *cells, *cellWorkers, *active); err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -261,6 +303,9 @@ func run(args []string) error {
 		Horizon:         *horizon,
 		SkipConsistency: *algo == harness.AlgoNaiveNoCSN,
 		StoreDir:        *store,
+		Cells:           *cells,
+		CellWorkers:     *cellWorkers,
+		Active:          *active,
 	}
 	switch *wl {
 	case "p2p":
@@ -324,25 +369,37 @@ func run(args []string) error {
 }
 
 // runScale runs the same experiment at every process count on the ladder
-// and prints one table row per rung: wall-clock cost, simulated work, and
-// the per-initiation system-message overhead whose growth in N is exactly
-// what the dependency-vector representation controls.
+// and prints one table row per rung: wall-clock cost, simulated work, the
+// per-initiation system-message overhead whose growth in N is exactly
+// what the dependency-vector representation controls, and the peak live
+// heap — the number that must stay sub-linear in N for the sparse
+// representation claim to hold.
 func runScale(cfg harness.Config, ladder []int, seedList []uint64, parallel int, wl string) error {
-	fmt.Printf("scale ladder         algo=%s workload=%s rate=%g horizon=%v seeds=%d\n",
+	fmt.Printf("scale ladder         algo=%s workload=%s rate=%g horizon=%v seeds=%d",
 		cfg.Algorithm, wl, cfg.Rate, cfg.Horizon, len(seedList))
-	fmt.Printf("%8s %12s %14s %14s %8s %16s\n",
-		"n", "wall", "simevents", "comp msgs", "inits", "sys msgs/init")
+	if cfg.Cells > 1 {
+		fmt.Printf(" cells=%d", cfg.Cells)
+	}
+	if cfg.Active > 0 {
+		fmt.Printf(" active=%d", cfg.Active)
+	}
+	fmt.Println()
+	fmt.Printf("%9s %12s %14s %14s %8s %16s %12s\n",
+		"n", "wall", "simevents", "comp msgs", "inits", "sys msgs/init", "peak heap")
 	for _, n := range ladder {
 		rung := cfg
 		rung.N = n
+		sampler := startHeapSampler()
 		start := time.Now()
 		res, err := harness.Parallel(parallel).RunSeeds(rung, seedList)
+		wall := time.Since(start).Round(time.Millisecond)
+		peak := sampler.stop()
 		if err != nil {
 			return fmt.Errorf("n=%d: %w", n, err)
 		}
-		wall := time.Since(start).Round(time.Millisecond)
-		fmt.Printf("%8d %12v %14d %14d %8d %16.1f\n",
-			n, wall, res.SimulatedEvents, res.CompMsgs, res.Initiations, res.SysMsgs.Mean())
+		fmt.Printf("%9d %12v %14d %14d %8d %16.1f %12s\n",
+			n, wall, res.SimulatedEvents, res.CompMsgs, res.Initiations,
+			res.SysMsgs.Mean(), fmtBytes(peak))
 		for _, e := range res.ClusterErrors {
 			return fmt.Errorf("n=%d: cluster error: %w", n, e)
 		}
@@ -351,4 +408,57 @@ func runScale(cfg harness.Config, ladder []int, seedList []uint64, parallel int,
 		}
 	}
 	return nil
+}
+
+// heapSampler polls runtime.MemStats while a rung runs and keeps the
+// highest live-heap reading. Each rung garbage-collects first so the
+// previous rung's dead cluster does not count against this one.
+type heapSampler struct {
+	stopCh chan struct{}
+	doneCh chan struct{}
+	peak   uint64
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	s := &heapSampler{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	go func() {
+		defer close(s.doneCh)
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > s.peak {
+				s.peak = ms.HeapAlloc
+			}
+			select {
+			case <-s.stopCh:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return s
+}
+
+// stop takes a final reading and returns the peak observed.
+func (s *heapSampler) stop() uint64 {
+	close(s.stopCh)
+	<-s.doneCh
+	return s.peak
+}
+
+// fmtBytes renders a byte count with a binary unit, one decimal place.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }

@@ -236,7 +236,41 @@ func Suite() []Benchmark {
 		{Name: "engine/scale-512", Run: scaleInstance(512)},
 		{Name: "engine/scale-1024", Run: scaleInstance(1024)},
 		{Name: "engine/scale-4096", Run: scaleInstance(4096)},
+		{Name: "engine/scale-65536", Run: scaleInstance(65536)},
 		{Name: "engine/steady-send", Run: scaleSteadySend(1024)},
+		{Name: "engine/sparse-1m-send", Run: scaleSparseSend(1<<20, 64)},
+		{Name: "des/parallel-4cell", Run: func(b *testing.B) {
+			// The sharded kernel under its intended load: four cells, each
+			// running a local event chain whose every event hops to the
+			// next shard with the lookahead as its delay. One op = one
+			// event, so events/sec is directly comparable to the
+			// single-kernel des/event-churn row; the gap is the window
+			// barrier plus merge cost the parallelism buys.
+			sh := des.NewShards(4, time.Millisecond)
+			sh.SetWorkers(4)
+			per := b.N/4 + 1
+			var next [4]func()
+			for s := 0; s < 4; s++ {
+				s := s
+				cnt := 0
+				next[s] = func() {
+					// cnt is only mutated on shard s: next[s] is only ever
+					// scheduled there.
+					cnt++
+					if cnt < per {
+						sh.Post(s, (s+1)%4, time.Millisecond, next[(s+1)%4])
+					}
+				}
+			}
+			b.ResetTimer()
+			for s := 0; s < 4; s++ {
+				sh.Shard(s).Schedule(0, next[s])
+			}
+			if err := sh.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+			reportEventRate(b, sh.Executed())
+		}},
 		{Name: "stable/commit-sync", Run: storeCommit(stable.SyncOnCommit)},
 		{Name: "stable/commit-nosync", Run: storeCommit(stable.SyncNever)},
 		{Name: "stable/open-256", Run: storeOpen(256)},

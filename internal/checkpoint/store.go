@@ -109,15 +109,13 @@ var _ Store = (*StableStore)(nil)
 
 // NewStableStore returns a store for the given process, seeded with an
 // initial permanent checkpoint (sequence number 0, empty state): the paper
-// numbers checkpoints from C_{p,0}, the pristine process state.
+// numbers checkpoints from C_{p,0}, the pristine process state. The
+// initial counters are empty truncated vectors (all-zero semantics, see
+// protocol.State) so a million idle processes don't pay O(N) each here.
 func NewStableStore(proc protocol.ProcessID, n int) *StableStore {
+	_ = n // arity kept for store-factory compatibility
 	initial := Record{
-		State: protocol.State{
-			Proc:     proc,
-			CSN:      0,
-			SentTo:   make([]uint64, n),
-			RecvFrom: make([]uint64, n),
-		},
+		State:   protocol.State{Proc: proc, CSN: 0},
 		Trigger: protocol.NoTrigger,
 		Status:  StatusPermanent,
 	}

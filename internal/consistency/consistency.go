@@ -45,8 +45,15 @@ func (e *InconsistencyError) Error() string {
 }
 
 // Check verifies the global checkpoint formed by the given per-process
-// states. Every process 0..N-1 must be present. It returns nil when the
-// checkpoint is consistent and an *InconsistencyError otherwise.
+// states. It returns nil when the checkpoint is consistent and an
+// *InconsistencyError otherwise.
+//
+// Counter vectors may be truncated (protocol.State): a missing entry is a
+// 0 count. An orphan needs received > 0, so only channels with recorded
+// receives are examined — the check costs O(total recorded channels), not
+// O(N²), which is what lets the scale ladder verify a million-process
+// line whose instances touch fifty processes. Receives attributed to a
+// process absent from the map count against a zero send vector.
 func Check(states map[protocol.ProcessID]protocol.State) error {
 	ids := make([]protocol.ProcessID, 0, len(states))
 	for id := range states {
@@ -57,16 +64,11 @@ func Check(states map[protocol.ProcessID]protocol.State) error {
 	var orphans []Orphan
 	for _, recvID := range ids {
 		recvState := states[recvID]
-		for _, sendID := range ids {
-			if sendID == recvID {
+		for sendID, received := range recvState.RecvFrom {
+			if sendID == recvID || received == 0 {
 				continue
 			}
-			sendState := states[sendID]
-			if recvID >= len(sendState.SentTo) || sendID >= len(recvState.RecvFrom) {
-				return fmt.Errorf("consistency: state vectors too short for processes %d/%d", sendID, recvID)
-			}
-			received := recvState.RecvFrom[sendID]
-			sent := sendState.SentTo[recvID]
+			sent := protocol.CounterAt(states[sendID].SentTo, recvID)
 			if received > sent {
 				orphans = append(orphans, Orphan{
 					Sender:   sendID,
@@ -88,17 +90,18 @@ func Check(states map[protocol.ProcessID]protocol.State) error {
 // not yet received at the receiver's checkpoint (the channel state a
 // Chandy–Lamport snapshot would record). The map is keyed by [sender,
 // receiver]. It returns an error if the checkpoint is inconsistent.
+// Like Check, it walks only channels with recorded sends.
 func InTransit(states map[protocol.ProcessID]protocol.State) (map[[2]protocol.ProcessID]uint64, error) {
 	if err := Check(states); err != nil {
 		return nil, err
 	}
 	out := make(map[[2]protocol.ProcessID]uint64)
 	for sendID, sendState := range states {
-		for recvID, recvState := range states {
-			if sendID == recvID {
+		for recvID, sent := range sendState.SentTo {
+			if sendID == recvID || sent == 0 {
 				continue
 			}
-			diff := sendState.SentTo[recvID] - recvState.RecvFrom[sendID]
+			diff := sent - protocol.CounterAt(states[recvID].RecvFrom, sendID)
 			if diff > 0 {
 				out[[2]protocol.ProcessID{sendID, recvID}] = diff
 			}

@@ -93,13 +93,24 @@ func TestInTransitRejectsInconsistent(t *testing.T) {
 	}
 }
 
-func TestShortVectorsError(t *testing.T) {
+func TestTruncatedVectorsMeanZero(t *testing.T) {
+	// Counter vectors may be truncated (or nil): a missing entry is a 0
+	// count, not an error. A nil RecvFrom is a process that recorded no
+	// receives — consistent against any senders.
 	s := mkStates(2)
 	st := s[1]
 	st.RecvFrom = nil
 	s[1] = st
-	if err := consistency.Check(s); err == nil {
-		t.Fatal("short vectors accepted")
+	s[0].SentTo[1] = 3 // in transit, not orphaned
+	if err := consistency.Check(s); err != nil {
+		t.Fatalf("nil RecvFrom rejected: %v", err)
+	}
+	transit, err := consistency.InTransit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transit[[2]protocol.ProcessID{0, 1}] != 3 {
+		t.Fatalf("in-transit = %v", transit)
 	}
 }
 
@@ -213,42 +224,53 @@ func TestInTransitAgreesWithCheckOnFigureTraces(t *testing.T) {
 	}
 }
 
-// TestInTransitMalformedStates pins the error path: state maps whose
-// counter vectors cannot cover every present process are rejected, never
-// silently mis-indexed.
-func TestInTransitMalformedStates(t *testing.T) {
+// TestTruncatedVectorsOrphanAgainstZero pins the sparse-counter error
+// path: a recorded receive whose sender's vector is missing (nil,
+// truncated before the slot, or the sender absent from the map entirely)
+// counts against zero sends and must surface as an orphan with Sent=0.
+func TestTruncatedVectorsOrphanAgainstZero(t *testing.T) {
 	cases := []struct {
 		name string
 		mk   func() map[protocol.ProcessID]protocol.State
 	}{
-		{"nil SentTo", func() map[protocol.ProcessID]protocol.State {
+		{"nil sender SentTo", func() map[protocol.ProcessID]protocol.State {
 			s := mkStates(3)
 			st := s[1]
 			st.SentTo = nil
 			s[1] = st
+			s[2].RecvFrom[1] = 2 // receives nothing backs
 			return s
 		}},
-		{"truncated RecvFrom", func() map[protocol.ProcessID]protocol.State {
+		{"SentTo truncated before slot", func() map[protocol.ProcessID]protocol.State {
 			s := mkStates(3)
-			st := s[2]
-			st.RecvFrom = st.RecvFrom[:1]
-			s[2] = st
+			st := s[1]
+			st.SentTo = st.SentTo[:1] // slot for P2 missing
+			s[1] = st
+			s[2].RecvFrom[1] = 2
 			return s
 		}},
-		{"sparse id beyond vectors", func() map[protocol.ProcessID]protocol.State {
+		{"sender absent from map", func() map[protocol.ProcessID]protocol.State {
 			s := mkStates(2)
-			s[5] = protocol.State{Proc: 5, SentTo: make([]uint64, 2), RecvFrom: make([]uint64, 2)}
+			s[5] = protocol.State{Proc: 5, RecvFrom: []uint64{0, 2}} // claims receives from P1
 			return s
 		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			states := tc.mk()
-			if _, err := consistency.InTransit(states); err == nil {
-				t.Fatal("malformed state map accepted by InTransit")
+			err := consistency.Check(states)
+			if err == nil {
+				t.Fatal("orphan against missing sender vector not detected")
 			}
-			if err := consistency.Check(states); err == nil {
-				t.Fatal("malformed state map accepted by Check")
+			var ie *consistency.InconsistencyError
+			if !errors.As(err, &ie) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			if len(ie.Orphans) != 1 || ie.Orphans[0].Sent != 0 {
+				t.Fatalf("orphans = %+v, want one with Sent=0", ie.Orphans)
+			}
+			if _, err := consistency.InTransit(states); err == nil {
+				t.Fatal("inconsistent states accepted by InTransit")
 			}
 		})
 	}

@@ -1,0 +1,55 @@
+package core
+
+import "mutablecp/internal/protocol"
+
+// csnVec stores csn_i[*] as parallel slices sorted by peer ID. The
+// receive path reads and writes one entry per computation message, and a
+// binary search over the O(dependencies)-sized vector profiles several
+// times faster there than a map lookup while keeping the same sparse
+// space bound: an idle process holds nothing, a participant holds one
+// entry per peer it has heard a csn from. Inserting a new peer shifts
+// the tail — a one-time cost on first contact, amortized away at steady
+// state.
+type csnVec struct {
+	ids  []protocol.ProcessID
+	vals []int
+}
+
+// search returns the position of k, or the insertion point keeping ids
+// sorted.
+func (v *csnVec) search(k protocol.ProcessID) int {
+	lo, hi := 0, len(v.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.ids[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// at reads entry k; absent peers read 0.
+func (v *csnVec) at(k protocol.ProcessID) int {
+	i := v.search(k)
+	if i < len(v.ids) && v.ids[i] == k {
+		return v.vals[i]
+	}
+	return 0
+}
+
+// set writes entry k, inserting it on first contact.
+func (v *csnVec) set(k protocol.ProcessID, val int) {
+	i := v.search(k)
+	if i < len(v.ids) && v.ids[i] == k {
+		v.vals[i] = val
+		return
+	}
+	v.ids = append(v.ids, 0)
+	copy(v.ids[i+1:], v.ids[i:])
+	v.ids[i] = k
+	v.vals = append(v.vals, 0)
+	copy(v.vals[i+1:], v.vals[i:])
+	v.vals[i] = val
+}

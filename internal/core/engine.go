@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"mutablecp/internal/bitset"
 	"mutablecp/internal/dyadic"
@@ -133,13 +134,22 @@ type Engine struct {
 	id  protocol.ProcessID
 	n   int
 
-	csn        []int            // csn_i[*]
+	// csn holds csn_i[*] sparsely: only peers whose csn this process has
+	// observed as nonzero have entries (empty until the first write), and
+	// the process's own slot lives in ownCSN instead — a min-process
+	// instance touches O(participants) peers, so an idle process at
+	// N=1M costs nothing here. Read through csnOf, write through setCSN.
+	csn        csnVec
+	ownCSN     int              // csn_i[i], the hot PrepareSend read
 	r          *bitset.Set      // R_i[*]
 	sent       bool             // sent_i
 	cpState    bool             // cp_state_i
 	oldCSN     int              // old_csn_i
 	ownTrigger protocol.Trigger // trigger_i
 
+	// The bookkeeping maps below are nil until first written (reads of a
+	// nil map are legal); at large N most processes never participate in
+	// any instance and carry six nil words instead of six live maps.
 	mutables map[protocol.Trigger]*mutableCP
 
 	opts Options
@@ -164,10 +174,10 @@ type Engine struct {
 	weight     dyadic.Weight
 	// participantDeps collects each participant's dependency vector from
 	// its reply, enabling Kim–Park partial commit on failure (§3.6).
-	// Indexed by pid; a zero (absent) snapshot means "never replied" —
-	// the distinction AbortPartialStrict's contamination seed needs. Nil
+	// Keyed by pid; a missing entry means "never replied" — the
+	// distinction AbortPartialStrict's contamination seed needs. Nil
 	// outside an initiation.
-	participantDeps []bitset.Snapshot
+	participantDeps map[protocol.ProcessID]bitset.Snapshot
 
 	// Pending tentative checkpoints (normally at most one) with the saved
 	// context needed by the abort path.
@@ -177,7 +187,8 @@ type Engine struct {
 	// the frozen result is shared by reference across the whole request
 	// fan-out (copy-on-write protects it from the next reuse).
 	mrScratch *protocol.MRBuilder
-	// targetScratch is prop_cp's reusable request-target list.
+	// targetScratch is prop_cp's reusable request-target list, reused by
+	// the targeted-dissemination paths for sorted map iteration.
 	targetScratch []protocol.ProcessID
 }
 
@@ -199,21 +210,31 @@ func NewWithOptions(env protocol.Env, opts Options) *Engine {
 	}
 	n := env.N()
 	return &Engine{
-		env:         env,
-		id:          env.ID(),
-		n:           n,
-		csn:         make([]int, n),
-		r:           bitset.New(n),
-		mrScratch:   protocol.NewMRBuilder(n),
-		ownTrigger:  protocol.Trigger{Pid: env.ID(), Inum: 0},
-		mutables:    make(map[protocol.Trigger]*mutableCP),
-		pending:     make(map[protocol.Trigger]savedContext),
-		opts:        opts,
-		repliers:    make(map[protocol.ProcessID]bool),
-		notifySet:   make(map[protocol.ProcessID]bool),
-		seenCommits: make(map[protocol.Trigger]bool),
-		aborted:     make(map[protocol.Trigger]bool),
+		env:        env,
+		id:         env.ID(),
+		n:          n,
+		r:          bitset.New(n),
+		mrScratch:  protocol.NewMRBuilder(n),
+		ownTrigger: protocol.Trigger{Pid: env.ID(), Inum: 0},
+		opts:       opts,
 	}
+}
+
+// csnOf reads csn_i[k]; peers never heard from read 0.
+func (e *Engine) csnOf(k protocol.ProcessID) int {
+	if k == e.id {
+		return e.ownCSN
+	}
+	return e.csn.at(k)
+}
+
+// setCSN writes csn_i[k], growing the sparse vector on first contact.
+func (e *Engine) setCSN(k protocol.ProcessID, v int) {
+	if k == e.id {
+		e.ownCSN = v
+		return
+	}
+	e.csn.set(k, v)
 }
 
 // Name identifies the algorithm.
@@ -225,8 +246,16 @@ func (e *Engine) BlocksComputation() bool { return false }
 // InProgress reports the paper's cp_state.
 func (e *Engine) InProgress() bool { return e.cpState }
 
-// CSN exposes a copy of the csn vector (tests and tools).
-func (e *Engine) CSN() []int { return append([]int(nil), e.csn...) }
+// CSN exposes a dense copy of the csn vector (tests and tools; the
+// rendering is part of the fingerprint format and must not change).
+func (e *Engine) CSN() []int {
+	out := make([]int, e.n)
+	out[e.id] = e.ownCSN
+	for i, k := range e.csn.ids {
+		out[k] = e.csn.vals[i]
+	}
+	return out
+}
 
 // DependencyVector exposes a copy of R as []bool (tests and tools; the
 // rendering is part of the fingerprint format and must not change).
@@ -246,10 +275,13 @@ func (e *Engine) OwnTrigger() protocol.Trigger { return e.ownTrigger }
 // checkpointing instance.
 func (e *Engine) PrepareSend(m *protocol.Message) {
 	m.Kind = protocol.KindComputation
-	m.CSN = e.csn[e.id]
+	m.CSN = e.ownCSN
 	if e.cpState {
 		m.Trigger = e.ownTrigger
 		if e.opts.Dissemination == CommitTargeted {
+			if e.notifySet == nil {
+				e.notifySet = make(map[protocol.ProcessID]bool)
+			}
 			e.notifySet[m.To] = true
 		}
 	} else {
@@ -265,8 +297,8 @@ func (e *Engine) Initiate() error {
 	if e.cpState {
 		return ErrCheckpointInProgress
 	}
-	e.csn[e.id]++
-	e.ownTrigger = protocol.Trigger{Pid: e.id, Inum: e.csn[e.id]}
+	e.ownCSN++
+	e.ownTrigger = protocol.Trigger{Pid: e.id, Inum: e.ownCSN}
 	e.cpState = true
 	e.initiating = true
 	if e.env.Tracing() {
@@ -275,7 +307,7 @@ func (e *Engine) Initiate() error {
 
 	deps := e.r.Snapshot()
 	e.mrScratch.Load(protocol.MRVec{})
-	e.mrScratch.SetCSN(e.id, e.csn[e.id])
+	e.mrScratch.SetCSN(e.id, e.ownCSN)
 	e.mrScratch.SetFlag(e.id)
 	e.recordParticipantDeps(e.id, deps)
 	e.weight = e.propCPLoaded(deps, e.ownTrigger, dyadic.One())
@@ -291,19 +323,22 @@ func (e *Engine) Initiate() error {
 // and performs the post-checkpoint variable updates shared by the
 // initiator and request-inheriting paths.
 func (e *Engine) takeTentative(trig protocol.Trigger) {
+	if e.pending == nil {
+		e.pending = make(map[protocol.Trigger]savedContext)
+	}
 	e.pending[trig] = savedContext{
 		r:      e.r.Snapshot(),
 		sent:   e.sent,
 		oldCSN: e.oldCSN,
-		csnAt:  e.csn[e.id],
+		csnAt:  e.ownCSN,
 	}
 	st := e.env.CaptureState()
-	st.CSN = e.csn[e.id]
+	st.CSN = e.ownCSN
 	e.env.SaveTentative(st, trig)
 	if e.env.Tracing() {
 		e.env.Trace(trace.KindTentative, -1, "csn=%d trigger=%v", st.CSN, trig)
 	}
-	e.oldCSN = e.csn[e.id]
+	e.oldCSN = e.ownCSN
 	e.sent = false
 	e.resetR()
 }
@@ -329,17 +364,18 @@ func (e *Engine) propCPLoaded(r bitset.Snapshot, trig protocol.Trigger, recvWeig
 		if k == e.id {
 			continue
 		}
+		kcsn := e.csnOf(k)
 		if e.opts.Mutation == MutLiteralMRSuppression {
-			if temp.CSN(k) >= e.csn[k] {
+			if temp.CSN(k) >= kcsn {
 				continue
 			}
-		} else if temp.Flag(k) && temp.CSN(k) >= e.csn[k] {
+		} else if temp.Flag(k) && temp.CSN(k) >= kcsn {
 			// Someone already sent P_k a request with req_csn >= csn_i[k].
 			continue
 		}
 		targets = append(targets, k)
-		if e.csn[k] > temp.CSN(k) {
-			temp.SetCSN(k, e.csn[k])
+		if kcsn > temp.CSN(k) {
+			temp.SetCSN(k, kcsn)
 		}
 		temp.SetFlag(k)
 	}
@@ -356,9 +392,9 @@ func (e *Engine) propCPLoaded(r bitset.Snapshot, trig protocol.Trigger, recvWeig
 			Kind:    protocol.KindRequest,
 			From:    e.id,
 			To:      k,
-			CSN:     e.csn[e.id],
+			CSN:     e.ownCSN,
 			Trigger: trig,
-			ReqCSN:  e.csn[k],
+			ReqCSN:  e.csnOf(k),
 			MR:      frozen,
 			Weight:  w,
 		}
@@ -379,6 +415,9 @@ func (e *Engine) HandleMessage(m *protocol.Message) {
 		e.handleRequest(m)
 	case protocol.KindReply:
 		if e.initiating && m.Trigger == e.ownTrigger {
+			if e.repliers == nil {
+				e.repliers = make(map[protocol.ProcessID]bool)
+			}
 			e.repliers[m.From] = true
 			if !m.MR.IsZero() {
 				e.recordParticipantDeps(m.From, m.MR.Flags())
@@ -407,15 +446,15 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 	if e.env.Tracing() {
 		e.env.Trace(trace.KindReceive, j, "csn=%d trigger=%v", m.CSN, m.Trigger)
 	}
-	if m.CSN <= e.csn[j] {
+	if m.CSN <= e.csnOf(j) {
 		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
 	}
-	if !m.Trigger.IsNone() && e.csn[m.Trigger.Pid] == m.Trigger.Inum {
+	if !m.Trigger.IsNone() && e.csnOf(m.Trigger.Pid) == m.Trigger.Inum {
 		// Fast path: P_i already knows about this initiation (it has taken
 		// a checkpoint for it or saw its commit), so m cannot be an orphan.
-		e.csn[j] = m.CSN
+		e.setCSN(j, m.CSN)
 		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
@@ -425,12 +464,12 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 		// recovery line will never exist, so no checkpoint can orphan m.
 		// Taking a mutable checkpoint here would leak (no commit or abort
 		// will ever arrive again to discard it).
-		e.csn[j] = m.CSN
+		e.setCSN(j, m.CSN)
 		e.r.Set(j)
 		e.env.DeliverApp(m)
 		return
 	}
-	e.csn[j] = m.CSN
+	e.setCSN(j, m.CSN)
 
 	if !m.Trigger.IsNone() && e.sent && m.Trigger != e.ownTrigger {
 		if _, have := e.mutables[m.Trigger]; !have && e.opts.Mutation != MutSkipMutableCheckpoint {
@@ -441,7 +480,7 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 	}
 	if !m.Trigger.IsNone() && !e.cpState {
 		e.cpState = true
-		e.csn[e.id]++
+		e.ownCSN++
 		e.ownTrigger = m.Trigger
 	}
 	e.r.Set(j)
@@ -451,10 +490,13 @@ func (e *Engine) handleComputation(m *protocol.Message) {
 // takeMutable captures the process state into cheap local storage.
 func (e *Engine) takeMutable(trig protocol.Trigger) {
 	st := e.env.CaptureState()
-	st.CSN = e.csn[e.id]
+	st.CSN = e.ownCSN
 	e.env.SaveMutable(st, trig)
 	if e.env.Tracing() {
 		e.env.Trace(trace.KindMutable, -1, "csn=%d trigger=%v", st.CSN, trig)
+	}
+	if e.mutables == nil {
+		e.mutables = make(map[protocol.Trigger]*mutableCP)
 	}
 	e.mutables[trig] = &mutableCP{
 		r:    e.r.Snapshot(),
@@ -468,7 +510,7 @@ func (e *Engine) takeMutable(trig protocol.Trigger) {
 // request from P_j" (§3.3.2).
 func (e *Engine) handleRequest(m *protocol.Message) {
 	j := m.From
-	e.csn[j] = m.CSN
+	e.setCSN(j, m.CSN)
 	initiator := m.Trigger.Pid
 
 	if e.aborted[m.Trigger] {
@@ -495,8 +537,11 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 			e.env.Trace(trace.KindPromote, -1, "trigger=%v", m.Trigger)
 		}
 		delete(e.mutables, m.Trigger)
-		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN, csnAt: e.csn[e.id]}
-		e.oldCSN = e.csn[e.id]
+		if e.pending == nil {
+			e.pending = make(map[protocol.Trigger]savedContext)
+		}
+		e.pending[m.Trigger] = savedContext{r: cp.r, sent: cp.sent, oldCSN: e.oldCSN, csnAt: e.ownCSN}
+		e.oldCSN = e.ownCSN
 		e.reply(initiator, m.Trigger, remaining, cp.r)
 		return
 	}
@@ -507,7 +552,7 @@ func (e *Engine) handleRequest(m *protocol.Message) {
 	}
 
 	// Inherit the request: take a tentative checkpoint.
-	e.csn[e.id]++
+	e.ownCSN++
 	e.ownTrigger = m.Trigger
 	deps := e.r.Snapshot()
 	remaining := e.propCP(deps, m.MR, m.Trigger, m.Weight)
@@ -569,18 +614,15 @@ func (e *Engine) maybeCommit() {
 		// Ascending pid order keeps commit emission deterministic (map
 		// iteration order is not), which replay and the fingerprint
 		// equivalence oracle rely on.
-		for p := 0; p < e.n; p++ {
-			if !e.repliers[protocol.ProcessID(p)] {
-				continue
-			}
+		for _, p := range e.sortedPids(e.repliers) {
 			e.env.Send(&protocol.Message{
 				Kind:    protocol.KindCommit,
 				From:    e.id,
-				To:      protocol.ProcessID(p),
+				To:      p,
 				Trigger: trig,
 			})
 		}
-		e.repliers = make(map[protocol.ProcessID]bool)
+		e.repliers = nil
 	} else {
 		if e.env.Tracing() {
 			e.env.Trace(trace.KindCommit, -1, "broadcast trigger=%v", trig)
@@ -595,31 +637,49 @@ func (e *Engine) maybeCommit() {
 	e.env.CheckpointingDone(trig, true)
 }
 
+// sortedPids collects a pid set's members in ascending order into
+// targetScratch (valid until the next prop_cp or sortedPids call). The
+// targeted-dissemination paths iterate O(participants log participants)
+// this way instead of scanning all N pids.
+func (e *Engine) sortedPids(set map[protocol.ProcessID]bool) []protocol.ProcessID {
+	pids := e.targetScratch[:0]
+	for p := range set {
+		pids = append(pids, p)
+	}
+	sort.Ints(pids)
+	e.targetScratch = pids
+	return pids
+}
+
 // handleCommit implements "actions at other process P_j on receiving a
 // broadcast message" (§3.3.4).
 func (e *Engine) handleCommit(trig protocol.Trigger) {
 	if e.opts.Dissemination == CommitTargeted && !e.seenCommits[trig] {
+		if e.seenCommits == nil {
+			e.seenCommits = make(map[protocol.Trigger]bool)
+		}
 		e.seenCommits[trig] = true
 		if len(e.seenCommits) > 1024 {
 			e.seenCommits = map[protocol.Trigger]bool{trig: true}
 		}
 		// Forward the commit to everyone we sent computation messages to
 		// while inside the instance, so they clear cp_state and discard
-		// mutable checkpoints (the update approach's notification duty).
-		for p := 0; p < e.n; p++ {
-			if protocol.ProcessID(p) == trig.Pid || !e.notifySet[protocol.ProcessID(p)] {
+		// mutable checkpoints (the update approach's notification duty),
+		// in ascending pid order for deterministic emission.
+		for _, p := range e.sortedPids(e.notifySet) {
+			if p == trig.Pid {
 				continue
 			}
 			e.env.Send(&protocol.Message{
 				Kind:    protocol.KindCommit,
 				From:    e.id,
-				To:      protocol.ProcessID(p),
+				To:      p,
 				Trigger: trig,
 			})
 		}
-		e.notifySet = make(map[protocol.ProcessID]bool)
+		e.notifySet = nil
 	}
-	e.csn[trig.Pid] = trig.Inum
+	e.setCSN(trig.Pid, trig.Inum)
 	if trig == e.ownTrigger {
 		// Only the committed instance's own participants leave cp_state.
 		// A commit broadcast for a previous instance can still be in
@@ -677,6 +737,9 @@ func (e *Engine) AbortCurrent() error {
 // touched: with two overlapping initiations in flight, aborting one must
 // not clobber the other's cp_state or oldCSN.
 func (e *Engine) handleAbort(trig protocol.Trigger) {
+	if e.aborted == nil {
+		e.aborted = make(map[protocol.Trigger]bool)
+	}
 	e.aborted[trig] = true
 	if len(e.aborted) > 1024 {
 		e.aborted = map[protocol.Trigger]bool{trig: true}

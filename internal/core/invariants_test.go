@@ -194,8 +194,8 @@ func TestTheorem3Minimality(t *testing.T) {
 					// Message received by a member, not recorded in the
 					// sender's pre-instance checkpoint, and received after
 					// the receiver's pre-instance checkpoint.
-					if mr.sentIdx > before[mr.from].SentTo[mr.to] &&
-						mr.recvIdx > before[mr.to].RecvFrom[mr.from] {
+					if mr.sentIdx > protocol.CounterAt(before[mr.from].SentTo, mr.to) &&
+						mr.recvIdx > protocol.CounterAt(before[mr.to].RecvFrom, mr.from) {
 						need[mr.from] = true
 						changed = true
 					}

@@ -54,7 +54,7 @@ func (e *Engine) AbortPartialStrict(failed protocol.ProcessID) error {
 	}
 	seed := map[protocol.ProcessID]bool{failed: true}
 	for p := 0; p < e.n; p++ {
-		if e.participantDeps == nil || e.participantDeps[p].IsZero() {
+		if _, replied := e.participantDeps[protocol.ProcessID(p)]; !replied {
 			seed[protocol.ProcessID(p)] = true
 		}
 	}
@@ -107,12 +107,8 @@ func (e *Engine) contaminatedClosure(seed map[protocol.ProcessID]bool) map[proto
 	}
 	for changed := true; changed; {
 		changed = false
-		for p := 0; p < e.n; p++ {
-			if closure[p] {
-				continue
-			}
-			deps := e.participantDeps[p]
-			if deps.IsZero() {
+		for p, deps := range e.participantDeps {
+			if closure[p] || deps.IsZero() {
 				continue
 			}
 			for q := deps.NextSet(0); q >= 0; q = deps.NextSet(q + 1) {
@@ -128,12 +124,13 @@ func (e *Engine) contaminatedClosure(seed map[protocol.ProcessID]bool) map[proto
 }
 
 // recordParticipantDeps stores a participant's dependency vector from its
-// reply (initiator side). A zero snapshot means "never replied"; a
+// reply (initiator side). A missing map entry means "never replied"; a
 // participant whose reply carried an empty-but-present vector is recorded
-// with non-nil words, which is how the strict closure tells the two apart.
+// with a present snapshot, which is how the strict closure tells the two
+// apart. The map holds O(participants) entries regardless of N.
 func (e *Engine) recordParticipantDeps(p protocol.ProcessID, deps bitset.Snapshot) {
 	if e.participantDeps == nil {
-		e.participantDeps = make([]bitset.Snapshot, e.n)
+		e.participantDeps = make(map[protocol.ProcessID]bitset.Snapshot)
 	}
 	e.participantDeps[p] = deps
 }

@@ -1,0 +1,294 @@
+package des
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shards is a conservatively synchronized parallel composition of K
+// Simulators, one per cell/MSS. It implements the classic conservative
+// PDES discipline: virtual time advances in windows of length equal to
+// the lookahead (the minimum cross-shard latency), every shard executes
+// its local events for the window concurrently, and cross-shard events
+// are exchanged only at window barriers.
+//
+// The lookahead contract makes this safe: an event executing at time t
+// may Post work to another shard only with delay >= lookahead, so the
+// earliest cross-shard effect of anything in window [W, W+L) lands at or
+// after W+L — a window the destination shard has not started. No shard
+// can ever receive an event in its past.
+//
+// Determinism: within a window each shard is an ordinary single-threaded
+// Simulator, and at the barrier the buffered posts are merged in
+// (arrival time, source shard, per-source post order) — a total order
+// independent of which worker finished first. The result is byte-
+// identical for any worker count, which is what lets a -race run with
+// workers=GOMAXPROCS be checked against workers=1 fingerprints. This is
+// the same deterministic fan-out/merge discipline harness.Parallel uses
+// for per-seed runs, applied inside a single simulation.
+type Shards struct {
+	sims      []*Simulator
+	lookahead time.Duration
+	workers   int
+
+	// outboxes[src] buffers cross-shard posts made by shard src during
+	// the current window. Each is written only by the goroutine running
+	// shard src, so no locking is needed; the barrier drains them all.
+	outboxes [][]crossPost
+	// postSeq[src] numbers shard src's posts, the final tie-breaker in
+	// the deterministic barrier merge.
+	postSeq []uint64
+
+	// stopped is set by Stop, possibly from an event callback on any
+	// shard's worker goroutine, and read at window barriers.
+	stopped atomic.Bool
+}
+
+// crossPost is one buffered cross-shard event.
+type crossPost struct {
+	at  time.Duration
+	to  int
+	src int
+	seq uint64
+	fn  func()
+}
+
+// NewShards builds K empty simulators coupled with the given lookahead.
+// The lookahead must be positive: a zero-latency topology admits no
+// conservative parallelism.
+func NewShards(k int, lookahead time.Duration) *Shards {
+	if k < 1 {
+		panic("des: Shards needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("des: Shards lookahead must be positive")
+	}
+	s := &Shards{
+		sims:      make([]*Simulator, k),
+		lookahead: lookahead,
+		workers:   runtime.GOMAXPROCS(0),
+		outboxes:  make([][]crossPost, k),
+		postSeq:   make([]uint64, k),
+	}
+	for i := range s.sims {
+		s.sims[i] = New()
+	}
+	return s
+}
+
+// K returns the shard count.
+func (s *Shards) K() int { return len(s.sims) }
+
+// Lookahead returns the conservative synchronization window length.
+func (s *Shards) Lookahead() time.Duration { return s.lookahead }
+
+// Shard returns shard i's simulator. Scheduling on it directly is safe
+// before Run/RunAll and inside that shard's own event callbacks.
+func (s *Shards) Shard(i int) *Simulator { return s.sims[i] }
+
+// SetWorkers bounds how many shards execute concurrently per window.
+// w <= 0 selects GOMAXPROCS. The simulation result is identical for
+// every value; 1 runs the sharded model sequentially.
+func (s *Shards) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s.workers = w
+}
+
+// Post schedules fn on shard dst, delay after shard src's current
+// virtual time. It must be called from an event callback running on
+// shard src (or between windows), and delay must be at least the
+// lookahead — the conservative contract that makes the window execution
+// safe. Posts become visible to the destination at the next barrier.
+func (s *Shards) Post(src, dst int, delay time.Duration, fn func()) {
+	if delay < s.lookahead {
+		panic(fmt.Sprintf("des: cross-shard post with delay %v below lookahead %v", delay, s.lookahead))
+	}
+	if src == dst {
+		// Same-shard work needs no barrier; schedule directly.
+		s.sims[src].Schedule(delay, fn)
+		return
+	}
+	s.postSeq[src]++
+	s.outboxes[src] = append(s.outboxes[src], crossPost{
+		at:  s.sims[src].Now() + delay,
+		to:  dst,
+		src: src,
+		seq: s.postSeq[src],
+		fn:  fn,
+	})
+}
+
+// Stop makes the current Run or RunAll return ErrStopped at the next
+// window barrier. Safe to call from any shard's event callback.
+func (s *Shards) Stop() { s.stopped.Store(true) }
+
+// Executed reports the total events fired across all shards.
+func (s *Shards) Executed() uint64 {
+	var n uint64
+	for _, sim := range s.sims {
+		n += sim.Executed()
+	}
+	return n
+}
+
+// Pending reports the total live scheduled events across all shards.
+func (s *Shards) Pending() int {
+	n := 0
+	for _, sim := range s.sims {
+		n += sim.Pending()
+	}
+	return n
+}
+
+// Now returns the common virtual time of the last completed barrier
+// (every shard's clock agrees between windows).
+func (s *Shards) Now() time.Duration { return s.sims[0].Now() }
+
+// nextEventAt returns the earliest pending event time across shards.
+func (s *Shards) nextEventAt() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, sim := range s.sims {
+		if at, ok := sim.NextEventAt(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// runWindow executes every shard up to bound on the worker pool, then
+// merges the buffered cross-shard posts deterministically. It mirrors
+// the index-ordered job discipline of harness.RunJobs: results (and the
+// merge) never depend on completion order.
+func (s *Shards) runWindow(bound time.Duration) {
+	k := len(s.sims)
+	workers := s.workers
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for _, sim := range s.sims {
+			sim.Run(bound) //nolint:errcheck // per-shard Stop is surfaced via s.stopped
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					s.sims[i].Run(bound) //nolint:errcheck
+				}
+			}()
+		}
+		for i := 0; i < k; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	s.mergePosts()
+}
+
+// mergePosts drains every outbox and schedules the posts on their
+// destination shards in (at, src, seq) order — a total order over all
+// posts of the window that no worker interleaving can perturb, so the
+// destination simulators assign identical internal sequence numbers on
+// every run.
+func (s *Shards) mergePosts() {
+	total := 0
+	for _, box := range s.outboxes {
+		total += len(box)
+	}
+	if total == 0 {
+		return
+	}
+	merged := make([]crossPost, 0, total)
+	for _, box := range s.outboxes {
+		merged = append(merged, box...)
+	}
+	for i := range s.outboxes {
+		s.outboxes[i] = s.outboxes[i][:0]
+	}
+	// Each outbox is already in (at nondecreasing? no — at = now+delay
+	// with varying delays) post order; sort the concatenation by the
+	// deterministic total order.
+	sortPosts(merged)
+	for _, p := range merged {
+		s.sims[p.to].ScheduleAt(p.at, p.fn)
+	}
+}
+
+// sortPosts orders by (at, src, seq). Insertion sort: windows carry few
+// cross posts, and the input is mostly sorted (concatenation of
+// per-source runs ordered by seq).
+func sortPosts(ps []crossPost) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && postAfter(&ps[j], &p) {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+func postAfter(a, b *crossPost) bool {
+	if a.at != b.at {
+		return a.at > b.at
+	}
+	if a.src != b.src {
+		return a.src > b.src
+	}
+	return a.seq > b.seq
+}
+
+// Run advances every shard to the horizon in lookahead windows. Between
+// windows the shards' clocks are equal; on return every clock sits at
+// the horizon. Windows fast-forward over empty stretches: the next
+// window starts at the earliest pending event across all shards.
+func (s *Shards) Run(horizon time.Duration) error {
+	s.stopped.Store(false)
+	for {
+		if s.stopped.Load() {
+			return ErrStopped
+		}
+		next, ok := s.nextEventAt()
+		if !ok || next > horizon {
+			break
+		}
+		bound := next + s.lookahead
+		if bound > horizon {
+			bound = horizon
+		}
+		s.runWindow(bound)
+	}
+	// Advance every clock to the horizon (mirrors Simulator.Run).
+	for _, sim := range s.sims {
+		sim.Run(horizon) //nolint:errcheck
+	}
+	return nil
+}
+
+// RunAll fires events until every shard's queue drains and no cross
+// posts remain, with no horizon. Use only with terminating workloads.
+func (s *Shards) RunAll() error {
+	s.stopped.Store(false)
+	for {
+		if s.stopped.Load() {
+			return ErrStopped
+		}
+		next, ok := s.nextEventAt()
+		if !ok {
+			return nil
+		}
+		s.runWindow(next + s.lookahead)
+	}
+}

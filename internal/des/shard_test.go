@@ -1,0 +1,221 @@
+package des_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/xrand"
+)
+
+// shardModel is a small deterministic workload over K shards: each shard
+// runs a local event cadence and randomly posts cross-shard work (with
+// delay >= lookahead). Every fired event folds (shard, virtual time,
+// event tag) into a digest, so two runs with equal digests executed the
+// same events at the same times in the same per-shard order.
+type shardModel struct {
+	shards *des.Shards
+	rngs   []*xrand.Stream
+	digs   []uint64 // per-shard FNV accumulators (merged deterministically)
+	counts []int
+}
+
+func newShardModel(k int, seed uint64, lookahead time.Duration) *shardModel {
+	m := &shardModel{
+		shards: des.NewShards(k, lookahead),
+		rngs:   make([]*xrand.Stream, k),
+		digs:   make([]uint64, k),
+		counts: make([]int, k),
+	}
+	base := xrand.New(seed)
+	for i := 0; i < k; i++ {
+		m.digs[i] = 14695981039346656037 // FNV-64a offset basis
+		m.rngs[i] = base.Derive(uint64(i))
+	}
+	return m
+}
+
+func (m *shardModel) fold(shard int, tag uint64) {
+	at := uint64(m.shards.Shard(shard).Now())
+	h := m.digs[shard]
+	for _, v := range [2]uint64{at, tag} {
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	m.digs[shard] = h
+	m.counts[shard]++
+}
+
+// step is one event on a shard: fold it into the digest, then schedule a
+// local follow-up and occasionally a cross-shard post.
+func (m *shardModel) step(shard int, depth int, tag uint64) {
+	m.fold(shard, tag)
+	if depth <= 0 {
+		return
+	}
+	rng := m.rngs[shard]
+	localDelay := time.Duration(rng.Intn(5000)) * time.Microsecond
+	m.shards.Shard(shard).Schedule(localDelay, func() {
+		m.step(shard, depth-1, tag*31+1)
+	})
+	if rng.Intn(3) == 0 {
+		dst := rng.Intn(m.shards.K())
+		delay := m.shards.Lookahead() + time.Duration(rng.Intn(3000))*time.Microsecond
+		m.shards.Post(shard, dst, delay, func() {
+			m.step(dst, depth-1, tag*37+2)
+		})
+	}
+}
+
+func (m *shardModel) digest() string {
+	h := fnv.New64a()
+	for i, d := range m.digs {
+		fmt.Fprintf(h, "%d:%016x:%d\n", i, d, m.counts[i])
+	}
+	return fmt.Sprintf("%016x events=%d", h.Sum64(), m.shards.Executed())
+}
+
+func runShardModel(k, workers int, seed uint64, horizon time.Duration) string {
+	m := newShardModel(k, seed, time.Millisecond)
+	m.shards.SetWorkers(workers)
+	for i := 0; i < k; i++ {
+		i := i
+		m.shards.Shard(i).Schedule(time.Duration(i+1)*time.Millisecond, func() {
+			m.step(i, 12, uint64(i)+1)
+		})
+	}
+	if err := m.shards.Run(horizon); err != nil {
+		panic(err)
+	}
+	return m.digest()
+}
+
+// TestShardsWorkerCountInvariance is the kernel-level equivalence
+// oracle: the sharded simulation must produce byte-identical digests for
+// workers=1 (sequential execution of the sharded model) and any larger
+// worker count, per seed. Run under -race this also proves the window
+// barriers fully order cross-shard effects.
+func TestShardsWorkerCountInvariance(t *testing.T) {
+	for _, k := range []int{2, 4, 7} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			seq := runShardModel(k, 1, seed, time.Second)
+			for _, workers := range []int{2, k, 2 * k} {
+				got := runShardModel(k, workers, seed, time.Second)
+				if got != seq {
+					t.Fatalf("k=%d seed=%d workers=%d digest %s, sequential %s",
+						k, seed, workers, got, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsMatchesSingleSimulatorWhenLocal pins that a model with no
+// cross-shard traffic behaves exactly like K independent Simulators:
+// sharding is pure composition when nothing crosses the boundary.
+func TestShardsMatchesSingleSimulatorWhenLocal(t *testing.T) {
+	const k = 3
+	shards := des.NewShards(k, time.Millisecond)
+	solo := make([]*des.Simulator, k)
+	var shardFired, soloFired [k][]time.Duration
+	for i := 0; i < k; i++ {
+		solo[i] = des.New()
+		for j := 0; j < 10; j++ {
+			i, j := i, j
+			delay := time.Duration(j*7+i) * time.Millisecond
+			shards.Shard(i).Schedule(delay, func() {
+				shardFired[i] = append(shardFired[i], shards.Shard(i).Now())
+			})
+			solo[i].Schedule(delay, func() {
+				soloFired[i] = append(soloFired[i], solo[i].Now())
+			})
+		}
+	}
+	if err := shards.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := solo[i].Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(shardFired[i]) != fmt.Sprint(soloFired[i]) {
+			t.Fatalf("shard %d fired %v, solo %v", i, shardFired[i], soloFired[i])
+		}
+		if shards.Shard(i).Now() != time.Second {
+			t.Fatalf("shard %d clock %v, want horizon", i, shards.Shard(i).Now())
+		}
+	}
+}
+
+// TestShardsPostOrdering pins the deterministic barrier merge: posts
+// arriving at the same destination instant are delivered in (source
+// shard, post order), regardless of which source posted "first" in wall
+// time.
+func TestShardsPostOrdering(t *testing.T) {
+	shards := des.NewShards(3, time.Millisecond)
+	shards.SetWorkers(3)
+	var order []string
+	// Shards 1 and 2 each post two events to shard 0, all arriving at
+	// the same instant (2ms).
+	for src := 1; src <= 2; src++ {
+		src := src
+		shards.Shard(src).Schedule(time.Millisecond, func() {
+			for j := 0; j < 2; j++ {
+				tag := fmt.Sprintf("s%d#%d", src, j)
+				shards.Post(src, 0, time.Millisecond, func() {
+					order = append(order, tag)
+				})
+			}
+		})
+	}
+	if err := shards.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := "[s1#0 s1#1 s2#0 s2#1]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+}
+
+// TestShardsLookaheadContract pins the conservative guard: a cross-shard
+// post below the lookahead must panic rather than silently violate the
+// window invariant.
+func TestShardsLookaheadContract(t *testing.T) {
+	shards := des.NewShards(2, time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-lookahead post did not panic")
+		}
+	}()
+	shards.Post(0, 1, time.Microsecond, func() {})
+}
+
+// TestShardsRunAllDrains checks the no-horizon form terminates once all
+// queues and outboxes drain, including chains that bounce across shards.
+func TestShardsRunAllDrains(t *testing.T) {
+	shards := des.NewShards(2, time.Millisecond)
+	shards.SetWorkers(2)
+	hops := 0
+	var hop func(src, depth int)
+	hop = func(src, depth int) {
+		hops++
+		if depth == 0 {
+			return
+		}
+		shards.Post(src, 1-src, time.Millisecond, func() { hop(1-src, depth-1) })
+	}
+	shards.Shard(0).Schedule(time.Millisecond, func() { hop(0, 9) })
+	if err := shards.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if hops != 10 {
+		t.Fatalf("hops = %d, want 10", hops)
+	}
+	if shards.Pending() != 0 {
+		t.Fatalf("pending = %d after RunAll", shards.Pending())
+	}
+}

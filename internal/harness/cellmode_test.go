@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// cellCfg is the shared shape for the parallel-kernel tests: four cells,
+// enough processes per cell that instances routinely span cells.
+func cellCfg(seed uint64, workers int) Config {
+	return Config{
+		Algorithm:   AlgoMutable,
+		N:           32,
+		Seed:        seed,
+		Workload:    WorkloadP2P,
+		Rate:        0.05,
+		Horizon:     4 * 900 * time.Second,
+		Cells:       4,
+		CellWorkers: workers,
+	}
+}
+
+// TestCellFingerprintWorkerInvariance is the parallel-kernel equivalence
+// oracle: the sharded DES merges cross-cell posts at each window barrier
+// in a total order independent of worker interleaving, so the final
+// cluster state for any worker count must be byte-identical to the
+// CellWorkers=1 reference execution of the same seed. Run under -race
+// this also proves the window pool is data-race free.
+func TestCellFingerprintWorkerInvariance(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		ref, err := StateFingerprint(cellCfg(seed, 1))
+		if err != nil {
+			t.Fatalf("seed %d workers=1: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4} {
+			got, err := StateFingerprint(cellCfg(seed, workers))
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			if got != ref {
+				t.Errorf("seed %d: workers=%d fingerprint %s, workers=1 reference %s — parallel kernel diverged",
+					seed, workers, got, ref)
+			}
+		}
+	}
+	// The oracle must still separate genuinely different executions.
+	a, err := StateFingerprint(cellCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StateFingerprint(cellCfg(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("different seeds produced equal fingerprints %s", a)
+	}
+}
+
+// TestCellModeRun checks the sharded kernel end to end through the
+// public harness entry point: the run terminates, instances commit, and
+// the resulting permanent line passes the consistency checker.
+func TestCellModeRun(t *testing.T) {
+	cfg := cellCfg(1, 0) // CellWorkers=0: GOMAXPROCS
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConsistencyOK {
+		t.Fatalf("permanent line inconsistent: %v", res.ConsistencyErr)
+	}
+	if res.Initiations == 0 {
+		t.Fatal("no checkpoint instances completed in cell mode")
+	}
+	if res.ClusterErrors != nil {
+		t.Fatalf("cluster errors: %v", res.ClusterErrors)
+	}
+}
+
+// TestCellModeRejectsTrace pins the contract that tracing and the
+// parallel kernel are mutually exclusive: there is no global event order
+// for a sharded run, so asking for one must fail loudly, not silently
+// interleave.
+func TestCellModeRejectsTrace(t *testing.T) {
+	cfg := cellCfg(1, 1)
+	if _, err := TraceFingerprint(cfg); err == nil {
+		t.Fatal("TraceFingerprint accepted a Cells>1 configuration")
+	}
+}
+
+// TestActiveSubsetRun exercises the scale ladder's regime on a small
+// instance: only the first Active processes generate load and schedule
+// checkpoints, the rest are idle spectators in the dependency vectors.
+func TestActiveSubsetRun(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgoMutable,
+		N:         64,
+		Seed:      3,
+		Workload:  WorkloadP2P,
+		Rate:      0.05,
+		Horizon:   4 * 900 * time.Second,
+		Active:    8,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConsistencyOK {
+		t.Fatalf("permanent line inconsistent: %v", res.ConsistencyErr)
+	}
+	if res.Initiations == 0 {
+		t.Fatal("no checkpoint instances completed with an active subset")
+	}
+}

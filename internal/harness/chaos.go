@@ -251,7 +251,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Jittered:         faulty.Jittered,
 		PartitionDropped: faulty.PartitionDropped,
 		CrashDropped:     faulty.CrashDropped,
-		SimulatedEvents:  cluster.Sim().Executed(),
+		SimulatedEvents:  cluster.Executed(),
 	}
 	if err := verifyChaos(cluster, fc, res); err != nil {
 		return nil, err

@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"time"
+
+	"mutablecp/internal/des"
+	"mutablecp/internal/protocol"
+)
+
+// ShardedCells is the cellular topology mapped onto a conservative
+// parallel DES (des.Shards): each cell's wireless medium lives on its
+// own shard, hosts are assigned round-robin to cells (the same placement
+// as Cellular), and inter-cell traffic crosses a per-direction wired
+// link before being handed to the destination shard with the wired
+// propagation latency as the conservative lookahead.
+//
+// FIFO holds per directed channel without a resequencer: a channel's
+// sends serialize on the sender's cell uplink (request-order FIFO), then
+// on the directed wired link medium (monotone completion times), and the
+// constant propagation latency preserves that order into the destination
+// cell's delivery queue. Handoff is not modelled here — a host's cell is
+// its shard for the whole run, which is exactly the static-placement
+// regime of the scale ladder.
+type ShardedCells struct {
+	shards *des.Shards
+	n      int
+	k      int
+
+	cells []*Medium // cells[c]: cell c's wireless medium, on shard c
+	// wired[src][dst]: the directed MSS-to-MSS link, on shard src (its
+	// transmissions are requested by uplink completions in cell src).
+	wired        [][]*Medium
+	wiredLatency time.Duration
+}
+
+var _ Transport = (*ShardedCells)(nil)
+var _ ExactlyOnce = (*ShardedCells)(nil)
+
+// NewShardedCells builds the topology for n processes over the shard
+// group, one cell per shard. The shard group's lookahead must not exceed
+// the wired latency (the minimum inter-cell delay).
+func NewShardedCells(shards *des.Shards, n int, cfg CellularConfig) *ShardedCells {
+	cfg.MSSs = shards.K()
+	cfg = cfg.defaults()
+	if shards.Lookahead() > cfg.WiredLatency {
+		panic("netsim: shard lookahead exceeds wired latency")
+	}
+	t := &ShardedCells{
+		shards:       shards,
+		n:            n,
+		k:            shards.K(),
+		cells:        make([]*Medium, shards.K()),
+		wired:        make([][]*Medium, shards.K()),
+		wiredLatency: cfg.WiredLatency,
+	}
+	for c := 0; c < t.k; c++ {
+		t.cells[c] = NewMedium(shards.Shard(c), cfg.WirelessBandwidth)
+		t.wired[c] = make([]*Medium, t.k)
+		for d := 0; d < t.k; d++ {
+			if d != c {
+				t.wired[c][d] = NewMedium(shards.Shard(c), cfg.WiredBandwidth)
+			}
+		}
+	}
+	return t
+}
+
+// DeliversExactlyOnce marks the transport duplicate-free. (The process
+// runtime still disables message pooling in cell mode: a recycled struct
+// would cross shards.)
+func (t *ShardedCells) DeliversExactlyOnce() {}
+
+// CellOf returns the cell (= shard) a process lives in.
+func (t *ShardedCells) CellOf(p protocol.ProcessID) int { return int(p) % t.k }
+
+// Cell returns cell i's wireless medium (tests, reports).
+func (t *ShardedCells) Cell(i int) *Medium { return t.cells[i] }
+
+// Unicast implements Transport: uplink on the source cell, then — for
+// inter-cell traffic — the directed wired link and a cross-shard post
+// carrying the propagation latency, then the downlink on the
+// destination cell. deliver runs on the destination's shard.
+func (t *ShardedCells) Unicast(from, to protocol.ProcessID, size int, deliver func()) {
+	src, dst := t.CellOf(from), t.CellOf(to)
+	if src == dst {
+		t.cells[src].Transmit(size, deliver)
+		return
+	}
+	t.cells[src].Transmit(size, func() {
+		t.wired[src][dst].Transmit(size, func() {
+			t.shards.Post(src, dst, t.wiredLatency, func() {
+				t.cells[dst].Transmit(size, deliver)
+			})
+		})
+	})
+}
+
+// Broadcast implements Transport: one wireless transmission in the
+// source cell reaches same-cell peers; every other cell gets one wired
+// fan-out copy and one wireless transmission. Each deliver callback runs
+// on its destination's shard.
+func (t *ShardedCells) Broadcast(from protocol.ProcessID, size int, deliver func(to protocol.ProcessID)) {
+	// perCell is allocated per call: the cross-shard copies reference
+	// their slice until a later window delivers them, and concurrent
+	// broadcasts from different shards must not share buffers.
+	src := t.CellOf(from)
+	perCell := make([][]func(), t.k)
+	for p := 0; p < t.n; p++ {
+		if p == from {
+			continue
+		}
+		p := p
+		c := t.CellOf(p)
+		perCell[c] = append(perCell[c], func() { deliver(p) })
+	}
+	for c := 0; c < t.k; c++ {
+		delivers := perCell[c]
+		if len(delivers) == 0 {
+			continue
+		}
+		if c == src {
+			t.cells[src].TransmitBroadcast(size, delivers)
+			continue
+		}
+		c := c
+		t.cells[src].Transmit(size, func() {
+			t.wired[src][c].Transmit(size, func() {
+				t.shards.Post(src, c, t.wiredLatency, func() {
+					t.cells[c].TransmitBroadcast(size, delivers)
+				})
+			})
+		})
+	}
+}
+
+// StableTransfer implements Transport: the checkpoint crosses the host's
+// cell uplink to its MSS.
+func (t *ShardedCells) StableTransfer(from protocol.ProcessID, size int, done func()) {
+	t.cells[t.CellOf(from)].Transmit(size, done)
+}

@@ -92,9 +92,9 @@ func (m *Manager) Cost(line *Line, current map[protocol.ProcessID]protocol.State
 			continue
 		}
 		var msgs uint64
-		for peer := range cur.SentTo {
-			if cur.SentTo[peer] > rec.State.SentTo[peer] {
-				msgs += cur.SentTo[peer] - rec.State.SentTo[peer]
+		for peer, sent := range cur.SentTo {
+			if was := protocol.CounterAt(rec.State.SentTo, peer); sent > was {
+				msgs += sent - was
 			}
 		}
 		cost.LostMessages[id] = msgs

@@ -103,7 +103,7 @@ func TestInTransitAfterRollback(t *testing.T) {
 	// Every in-transit count must be reproducible from the raw states.
 	states := line.States()
 	for ch, n := range transit {
-		want := states[ch[0]].SentTo[ch[1]] - states[ch[1]].RecvFrom[ch[0]]
+		want := protocol.CounterAt(states[ch[0]].SentTo, ch[1]) - protocol.CounterAt(states[ch[1]].RecvFrom, ch[0])
 		if n != want {
 			t.Fatalf("channel %v: %d, want %d", ch, n, want)
 		}
@@ -185,7 +185,7 @@ func TestRestartFromLine(t *testing.T) {
 	}
 	for ch := range transit {
 		from, to := ch[0], ch[1]
-		if states[from].SentTo[to] != states[to].RecvFrom[from] {
+		if protocol.CounterAt(states[from].SentTo, to) != protocol.CounterAt(states[to].RecvFrom, from) {
 			t.Fatalf("channel %v not caught up after replay", ch)
 		}
 	}
@@ -194,7 +194,8 @@ func TestRestartFromLine(t *testing.T) {
 		perm := restarted.Proc(i).Stable().Permanent().State
 		want := line.Checkpoints[i].State
 		for j := 0; j < 8; j++ {
-			if perm.SentTo[j] != want.SentTo[j] || perm.RecvFrom[j] != want.RecvFrom[j] {
+			if protocol.CounterAt(perm.SentTo, j) != protocol.CounterAt(want.SentTo, j) ||
+				protocol.CounterAt(perm.RecvFrom, j) != protocol.CounterAt(want.RecvFrom, j) {
 				t.Fatalf("P%d restored permanent differs from line", i)
 			}
 		}

@@ -137,7 +137,7 @@ func TestRestartWithinSimrt(t *testing.T) {
 		got := second.Proc(i).Stable().Permanent().State
 		want := line[i]
 		for j := 0; j < 4; j++ {
-			if got.SentTo[j] != want.SentTo[j] {
+			if protocol.CounterAt(got.SentTo, j) != protocol.CounterAt(want.SentTo, j) {
 				t.Fatalf("P%d sentTo not restored", i)
 			}
 		}

@@ -116,3 +116,57 @@ func (m *Metrics) Record(trig protocol.Trigger) (*InitiationRecord, bool) {
 	rec, ok := m.byTrigger[trig]
 	return rec, ok
 }
+
+// mergeMetrics folds per-cell collectors into one cluster-wide view. An
+// instance's participants can span cells, so a trigger may have a record
+// in several cells: the initiator's cell (pid % cells) owns the
+// lifecycle fields (Start, End, Done, Committed) and the others
+// contribute their additive counters. Cells are walked in index order,
+// which makes the merged record order — like harness.Parallel's
+// seed-order merge — independent of how the shards interleaved.
+func mergeMetrics(cells []*Metrics) *Metrics {
+	merged := newMetrics()
+	for _, cm := range cells {
+		merged.CompMsgs += cm.CompMsgs
+		merged.CompBytes += cm.CompBytes
+		merged.SysMsgs += cm.SysMsgs
+		merged.SysBytes += cm.SysBytes
+		merged.TotalTentative += cm.TotalTentative
+		merged.TotalMutable += cm.TotalMutable
+		merged.TotalDiscarded += cm.TotalDiscarded
+		merged.TotalPermanent += cm.TotalPermanent
+		merged.TimeoutAborts += cm.TimeoutAborts
+	}
+	for _, cm := range cells {
+		for _, trig := range cm.order {
+			if _, seen := merged.byTrigger[trig]; seen {
+				continue
+			}
+			home := int(trig.Pid) % len(cells)
+			base, ok := cells[home].byTrigger[trig]
+			if !ok {
+				base = cm.byTrigger[trig]
+			}
+			rec := *base
+			merged.byTrigger[trig] = &rec
+			merged.order = append(merged.order, trig)
+			for _, other := range cells {
+				orec, ok := other.byTrigger[trig]
+				if !ok || orec == base {
+					continue
+				}
+				rec.Tentative += orec.Tentative
+				rec.Promoted += orec.Promoted
+				rec.Mutable += orec.Mutable
+				rec.Discarded += orec.Discarded
+				rec.Requests += orec.Requests
+				rec.Replies += orec.Replies
+				rec.Commits += orec.Commits
+				rec.SysMsgs += orec.SysMsgs
+				rec.SysBytes += orec.SysBytes
+				rec.BlockedTime += orec.BlockedTime
+			}
+		}
+	}
+	return merged
+}

@@ -52,14 +52,37 @@ func newProc(c *Cluster, id protocol.ProcessID) (*Proc, error) {
 		return nil, fmt.Errorf("simrt: P%d store: %w", id, err)
 	}
 	return &Proc{
-		c:        c,
-		id:       id,
-		stable:   st,
-		mutable:  checkpoint.NewMutableStore(id),
-		sentTo:   make([]uint64, c.cfg.N),
-		recvFrom: make([]uint64, c.cfg.N),
+		c:       c,
+		id:      id,
+		stable:  st,
+		mutable: checkpoint.NewMutableStore(id),
 	}, nil
 }
+
+// growCounter extends a truncated per-peer counter vector so index i is
+// addressable. Entries past the stored length are semantically 0
+// (protocol.CounterAt), so a process that only ever talks to peers 0..k
+// carries k+1 counters instead of N — the min-process property applied
+// to runtime state.
+func growCounter(v []uint64, i int) []uint64 {
+	for len(v) <= i {
+		v = append(v, 0)
+	}
+	return v
+}
+
+// cell returns the cell this process lives in (0 in single-kernel mode).
+func (p *Proc) cell() int { return p.c.cellOf(p.id) }
+
+// sim returns the kernel that runs this process's events.
+func (p *Proc) sim() *des.Simulator { return p.c.simFor(p.id) }
+
+// metrics returns the collector this process's events write to.
+func (p *Proc) metrics() *Metrics { return p.c.metricsFor(p.id) }
+
+// owner returns the SingleInitiation slot this process coordinates
+// through — cluster-wide in single-kernel mode, per cell in cell mode.
+func (p *Proc) owner() *int { return &p.c.owners[p.cell()] }
 
 // Engine returns the process's checkpointing engine.
 func (p *Proc) Engine() protocol.Engine { return p.engine }
@@ -81,17 +104,17 @@ func (p *Proc) Disconnected() bool { return p.disconnected }
 // instance may be in flight. It reports whether an initiation started.
 func (p *Proc) MaybeInitiate() bool {
 	if p.engine.InProgress() {
-		p.c.skippedInProgress++
+		p.c.skippedInProgress[p.cell()]++
 		return false
 	}
-	if p.c.cfg.SingleInitiation && p.c.activeOwner >= 0 {
-		p.c.skippedActive++
+	if p.c.cfg.SingleInitiation && *p.owner() >= 0 {
+		p.c.skippedActive[p.cell()]++
 		return false
 	}
-	p.c.activeOwner = p.id
+	*p.owner() = p.id
 	if err := p.engine.Initiate(); err != nil {
-		p.c.activeOwner = -1
-		p.c.skippedInProgress++
+		*p.owner() = -1
+		p.c.skippedInProgress[p.cell()]++
 		return false
 	}
 	p.armRequestTimeout()
@@ -126,7 +149,7 @@ func (p *Proc) armRequestTimeout() {
 		return
 	}
 	trig := a.OwnTrigger()
-	p.c.sim.Schedule(p.c.cfg.RequestTimeout, func() {
+	p.sim().Schedule(p.c.cfg.RequestTimeout, func() {
 		p.requestTimeout(a, trig)
 	})
 }
@@ -135,7 +158,7 @@ func (p *Proc) requestTimeout(a aborter, trig protocol.Trigger) {
 	if p.failed || !a.Initiating() || a.OwnTrigger() != trig {
 		return
 	}
-	p.c.metrics.TimeoutAborts++
+	p.metrics().TimeoutAborts++
 	p.Trace(trace.KindAbort, -1, "request timeout trigger=%v", trig)
 	if p.c.cfg.PartialAbortOnFailure {
 		if pa, ok := p.engine.(partialAborter); ok {
@@ -168,9 +191,10 @@ func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
 	p.seq++
 	m.Seq = p.seq
 	m.Size = p.c.cfg.CompMsgBytes
+	p.sentTo = growCounter(p.sentTo, to)
 	p.sentTo[to]++
-	p.c.metrics.CompMsgs++
-	p.c.metrics.CompBytes += uint64(m.Size)
+	p.metrics().CompMsgs++
+	p.metrics().CompBytes += uint64(m.Size)
 	if p.Tracing() {
 		// Guarded at the call site: variadic Trace boxes its arguments
 		// even when the log is nil, which is the hot path's only
@@ -196,7 +220,7 @@ func (p *Proc) receive(m *protocol.Message) {
 	if p.failed {
 		return // fail-stop: messages to a crashed host are lost
 	}
-	now := p.c.sim.Now()
+	now := p.sim().Now()
 	if p.dozing {
 		// §1: the MH in doze mode is awakened on receiving a message.
 		p.wakeups++
@@ -204,7 +228,7 @@ func (p *Proc) receive(m *protocol.Message) {
 		p.Trace(trace.KindNote, m.From, "wakeup for %v", m.Kind)
 	}
 	if now < p.busyUntil {
-		p.c.sim.ScheduleAt(p.busyUntil, func() { p.deliverNow(m) })
+		p.sim().ScheduleAt(p.busyUntil, func() { p.deliverNow(m) })
 		return
 	}
 	p.deliverNow(m)
@@ -235,7 +259,7 @@ func (p *Proc) ID() protocol.ProcessID { return p.id }
 func (p *Proc) N() int { return p.c.cfg.N }
 
 // Now implements protocol.Env.
-func (p *Proc) Now() time.Duration { return p.c.sim.Now() }
+func (p *Proc) Now() time.Duration { return p.sim().Now() }
 
 // Send implements protocol.Env for system messages.
 func (p *Proc) Send(m *protocol.Message) {
@@ -264,8 +288,8 @@ func (p *Proc) Broadcast(m *protocol.Message) {
 }
 
 func (p *Proc) countSys(m *protocol.Message, n int) {
-	p.c.metrics.SysMsgs += uint64(n)
-	p.c.metrics.SysBytes += uint64(n * m.Size)
+	p.metrics().SysMsgs += uint64(n)
+	p.metrics().SysBytes += uint64(n * m.Size)
 	rec := p.recordFor(m.Trigger)
 	if rec == nil {
 		return
@@ -286,14 +310,14 @@ func (p *Proc) countSys(m *protocol.Message, n int) {
 // its trigger when present, otherwise the single active initiation.
 func (p *Proc) recordFor(trig protocol.Trigger) *InitiationRecord {
 	if !trig.IsNone() {
-		return p.c.metrics.record(trig, p.c.sim.Now())
+		return p.metrics().record(trig, p.sim().Now())
 	}
-	if p.c.activeOwner >= 0 {
+	if *p.owner() >= 0 {
 		// Attribute trigger-less traffic (e.g. markers) to the in-flight
 		// instance.
-		for _, t := range p.c.metrics.order {
-			rec := p.c.metrics.byTrigger[t]
-			if !rec.Done && rec.Initiator == p.c.activeOwner {
+		for _, t := range p.metrics().order {
+			rec := p.metrics().byTrigger[t]
+			if !rec.Done && rec.Initiator == *p.owner() {
 				return rec
 			}
 		}
@@ -301,29 +325,31 @@ func (p *Proc) recordFor(trig protocol.Trigger) *InitiationRecord {
 	return nil
 }
 
-// CaptureState implements protocol.Env.
+// CaptureState implements protocol.Env. The counter vectors are copied at
+// their truncated length — a checkpoint costs O(peers talked to), not
+// O(N) (see protocol.State).
 func (p *Proc) CaptureState() protocol.State {
 	return protocol.State{
 		Proc:     p.id,
 		SentTo:   append([]uint64(nil), p.sentTo...),
 		RecvFrom: append([]uint64(nil), p.recvFrom...),
-		At:       p.c.sim.Now(),
+		At:       p.sim().Now(),
 	}
 }
 
 // SaveTentative implements protocol.Env: a pre-copy pause plus the 512 KB
 // transfer to stable storage at the MSS.
 func (p *Proc) SaveTentative(s protocol.State, trig protocol.Trigger) {
-	if err := p.stable.SaveTentative(s, trig, p.c.sim.Now()); err != nil {
+	if err := p.stable.SaveTentative(s, trig, p.sim().Now()); err != nil {
 		p.c.fail(fmt.Errorf("P%d save tentative: %w", p.id, err))
 		return
 	}
-	p.c.metrics.TotalTentative++
+	p.metrics().TotalTentative++
 	rec := p.recordFor(trig)
 	if rec != nil {
 		rec.Tentative++
 	}
-	p.busyUntil = p.c.sim.Now() + p.c.cfg.MutableSaveTime
+	p.busyUntil = p.sim().Now() + p.c.cfg.MutableSaveTime
 	if !p.disconnected {
 		p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
 	}
@@ -336,15 +362,15 @@ func (p *Proc) SaveTentative(s protocol.State, trig protocol.Trigger) {
 
 // SaveMutable implements protocol.Env: a local memory copy only.
 func (p *Proc) SaveMutable(s protocol.State, trig protocol.Trigger) {
-	if err := p.mutable.Save(s, trig, p.c.sim.Now()); err != nil {
+	if err := p.mutable.Save(s, trig, p.sim().Now()); err != nil {
 		p.c.fail(fmt.Errorf("P%d save mutable: %w", p.id, err))
 		return
 	}
-	p.c.metrics.TotalMutable++
+	p.metrics().TotalMutable++
 	if rec := p.recordFor(trig); rec != nil {
 		rec.Mutable++
 	}
-	p.busyUntil = p.c.sim.Now() + p.c.cfg.MutableSaveTime
+	p.busyUntil = p.sim().Now() + p.c.cfg.MutableSaveTime
 }
 
 // PromoteMutable implements protocol.Env: the stored snapshot crosses the
@@ -355,11 +381,11 @@ func (p *Proc) PromoteMutable(trig protocol.Trigger) {
 		p.c.fail(fmt.Errorf("P%d promote: %w", p.id, err))
 		return
 	}
-	if err := p.stable.SaveTentative(rec.State, trig, p.c.sim.Now()); err != nil {
+	if err := p.stable.SaveTentative(rec.State, trig, p.sim().Now()); err != nil {
 		p.c.fail(fmt.Errorf("P%d promote: %w", p.id, err))
 		return
 	}
-	p.c.metrics.TotalTentative++
+	p.metrics().TotalTentative++
 	if r := p.recordFor(trig); r != nil {
 		r.Tentative++
 		r.Promoted++
@@ -378,7 +404,7 @@ func (p *Proc) DiscardMutable(trig protocol.Trigger) {
 		p.c.fail(fmt.Errorf("P%d discard: %w", p.id, err))
 		return
 	}
-	p.c.metrics.TotalDiscarded++
+	p.metrics().TotalDiscarded++
 	if rec := p.recordFor(trig); rec != nil {
 		rec.Discarded++
 	}
@@ -386,11 +412,11 @@ func (p *Proc) DiscardMutable(trig protocol.Trigger) {
 
 // MakePermanent implements protocol.Env.
 func (p *Proc) MakePermanent(trig protocol.Trigger) {
-	if err := p.stable.MakePermanent(trig, p.c.sim.Now()); err != nil {
+	if err := p.stable.MakePermanent(trig, p.sim().Now()); err != nil {
 		p.c.fail(fmt.Errorf("P%d make permanent: %w", p.id, err))
 		return
 	}
-	p.c.metrics.TotalPermanent++
+	p.metrics().TotalPermanent++
 }
 
 // DropTentative implements protocol.Env.
@@ -402,6 +428,7 @@ func (p *Proc) DropTentative(trig protocol.Trigger) {
 
 // DeliverApp implements protocol.Env.
 func (p *Proc) DeliverApp(m *protocol.Message) {
+	p.recvFrom = growCounter(p.recvFrom, m.From)
 	p.recvFrom[m.From]++
 	if p.c.OnDeliver != nil {
 		p.c.OnDeliver(p.id, m.From, m.Payload)
@@ -414,7 +441,7 @@ func (p *Proc) BlockApp() {
 		return
 	}
 	p.blocked = true
-	p.blockedSince = p.c.sim.Now()
+	p.blockedSince = p.sim().Now()
 	p.Trace(trace.KindBlock, -1, "")
 }
 
@@ -424,7 +451,7 @@ func (p *Proc) UnblockApp() {
 		return
 	}
 	p.blocked = false
-	blockedFor := p.c.sim.Now() - p.blockedSince
+	blockedFor := p.sim().Now() - p.blockedSince
 	if rec := p.recordFor(protocol.NoTrigger); rec != nil {
 		rec.BlockedTime += blockedFor
 	}
@@ -434,12 +461,12 @@ func (p *Proc) UnblockApp() {
 
 // CheckpointingDone implements protocol.Env.
 func (p *Proc) CheckpointingDone(trig protocol.Trigger, committed bool) {
-	rec := p.c.metrics.record(trig, p.c.sim.Now())
-	rec.End = p.c.sim.Now()
+	rec := p.metrics().record(trig, p.sim().Now())
+	rec.End = p.sim().Now()
 	rec.Done = true
 	rec.Committed = committed
-	if p.c.activeOwner == p.id {
-		p.c.activeOwner = -1
+	if *p.owner() == p.id {
+		*p.owner() = -1
 	}
 }
 
@@ -448,7 +475,7 @@ func (p *Proc) Trace(kind trace.Kind, peer int, format string, args ...any) {
 	if p.c.cfg.Trace == nil {
 		return
 	}
-	p.c.cfg.Trace.Addf(p.c.sim.Now(), kind, p.id, peer, format, args...)
+	p.c.cfg.Trace.Addf(p.sim().Now(), kind, p.id, peer, format, args...)
 }
 
 // Tracing implements protocol.Env.
@@ -501,11 +528,11 @@ func (p *Proc) Fail() {
 	if p.ticker != nil {
 		p.ticker.Stop()
 	}
-	if p.c.activeOwner == p.id {
+	if *p.owner() == p.id {
 		// A crashed initiator can never terminate its instance; under
 		// SingleInitiation the cluster would otherwise be deadlocked for
 		// the rest of the run.
-		p.c.activeOwner = -1
+		*p.owner() = -1
 	}
 	p.Trace(trace.KindNote, -1, "fail-stop")
 }

@@ -57,9 +57,9 @@ func (w *ClientServer) Install(c *simrt.Cluster) {
 				return
 			}
 			c.SendApp(i, rng.Intn(w.Servers), []byte{reqMark})
-			c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+			c.ScheduleFor(i, secs(rng.Exp(w.Rate)), fire)
 		}
-		c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+		c.ScheduleFor(i, secs(rng.Exp(w.Rate)), fire)
 	}
 }
 
@@ -120,7 +120,7 @@ func (w *Bursty) Install(c *simrt.Cluster) {
 			if w.stopped {
 				return
 			}
-			if c.Sim().Now() >= until {
+			if c.Proc(i).Now() >= until {
 				off()
 				return
 			}
@@ -129,14 +129,14 @@ func (w *Bursty) Install(c *simrt.Cluster) {
 				dst++
 			}
 			c.SendApp(i, dst, nil)
-			c.Sim().Schedule(secs(rng.Exp(w.BurstRate)), func() { on(until) })
+			c.ScheduleFor(i, secs(rng.Exp(w.BurstRate)), func() { on(until) })
 		}
 		off = func() {
 			if w.stopped {
 				return
 			}
-			c.Sim().Schedule(secs(rng.Exp(1/w.OffTime.Seconds())), func() {
-				until := c.Sim().Now() + secs(rng.Exp(1/w.OnTime.Seconds()))
+			c.ScheduleFor(i, secs(rng.Exp(1/w.OffTime.Seconds())), func() {
+				until := c.Proc(i).Now() + secs(rng.Exp(1/w.OnTime.Seconds()))
 				on(until)
 			})
 		}

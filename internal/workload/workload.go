@@ -69,9 +69,9 @@ func (w *PointToPoint) Install(c *simrt.Cluster) {
 				dst++
 			}
 			c.SendApp(i, dst, nil)
-			c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+			c.ScheduleFor(i, secs(rng.Exp(w.Rate)), fire)
 		}
-		c.Sim().Schedule(secs(rng.Exp(w.Rate)), fire)
+		c.ScheduleFor(i, secs(rng.Exp(w.Rate)), fire)
 	}
 }
 
@@ -147,9 +147,9 @@ func (w *Group) Install(c *simrt.Cluster) {
 				dst++
 			}
 			c.SendApp(i, dst, nil)
-			c.Sim().Schedule(secs(rng.Exp(w.IntraRate)), intra)
+			c.ScheduleFor(i, secs(rng.Exp(w.IntraRate)), intra)
 		}
-		c.Sim().Schedule(secs(rng.Exp(w.IntraRate)), intra)
+		c.ScheduleFor(i, secs(rng.Exp(w.IntraRate)), intra)
 
 		if i != w.LeaderOf(g, n) {
 			continue
@@ -166,9 +166,9 @@ func (w *Group) Install(c *simrt.Cluster) {
 				og++
 			}
 			c.SendApp(i, w.LeaderOf(og, n), nil)
-			c.Sim().Schedule(secs(irng.Exp(interRate)), inter)
+			c.ScheduleFor(i, secs(irng.Exp(interRate)), inter)
 		}
-		c.Sim().Schedule(secs(irng.Exp(interRate)), inter)
+		c.ScheduleFor(i, secs(irng.Exp(interRate)), inter)
 	}
 }
 
