@@ -13,6 +13,8 @@
 //	mcpsim -chaos -seeds 5
 //	mcpsim -chaos -chaos-drop 0.3 -chaos-partition 20s -chaos-crashes 2
 //	mcpsim -chaos -store /tmp/mcp-store -chaos-mss-restart
+//	mcpsim -recovery rollback -crash-at 2h -restart-after 30s -horizon 4h
+//	mcpsim -recovery log -seeds 4
 package main
 
 import (
@@ -42,7 +44,8 @@ func main() {
 func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	horizon time.Duration, seedCount, parallel int, chaos bool,
 	chaosDrop, chaosDup float64, chaosCrashes int, store string, mssRestart bool,
-	wl string, servers int, scale string, cells, cellWorkers, active int) error {
+	wl string, servers int, scale string, cells, cellWorkers, active int,
+	recoveryMode string, crashAt, restartAfter time.Duration) error {
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
@@ -175,6 +178,57 @@ func validate(fs *flag.FlagSet, algo string, n int, rate, ratio float64,
 	if mssRestart && store == "" {
 		return fmt.Errorf("-chaos-mss-restart requires -store (in-memory stores cannot survive a storage restart)")
 	}
+
+	if recoveryMode != "" {
+		switch recoveryMode {
+		case "rollback", "log":
+		default:
+			return fmt.Errorf("unknown -recovery %q (want rollback or log)", recoveryMode)
+		}
+		if chaos {
+			return fmt.Errorf("-recovery does not apply to -chaos (the gauntlet seeds its own crash-and-recover point)")
+		}
+		if scale != "" {
+			return fmt.Errorf("-scale does not apply to -recovery (one cluster, one seeded crash)")
+		}
+		// The recovery experiment fixes a point-to-point workload on the
+		// single sequential kernel (the executor restores the whole cluster
+		// synchronously) and runs its seeds sequentially.
+		for _, f := range []string{"workload", "ratio", "servers", "active",
+			"store", "cells", "cell-workers", "parallel"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply to -recovery", f)
+			}
+		}
+		if recoveryMode == "log" && algo != harness.AlgoLogBased {
+			return fmt.Errorf("-recovery log replays sender logs: pair it with -algo %s (or leave -algo unset)", harness.AlgoLogBased)
+		}
+		if recoveryMode == "rollback" && algo == harness.AlgoLogBased {
+			return fmt.Errorf("-algo %s recovers by replaying logs, not by rolling back a coordinated line: use -recovery log", harness.AlgoLogBased)
+		}
+		if crashAt < 0 {
+			return fmt.Errorf("-crash-at must be >= 0 (0 = horizon/2)")
+		}
+		if restartAfter <= 0 {
+			return fmt.Errorf("-restart-after must be positive")
+		}
+		eff := crashAt
+		if eff == 0 {
+			eff = horizon / 2
+		}
+		// The resumed run needs room to commit again: at least one 2m
+		// checkpoint interval (the experiment's default) after the restart.
+		if eff+restartAfter+2*time.Minute > horizon {
+			return fmt.Errorf("crash at %v + %v down window leaves no -horizon (%v) for the resumed run",
+				eff, restartAfter, horizon)
+		}
+	} else {
+		for _, f := range []string{"crash-at", "restart-after"} {
+			if set[f] {
+				return fmt.Errorf("-%s requires -recovery", f)
+			}
+		}
+	}
 	return nil
 }
 
@@ -238,12 +292,26 @@ func run(args []string) error {
 		"back stable stores with the durable on-disk log under this directory and audit the on-disk image after the run")
 	mssRestart := fs.Bool("chaos-mss-restart", false,
 		"with -chaos: crash and restart every support station's storage at mid-run (requires -store)")
+	recoveryMode := fs.String("recovery", "",
+		"run a crash-and-recover experiment: rollback (coordinated line) or log (sender-based message logging)")
+	crashAt := fs.Duration("crash-at", 0,
+		"with -recovery: instant of the seeded crash (0 = horizon/2)")
+	restartAfter := fs.Duration("restart-after", 30*time.Second,
+		"with -recovery: victim's down window before the executor recovers it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *recoveryMode == "log" && !explicit["algo"] {
+		// Log-mode recovery only makes sense for the log-based family;
+		// default it rather than demand a redundant -algo.
+		*algo = harness.AlgoLogBased
+	}
 	if err := validate(fs, *algo, *n, *rate, *ratio, *horizon, *seedCount,
 		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart,
-		*wl, *servers, *scale, *cells, *cellWorkers, *active); err != nil {
+		*wl, *servers, *scale, *cells, *cellWorkers, *active,
+		*recoveryMode, *crashAt, *restartAfter); err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -259,6 +327,17 @@ func run(args []string) error {
 	seedList := make([]uint64, *seedCount)
 	for i := range seedList {
 		seedList[i] = *seed + uint64(i)
+	}
+	if *recoveryMode != "" {
+		return profileErr(runRecovery(harness.RecoveryConfig{
+			Algorithm:    *algo,
+			N:            *n,
+			Rate:         *rate,
+			Horizon:      *horizon,
+			Failures:     1,
+			CrashAt:      *crashAt,
+			RestartAfter: *restartAfter,
+		}, seedList, *recoveryMode))
 	}
 	if *chaos {
 		points := harness.DefaultChaosPoints()
@@ -366,6 +445,53 @@ func run(args []string) error {
 		return profileErr(fmt.Errorf("run finished with errors"))
 	}
 	return profileErr(nil)
+}
+
+// runRecovery executes the crash-and-recover experiment once per seed and
+// prints one verdict row each: a crash at the pinned (or mid-horizon)
+// instant, the executor's recovery, and the resumed run's consistency.
+// Any seed that ends inconsistent, fails to restart, or stops committing
+// after the recovery fails the whole invocation.
+func runRecovery(base harness.RecoveryConfig, seeds []uint64, mode string) error {
+	crash := base.CrashAt
+	if crash == 0 {
+		crash = base.Horizon / 2
+	}
+	fmt.Printf("recovery             %s (algo %s)\n", mode, base.Algorithm)
+	fmt.Printf("crash                P0 at %v, restart after %v, horizon %v\n",
+		crash, base.RestartAfter, base.Horizon)
+	fmt.Printf("%-6s %-9s %-12s %-15s %-9s %-8s %-8s %-12s %s\n",
+		"seed", "restarts", "recovery(s)", "peer-rollbacks", "replayed", "deduped", "logged", "new-commits", "consistency")
+	var firstErr error
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		res, err := harness.RunRecovery(cfg)
+		if err != nil {
+			return err
+		}
+		verdict := "OK"
+		fail := func(format string, a ...any) {
+			verdict = fmt.Sprintf(format, a...)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("seed %d: %s", seed, verdict)
+			}
+		}
+		switch {
+		case len(res.ClusterErrors) > 0:
+			fail("cluster error: %v", res.ClusterErrors[0])
+		case !res.PostRecoveryOK:
+			fail("VIOLATED: %v", res.PostRecoveryErr)
+		case res.Restarts != 1:
+			fail("restarts %d, want 1", res.Restarts)
+		case res.NewCommits == 0:
+			fail("no commit after the recovery")
+		}
+		fmt.Printf("%-6d %-9d %-12.1f %-15d %-9d %-8d %-8d %-12d %s\n",
+			seed, res.Restarts, res.RecoveryTime.Seconds(), res.PeerRollbacks,
+			res.Replayed, res.Deduped, res.LoggedMsgs, res.NewCommits, verdict)
+	}
+	return firstErr
 }
 
 // runScale runs the same experiment at every process count on the ladder

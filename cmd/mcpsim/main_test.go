@@ -33,6 +33,33 @@ func TestRunChaosCustomPoint(t *testing.T) {
 	}
 }
 
+// TestRunRecoveryRollback drives the crash-and-recover experiment end to
+// end through the CLI: a pinned crash, a coordinated rollback, and a
+// clean resumed run across two seeds.
+func TestRunRecoveryRollback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	err := run([]string{"-recovery", "rollback", "-horizon", "40m",
+		"-crash-at", "20m", "-restart-after", "30s", "-rate", "1", "-n", "8", "-seeds", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRecoveryLog exercises the log-based path; -algo defaults to the
+// log-based family when -recovery log is given without one.
+func TestRunRecoveryLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	err := run([]string{"-recovery", "log", "-horizon", "40m",
+		"-rate", "1", "-n", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownWorkloadRejected(t *testing.T) {
 	if err := run([]string{"-workload", "mesh"}); err == nil {
 		t.Fatal("unknown workload accepted")
@@ -84,6 +111,21 @@ func TestFlagValidation(t *testing.T) {
 		{"scale rung not above servers", []string{"-workload", "client-server", "-servers", "8", "-scale", "8,64"},
 			"below every -scale rung"},
 		{"bad cpuprofile path", []string{"-horizon", "1s", "-cpuprofile", "/nonexistent-dir/x.cpu"}, "-cpuprofile"},
+		{"unknown recovery mode", []string{"-recovery", "rewind"}, "unknown -recovery"},
+		{"recovery under chaos", []string{"-chaos", "-recovery", "rollback"}, "-recovery does not apply to -chaos"},
+		{"recovery under scale", []string{"-recovery", "rollback", "-scale", "8,64"}, "-scale does not apply to -recovery"},
+		{"workload under recovery", []string{"-recovery", "rollback", "-workload", "group"}, "-workload does not apply to -recovery"},
+		{"cells under recovery", []string{"-recovery", "rollback", "-cells", "4"}, "-cells does not apply to -recovery"},
+		{"store under recovery", []string{"-recovery", "rollback", "-store", "/tmp/x"}, "-store does not apply to -recovery"},
+		{"parallel under recovery", []string{"-recovery", "rollback", "-parallel", "4"}, "-parallel does not apply to -recovery"},
+		{"log mode with rollback algo", []string{"-recovery", "log", "-algo", "mutable"}, "pair it with -algo log-based"},
+		{"rollback mode with log algo", []string{"-recovery", "rollback", "-algo", "log-based"}, "use -recovery log"},
+		{"crash-at without recovery", []string{"-crash-at", "2h"}, "-crash-at requires -recovery"},
+		{"restart-after without recovery", []string{"-restart-after", "30s"}, "-restart-after requires -recovery"},
+		{"negative crash-at", []string{"-recovery", "rollback", "-crash-at", "-1s"}, "-crash-at must be >= 0"},
+		{"zero restart-after", []string{"-recovery", "rollback", "-restart-after", "0s"}, "-restart-after must be positive"},
+		{"crash beyond horizon", []string{"-recovery", "rollback", "-horizon", "1h", "-crash-at", "59m"},
+			"leaves no -horizon"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -43,8 +43,9 @@ type Engine struct {
 }
 
 var (
-	_ protocol.Engine   = (*Engine)(nil)
-	_ protocol.Blocking = (*Engine)(nil)
+	_ protocol.Engine             = (*Engine)(nil)
+	_ protocol.Blocking           = (*Engine)(nil)
+	_ protocol.CheckpointRestorer = (*Engine)(nil)
 )
 
 // New returns an EJZ engine bound to env.
@@ -67,6 +68,14 @@ func (e *Engine) OwnTrigger() protocol.Trigger { return roundTrigger(e.round) }
 
 // CSN exposes the current sequence number (tests).
 func (e *Engine) CSN() int { return e.csn }
+
+// RestoreFromCheckpoint implements protocol.CheckpointRestorer: a
+// rebuilt engine resumes the system-global round numbering from the
+// restored checkpoint's csn, so its next round is csn+1.
+func (e *Engine) RestoreFromCheckpoint(csn int) {
+	e.csn = csn
+	e.round = csn
+}
 
 // PrepareSend piggybacks the current csn on every computation message.
 func (e *Engine) PrepareSend(m *protocol.Message) {

@@ -54,8 +54,9 @@ type Engine struct {
 }
 
 var (
-	_ protocol.Engine   = (*Engine)(nil)
-	_ protocol.Blocking = (*Engine)(nil)
+	_ protocol.Engine             = (*Engine)(nil)
+	_ protocol.Blocking           = (*Engine)(nil)
+	_ protocol.CheckpointRestorer = (*Engine)(nil)
 )
 
 // New returns a Koo–Toueg engine bound to env.
@@ -84,6 +85,16 @@ func (e *Engine) InProgress() bool { return e.inProgress }
 
 // OwnTrigger returns the trigger of the current/last instance.
 func (e *Engine) OwnTrigger() protocol.Trigger { return e.trig }
+
+// RestoreFromCheckpoint implements protocol.CheckpointRestorer: a
+// rebuilt engine resumes its checkpoint and initiation numbering from
+// the restored checkpoint's csn (dependency counters start empty — the
+// restored state opens a fresh interval).
+func (e *Engine) RestoreFromCheckpoint(csn int) {
+	e.ckpts = csn
+	e.seq = csn
+	e.trig = protocol.Trigger{Pid: e.id, Inum: csn}
+}
 
 // PrepareSend stamps an outgoing computation message. Koo–Toueg needs no
 // piggybacked control information; the runtime guarantees we are not

@@ -1,0 +1,97 @@
+package logbased_test
+
+import (
+	"testing"
+
+	"mutablecp/internal/algorithms/logbased"
+	"mutablecp/internal/enginetest"
+	"mutablecp/internal/protocol"
+)
+
+func newWorld(t *testing.T, n int) *enginetest.World {
+	return enginetest.NewWorld(t, n, func(env protocol.Env) protocol.Engine {
+		return logbased.New(env)
+	})
+}
+
+func TestInitiateCommitsImmediately(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.Engines[0].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	// No pump needed: the commit is synchronous and message-free.
+	if got := w.Envs[0].Stable.Permanent().State.CSN; got != 1 {
+		t.Fatalf("P0 permanent csn = %d, want 1", got)
+	}
+	if !w.Envs[0].LastCommitted {
+		t.Fatal("initiation did not report committed")
+	}
+	if w.Engines[0].InProgress() {
+		t.Fatal("independent checkpoint left an instance in flight")
+	}
+	for i := 0; i < 3; i++ {
+		if got := w.Envs[i].SysSent; got != 0 {
+			t.Fatalf("P%d sent %d system messages, want 0", i, got)
+		}
+	}
+	// Peers are untouched: no coordination.
+	for i := 1; i < 3; i++ {
+		if got := w.Envs[i].TentativeTaken; got != 0 {
+			t.Fatalf("P%d tentative = %d, want 0 (independent checkpointing)", i, got)
+		}
+	}
+}
+
+func TestCheckpointsAreIndependent(t *testing.T) {
+	w := newWorld(t, 3)
+	// Traffic crossing a checkpoint is fine: consistency is the recovery
+	// executor's job, not the checkpoint's.
+	m := w.Send(0, 1)
+	w.Deliver(m)
+	if err := w.Engines[1].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Engines[1].Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Envs[1].Stable.Permanent().State.CSN; got != 2 {
+		t.Fatalf("P1 permanent csn = %d, want 2", got)
+	}
+	if got := w.Envs[1].Stable.Permanent().State.RecvFrom[0]; got != 1 {
+		t.Fatalf("P1 checkpoint recvFrom[0] = %d, want 1", got)
+	}
+	// P0 never checkpointed.
+	if got := w.Envs[0].Stable.Permanent().State.CSN; got != 0 {
+		t.Fatalf("P0 permanent csn = %d, want 0", got)
+	}
+}
+
+func TestDeliveryAndNonComputationIgnored(t *testing.T) {
+	w := newWorld(t, 2)
+	m := w.Send(0, 1)
+	w.Deliver(m)
+	if got := w.Envs[1].CaptureState().RecvFrom[0]; got != 1 {
+		t.Fatalf("P1 recvFrom[0] = %d, want 1", got)
+	}
+	// System kinds are ignored without error.
+	w.Engines[1].HandleMessage(&protocol.Message{Kind: protocol.KindRequest, From: 0, To: 1})
+	w.Engines[1].HandleMessage(&protocol.Message{Kind: protocol.KindCommit, From: 0, To: 1})
+	if got := w.Envs[1].TentativeTaken; got != 0 {
+		t.Fatalf("system message caused a checkpoint (tentative=%d)", got)
+	}
+}
+
+func TestRestoreFromCheckpoint(t *testing.T) {
+	w := newWorld(t, 2)
+	e := w.Engines[0].(*logbased.Engine)
+	e.RestoreFromCheckpoint(7)
+	if e.CSN() != 7 {
+		t.Fatalf("restored csn = %d, want 7", e.CSN())
+	}
+	if err := e.Initiate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Envs[0].Stable.Permanent().State.CSN; got != 8 {
+		t.Fatalf("post-restore initiation csn = %d, want 8", got)
+	}
+}

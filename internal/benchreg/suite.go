@@ -134,6 +134,55 @@ func storeOpen(commits int) func(b *testing.B) {
 	}
 }
 
+// recoveryBench runs one full crash-and-recover simulation per iteration:
+// a 256-process cluster, one victim crashed mid-run, recovered live by
+// internal/recovery's executor, and the resumed run re-verified. The
+// rollback variant (coordinated families) restores the whole cluster to
+// its newest committed line; the replay variant (log-based) restores only
+// the victim and replays its peers' sender logs.
+func recoveryBench(algo string) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := harness.RecoveryConfig{
+			Algorithm: algo,
+			N:         256,
+			Seed:      1,
+			Rate:      0.1,
+			Interval:  120 * time.Second,
+			// The coordinated restore re-transfers every process's 512 KB
+			// checkpoint over the shared 2 Mb/s medium (~9 simulated
+			// minutes at N=256); the horizon leaves room to commit again
+			// after that.
+			Horizon:      2400 * time.Second,
+			Failures:     1,
+			CrashAt:      600 * time.Second,
+			RestartAfter: 30 * time.Second,
+		}
+		var replayed, rolled uint64
+		for i := 0; i < b.N; i++ {
+			res, err := harness.RunRecovery(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.ClusterErrors) > 0 {
+				b.Fatal(res.ClusterErrors[0])
+			}
+			if !res.PostRecoveryOK {
+				b.Fatal(res.PostRecoveryErr)
+			}
+			if res.Restarts != 1 || res.NewCommits == 0 {
+				b.Fatalf("recovery incomplete: restarts=%d newCommits=%d", res.Restarts, res.NewCommits)
+			}
+			replayed += res.Replayed
+			rolled += res.PeerRollbacks
+		}
+		b.ReportMetric(float64(replayed)/float64(b.N), "replayed/op")
+		b.ReportMetric(float64(rolled)/float64(b.N), "peer-rollbacks/op")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "recoveries/sec")
+		}
+	}
+}
+
 // Suite returns the headline benchmarks tracked across baselines: the DES
 // kernel hot paths, the durable stable-store disk path, and representative
 // full-stack simulation workloads.
@@ -299,6 +348,8 @@ func Suite() []Benchmark {
 			Rate:      0.05,
 			Seed:      1,
 		})},
+		{Name: "recovery/rollback-256", Run: recoveryBench(harness.AlgoMutable)},
+		{Name: "recovery/replay-256", Run: recoveryBench(harness.AlgoLogBased)},
 	}
 }
 

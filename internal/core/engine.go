@@ -785,3 +785,16 @@ func (e *Engine) OldCSN() int { return e.oldCSN }
 // PendingTentatives reports how many tentative checkpoints await a
 // commit/abort decision (tests).
 func (e *Engine) PendingTentatives() int { return len(e.pending) }
+
+// RestoreFromCheckpoint implements protocol.CheckpointRestorer: after a
+// rollback the recovery executor rebuilds the engine fresh and aligns its
+// numbering with the restored permanent checkpoint, so the resumed
+// process's next initiation is csn+1 rather than a reused sequence
+// number. Everything else (R, dependency state, pending instances) is
+// correctly zero on a freshly built engine — the restored checkpoint is
+// by definition the start of a new interval with no recorded traffic.
+func (e *Engine) RestoreFromCheckpoint(csn int) {
+	e.ownCSN = csn
+	e.oldCSN = csn
+	e.ownTrigger = protocol.Trigger{Pid: e.id, Inum: csn}
+}

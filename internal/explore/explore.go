@@ -34,12 +34,14 @@ import (
 	"fmt"
 	"time"
 
+	"mutablecp/internal/algorithms/logbased"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/core"
 	"mutablecp/internal/des"
 	"mutablecp/internal/dyadic"
 	"mutablecp/internal/netsim"
 	"mutablecp/internal/protocol"
+	"mutablecp/internal/recovery"
 	"mutablecp/internal/simrt"
 	"mutablecp/internal/trace"
 	"mutablecp/internal/xrand"
@@ -64,6 +66,17 @@ type Abort struct {
 	By protocol.ProcessID
 }
 
+// Crash scripts a process failure at quantum At, recovered live by the
+// recovery executor RestartAfter quanta later. The crash event lands on
+// the quantum lattice, so it ties against in-flight deliveries and
+// protocol messages — the interleaving decides whether the crash hits
+// before or after each same-instant event.
+type Crash struct {
+	At           int
+	Proc         protocol.ProcessID
+	RestartAfter int
+}
+
 // Scenario is one fully scripted run: N processes on a network where
 // every message takes exactly Quantum, with all script times on the
 // quantum lattice so concurrent activity collides on the same instants.
@@ -74,12 +87,26 @@ type Scenario struct {
 	// Budget bounds kernel steps; exceeding it is a termination violation.
 	Budget int
 
-	Inits  []Init
-	Sends  []Send
-	Aborts []Abort
+	Inits   []Init
+	Sends   []Send
+	Aborts  []Abort
+	Crashes []Crash
+
+	// LogBased switches the engines to the log-based family (independent
+	// checkpoints + sender-based message logging); crashes then recover
+	// via recovery.ModeLog instead of coordinated rollback. The oracle's
+	// committed-line check is skipped — independent checkpoints do not
+	// form consistent lines by design — and the post-recovery live-state
+	// check takes its place.
+	LogBased bool
 
 	// Mutation injects a deliberate engine defect (mutation testing).
+	// Core engines only; ignored under LogBased.
 	Mutation core.Mutation
+	// RecoveryMutation injects a deliberate recovery-path defect into the
+	// executor (e.g. recovery.MutSkipDedup replays without exactly-once
+	// dedup).
+	RecoveryMutation recovery.Mutation
 }
 
 func (s Scenario) defaults() Scenario {
@@ -103,6 +130,15 @@ const (
 	KindPendingBound = "pending-bound" // Lemma 1: >1 pending tentative on one process
 	KindWeightBound  = "weight-bound"  // Lemma 2: initiator weight exceeded 1
 	KindTermination  = "termination"   // Theorem 2: step budget exhausted
+
+	// Recovery oracle: the live states are consistency-checked
+	// synchronously inside every recovery event, before post-recovery
+	// traffic can mask a violation. A receive count exceeding the matching
+	// send count means coordinated rollback left an orphan...
+	KindOrphanReplay = "orphan-after-replay"
+	// ...or log replay delivered a logged message twice (the dedup
+	// against the restored checkpoint's receive counters failed).
+	KindDuplicateDelivery = "duplicate-delivery"
 )
 
 // Violation is one invariant failure found by the oracle.
@@ -227,12 +263,16 @@ type scriptedAborter interface {
 func (s Scenario) execute(rec *recorder) (*RunResult, error) {
 	s = s.defaults()
 	tl := trace.New()
+	factory := func(env protocol.Env) protocol.Engine {
+		return core.NewWithOptions(env, core.Options{Mutation: s.Mutation})
+	}
+	if s.LogBased {
+		factory = func(env protocol.Env) protocol.Engine { return logbased.New(env) }
+	}
 	cluster, err := simrt.New(simrt.Config{
-		N:    s.N,
-		Seed: 1,
-		NewEngine: func(env protocol.Env) protocol.Engine {
-			return core.NewWithOptions(env, core.Options{Mutation: s.Mutation})
-		},
+		N:         s.N,
+		Seed:      1,
+		NewEngine: factory,
 		NewTransport: func(sim *des.Simulator, n int) netsim.Transport {
 			return &quantumNet{sim: sim, n: n, latency: s.Quantum}
 		},
@@ -240,12 +280,51 @@ func (s Scenario) execute(rec *recorder) (*RunResult, error) {
 		// deliveries stay on the tie lattice.
 		MutableSaveTime:  s.Quantum,
 		SingleInitiation: true,
+		MessageLogging:   s.LogBased,
 		Trace:            tl,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("explore: %w", err)
 	}
 	sim := cluster.Sim()
+	// recVio is set by the recovery hook the instant a recovery leaves the
+	// cluster inconsistent; the step loop stops on it.
+	var recVio *Violation
+	if len(s.Crashes) > 0 {
+		mode := recovery.ModeRollback
+		kind := KindOrphanReplay
+		if s.LogBased {
+			mode = recovery.ModeLog
+			kind = KindDuplicateDelivery
+		}
+		exec, err := recovery.NewExecutor(cluster, recovery.ExecOptions{
+			Mode: mode, Mutation: s.RecoveryMutation,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+		plans := make([]simrt.CrashPlan, 0, len(s.Crashes))
+		for _, c := range s.Crashes {
+			plans = append(plans, simrt.CrashPlan{
+				Proc:         c.Proc,
+				At:           time.Duration(c.At) * s.Quantum,
+				RestartAfter: time.Duration(c.RestartAfter) * s.Quantum,
+			})
+		}
+		hook := func(pid protocol.ProcessID) error {
+			if _, err := exec.Recover(pid); err != nil {
+				return err
+			}
+			if err := consistency.Check(cluster.States()); err != nil && recVio == nil {
+				recVio = &Violation{Kind: kind, Detail: fmt.Sprintf(
+					"after recovering P%d: %v", pid, err)}
+			}
+			return nil
+		}
+		if err := cluster.InstallCrashes(plans, hook); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+	}
 	// Install script events up front, in category order (initiations,
 	// sends, aborts): ties among them break in this order by default and
 	// become decision points under a chooser.
@@ -277,6 +356,10 @@ func (s Scenario) execute(rec *recorder) (*RunResult, error) {
 	res := &RunResult{}
 	for sim.Step() {
 		res.Steps++
+		if recVio != nil {
+			res.Violation = recVio
+			break
+		}
 		if res.Violation = s.stepInvariants(cluster); res.Violation != nil {
 			break
 		}
@@ -338,6 +421,11 @@ func (s Scenario) verify(cluster *simrt.Cluster) *Violation {
 		}
 	}
 	recs := completedByEnd(cluster)
+	if s.LogBased {
+		// Independent checkpoints never form consistent lines; recovery
+		// correctness is checked live (KindDuplicateDelivery) instead.
+		recs = nil
+	}
 	for _, rec := range recs {
 		updated := 0
 		for p := 0; p < n; p++ {

@@ -1,0 +1,97 @@
+package explore
+
+// Recovery-path mutation testing: the crash+recover scenarios must catch
+// a deliberately broken executor. recovery.MutSkipDedup replays the full
+// sender log without deduplicating against the restored checkpoint's
+// receive counters, so every message the checkpoint already covered is
+// delivered twice — the live-state oracle inside the recovery event
+// reports KindDuplicateDelivery.
+
+import (
+	"testing"
+
+	"mutablecp/internal/recovery"
+)
+
+func TestRecoveryMutationDetectedShrunkAndReplayed(t *testing.T) {
+	s := ReplayScenario(corpusN)
+	s.RecoveryMutation = recovery.MutSkipDedup
+	rep, err := s.Walks(1, mutationWalkBudget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.First == nil {
+		t.Fatalf("recovery mutation survived %d random walks undetected", mutationWalkBudget)
+	}
+	if rep.First.Violation.Kind != KindDuplicateDelivery {
+		t.Fatalf("violation kind %q, want %q", rep.First.Violation.Kind, KindDuplicateDelivery)
+	}
+	t.Logf("detected at seed %d (%d/%d walks violated): %v",
+		rep.FirstSeed, rep.Violations, rep.Runs, rep.First.Violation)
+
+	shr, err := s.Shrink(rep.First.Schedule)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if shr.Result.Violation == nil {
+		t.Fatal("shrunken schedule no longer fails")
+	}
+	if Divergence(shr.Schedule) > Divergence(rep.First.Schedule) {
+		t.Fatalf("shrink increased divergence: %v -> %v", rep.First.Schedule, shr.Schedule)
+	}
+	t.Logf("shrunk %v (divergence %d) -> %v (divergence %d) in %d replays",
+		rep.First.Schedule, Divergence(rep.First.Schedule),
+		shr.Schedule, Divergence(shr.Schedule), shr.Runs)
+
+	once, err := s.Replay(shr.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := s.Replay(shr.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.Fingerprint != twice.Fingerprint {
+		t.Fatalf("replay not deterministic: %x vs %x", once.Fingerprint, twice.Fingerprint)
+	}
+	if once.Violation == nil || once.Violation.Kind != shr.Result.Violation.Kind {
+		t.Fatalf("replay violation %v does not reproduce shrunk violation %v",
+			once.Violation, shr.Result.Violation)
+	}
+
+	// The correct executor is clean on the very same schedule: the
+	// counterexample isolates the recovery bug, not the scenario.
+	clean := ReplayScenario(corpusN)
+	healthy, err := clean.Replay(shr.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Violation != nil {
+		t.Fatalf("correct executor fails the shrunken schedule too: %v", healthy.Violation)
+	}
+}
+
+// TestRecoverScenarioExercisesRecovery pins that both crash scenarios
+// actually crash and recover under the default schedule (a regression
+// guard for the script timings drifting away from the crash window).
+func TestRecoverScenarioExercisesRecovery(t *testing.T) {
+	for _, name := range []string{"recover", "replay"} {
+		s, err := ScenarioByName(name, corpusN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Crashes) == 0 {
+			t.Fatalf("%s scenario scripts no crash", name)
+		}
+		run, err := s.Replay(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Violation != nil {
+			t.Fatalf("%s default schedule violates: %v", name, run.Violation)
+		}
+		if run.Steps == 0 {
+			t.Fatalf("%s ran zero steps", name)
+		}
+	}
+}

@@ -143,6 +143,108 @@ func BurstScenario(n int) Scenario {
 	return s
 }
 
+// RecoverScenario scripts a mid-protocol crash recovered by coordinated
+// rollback, on n >= 3 processes with the mutable engine. An early
+// initiation commits a line; a second initiation is still in flight when
+// P1 crashes at quantum 30 — the crash event ties against the instance's
+// requests and replies, so the interleaving decides whether P1 dies
+// before or after checkpointing, mid-commit, or holding a reply. The
+// executor must complete or discard the half-done instance, roll everyone
+// back to the committed line, and leave the cluster orphan-free
+// (KindOrphanReplay); a post-recovery initiation proves the resumed run
+// still commits.
+func RecoverScenario(n int) Scenario {
+	if n < 3 {
+		n = 3
+	}
+	s := Scenario{
+		Name: "recover",
+		N:    n,
+		Sends: []Send{
+			{At: 0, From: 1, To: 2},
+			{At: 0, From: 1, To: 0},
+			{At: 0, From: 2, To: 0},
+			{At: 3, From: 0, To: 1},
+			{At: 5, From: 2, To: 1},
+		},
+		Inits: []Init{
+			{At: 4, By: 0},
+			// In flight when the crash lands.
+			{At: 28, By: 2},
+			// Post-recovery health: the resumed run commits a new line.
+			{At: 52, By: 0},
+		},
+		Crashes: []Crash{
+			{At: 30, Proc: 1, RestartAfter: 10},
+		},
+	}
+	for p := 3; p < n; p++ {
+		s.Sends = append(s.Sends, Send{At: 0, From: protocol.ProcessID(p), To: 1})
+	}
+	s.Sends = append(s.Sends,
+		// Traffic into the doomed instance's window.
+		Send{At: 28, From: 1, To: 2},
+		Send{At: 29, From: 0, To: 1},
+		// Sent into the down window: lost, then erased by the rollback.
+		Send{At: 34, From: 2, To: 1},
+		// Post-recovery traffic.
+		Send{At: 48, From: 1, To: 0},
+		Send{At: 50, From: 0, To: 2},
+	)
+	return s
+}
+
+// ReplayScenario scripts a crash recovered from sender-based message
+// logs, on n >= 3 log-based processes. P1 checkpoints (independently)
+// after receiving early traffic, receives more — logged at the senders —
+// and crashes. Recovery restores P1's own checkpoint alone and replays
+// the logs with exactly-once dedup against the checkpoint's receive
+// counters; the live-state check after the recovery event catches any
+// double delivery (KindDuplicateDelivery, the recovery.MutSkipDedup
+// signal) or lost message.
+func ReplayScenario(n int) Scenario {
+	if n < 3 {
+		n = 3
+	}
+	s := Scenario{
+		Name:     "replay",
+		N:        n,
+		LogBased: true,
+		Sends: []Send{
+			// Covered by P1's checkpoint: the dedup corpus.
+			{At: 0, From: 0, To: 1},
+			{At: 1, From: 2, To: 1},
+			{At: 2, From: 1, To: 2},
+		},
+		Inits: []Init{
+			{At: 6, By: 1},
+			{At: 8, By: 0},
+			// Post-recovery health.
+			{At: 44, By: 2},
+		},
+		Crashes: []Crash{
+			{At: 20, Proc: 1, RestartAfter: 8},
+		},
+	}
+	for p := 3; p < n; p++ {
+		s.Sends = append(s.Sends, Send{At: 1, From: protocol.ProcessID(p), To: 1})
+	}
+	s.Sends = append(s.Sends,
+		// After the checkpoint, before the crash: replayed from the logs.
+		Send{At: 10, From: 0, To: 1},
+		Send{At: 12, From: 2, To: 1},
+		Send{At: 14, From: 1, To: 0},
+		// Racing the crash instant.
+		Send{At: 19, From: 0, To: 1},
+		// Into the down window: lost on delivery, recovered from the log.
+		Send{At: 24, From: 2, To: 1},
+		// Post-recovery traffic.
+		Send{At: 40, From: 1, To: 2},
+		Send{At: 42, From: 0, To: 1},
+	)
+	return s
+}
+
 // ScenarioByName resolves a catalog scenario at the given size.
 func ScenarioByName(name string, n int) (Scenario, error) {
 	switch name {
@@ -152,10 +254,14 @@ func ScenarioByName(name string, n int) (Scenario, error) {
 		return AbortScenario(n), nil
 	case "burst":
 		return BurstScenario(n), nil
+	case "recover":
+		return RecoverScenario(n), nil
+	case "replay":
+		return ReplayScenario(n), nil
 	default:
-		return Scenario{}, fmt.Errorf("explore: unknown scenario %q (have race, abort, burst)", name)
+		return Scenario{}, fmt.Errorf("explore: unknown scenario %q (have race, abort, burst, recover, replay)", name)
 	}
 }
 
 // ScenarioNames lists the catalog for CLIs and tests.
-func ScenarioNames() []string { return []string{"race", "abort", "burst"} }
+func ScenarioNames() []string { return []string{"race", "abort", "burst", "recover", "replay"} }

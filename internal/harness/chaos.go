@@ -30,6 +30,7 @@ import (
 	"mutablecp/internal/des"
 	"mutablecp/internal/netsim"
 	"mutablecp/internal/protocol"
+	"mutablecp/internal/recovery"
 	"mutablecp/internal/relnet"
 	"mutablecp/internal/simrt"
 	"mutablecp/internal/stable"
@@ -66,6 +67,14 @@ type ChaosConfig struct {
 	PartitionWindow time.Duration
 	// CrashCount fail-stops the highest-numbered processes at Horizon/2.
 	CrashCount int
+	// CrashRestartAfter, when positive, turns the crash into a
+	// crash-and-recover: the victim's network window heals that long after
+	// the crash and the recovery executor rolls the whole cluster back to
+	// the newest committed line, live. Requires CrashCount == 1 (recovery
+	// restores every process, so a second victim must not still be down).
+	// Messages the ARQ abandons during the outage are recovered by the
+	// rollback's channel-deficit replay.
+	CrashRestartAfter time.Duration
 
 	// StoreDir, when non-empty, backs the stable stores with the durable
 	// internal/stable log under this directory (each seed in its own
@@ -123,6 +132,12 @@ func (c ChaosConfig) faultConfig() netsim.FaultConfig {
 		for i := 0; i < c.CrashCount; i++ {
 			fc.CrashAt[c.N-1-i] = c.Horizon / 2
 		}
+		if c.CrashRestartAfter > 0 {
+			fc.RestartAt = make(map[protocol.ProcessID]time.Duration, c.CrashCount)
+			for p, at := range fc.CrashAt {
+				fc.RestartAt[p] = at + c.CrashRestartAfter
+			}
+		}
 	}
 	return fc
 }
@@ -148,6 +163,17 @@ type ChaosResult struct {
 	Jittered         uint64
 	PartitionDropped uint64
 	CrashDropped     uint64
+	RevivedDeliveries uint64
+
+	// Crash-and-recover verdict (CrashRestartAfter > 0 only). RecoveredOK
+	// requires: the victim restarted exactly once, the live states were
+	// consistent immediately after the recovery event, and the resumed run
+	// committed at least one new line.
+	RecoveredOK   bool
+	Restarts      uint64
+	PeerRollbacks uint64
+	Replayed      uint64
+	RecoveryTime  time.Duration
 
 	SimulatedEvents uint64
 
@@ -167,6 +193,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cfg = cfg.defaults()
 	if cfg.MSSRestart && cfg.StoreDir == "" {
 		return nil, fmt.Errorf("chaos: MSSRestart requires StoreDir (an in-memory store cannot survive a storage restart)")
+	}
+	if cfg.CrashRestartAfter > 0 && cfg.CrashCount != 1 {
+		return nil, fmt.Errorf("chaos: CrashRestartAfter needs exactly one victim, got CrashCount=%d", cfg.CrashCount)
 	}
 	fc := cfg.faultConfig()
 
@@ -208,10 +237,38 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// stops generating traffic and loses its volatile state exactly when
 	// the network stops carrying its frames. Iterate in process order, not
 	// map order — same-instant events execute in schedule order.
-	for victim := 0; victim < cfg.N; victim++ {
-		if at, ok := fc.CrashAt[victim]; ok {
-			v := cluster.Proc(victim)
-			cluster.Sim().Schedule(at, v.Fail)
+	var postRecoveryErr error
+	recoveries := 0
+	if cfg.CrashRestartAfter > 0 {
+		exec, err := recovery.NewExecutor(cluster, recovery.ExecOptions{Mode: recovery.ModeRollback})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		victim := protocol.ProcessID(cfg.N - 1)
+		plans := []simrt.CrashPlan{{
+			Proc: victim, At: fc.CrashAt[victim], RestartAfter: cfg.CrashRestartAfter,
+		}}
+		hook := func(pid protocol.ProcessID) error {
+			if _, err := exec.Recover(pid); err != nil {
+				return err
+			}
+			recoveries++
+			// Checked inside the recovery event: later traffic cannot mask
+			// an orphan or double delivery the rollback left behind.
+			if err := consistency.Check(cluster.States()); err != nil && postRecoveryErr == nil {
+				postRecoveryErr = err
+			}
+			return nil
+		}
+		if err := cluster.InstallCrashes(plans, hook); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+	} else {
+		for victim := 0; victim < cfg.N; victim++ {
+			if at, ok := fc.CrashAt[victim]; ok {
+				v := cluster.Proc(victim)
+				cluster.Sim().Schedule(at, v.Fail)
+			}
 		}
 	}
 	// The MSS storage restart lands at the same midpoint as the host
@@ -242,19 +299,44 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, fmt.Errorf("chaos: cluster invariant: %w", e)
 	}
 
+	met := cluster.Metrics()
 	res := &ChaosResult{
-		Config:           cfg,
-		TimeoutAborts:    cluster.Metrics().TimeoutAborts,
-		Rel:              rel.Metrics,
-		Dropped:          faulty.Dropped,
-		Duplicated:       faulty.Duplicated,
-		Jittered:         faulty.Jittered,
-		PartitionDropped: faulty.PartitionDropped,
-		CrashDropped:     faulty.CrashDropped,
-		SimulatedEvents:  cluster.Executed(),
+		Config:            cfg,
+		TimeoutAborts:     met.TimeoutAborts,
+		Rel:               rel.Metrics,
+		Dropped:           faulty.Dropped,
+		Duplicated:        faulty.Duplicated,
+		Jittered:          faulty.Jittered,
+		PartitionDropped:  faulty.PartitionDropped,
+		CrashDropped:      faulty.CrashDropped,
+		RevivedDeliveries: faulty.RevivedDeliveries,
+		Restarts:          met.Restarts,
+		PeerRollbacks:     met.PeerRollbacks,
+		Replayed:          met.ReplayedMessages,
+		RecoveryTime:      met.RecoveryTime,
+		SimulatedEvents:   cluster.Executed(),
 	}
-	if err := verifyChaos(cluster, fc, res); err != nil {
+	if err := verifyChaos(cluster, fc, cfg.CrashRestartAfter > 0, res); err != nil {
 		return nil, err
+	}
+	if cfg.CrashRestartAfter > 0 {
+		if postRecoveryErr != nil {
+			return nil, fmt.Errorf("chaos: post-recovery live state: %w", postRecoveryErr)
+		}
+		if recoveries != 1 || res.Restarts != 1 {
+			return nil, fmt.Errorf("chaos: %d recoveries, %d restarts, want 1/1", recoveries, res.Restarts)
+		}
+		restartAt := fc.CrashAt[protocol.ProcessID(cfg.N-1)] + cfg.CrashRestartAfter
+		newCommits := 0
+		for _, rec := range met.Completed() {
+			if rec.Committed && rec.Start > restartAt {
+				newCommits++
+			}
+		}
+		if newCommits == 0 {
+			return nil, fmt.Errorf("chaos: no line committed after the recovery at %v", restartAt)
+		}
+		res.RecoveredOK = true
 	}
 	if cfg.StoreDir != "" {
 		// Everything the verifier just accepted must survive a final
@@ -265,19 +347,25 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 	}
 	res.Fingerprint = fmt.Sprintf(
-		"committed=%d aborted=%d lines=%d timeouts=%d rel=%+v drop=%d dup=%d jit=%d part=%d crash=%d events=%d",
+		"committed=%d aborted=%d lines=%d timeouts=%d rel=%+v drop=%d dup=%d jit=%d part=%d crash=%d revived=%d restarts=%d peers=%d replayed=%d rt=%v recovered=%v events=%d",
 		res.Committed, res.Aborted, res.LinesChecked, res.TimeoutAborts, res.Rel,
 		res.Dropped, res.Duplicated, res.Jittered, res.PartitionDropped, res.CrashDropped,
-		res.SimulatedEvents)
+		res.RevivedDeliveries, res.Restarts, res.PeerRollbacks, res.Replayed, res.RecoveryTime,
+		res.RecoveredOK, res.SimulatedEvents)
 	return res, nil
 }
 
 // verifyChaos replays the run's permanent history as a sequence of global
 // checkpoint lines, orphan-checking each, then audits every process for
-// leaked state.
-func verifyChaos(cluster *simrt.Cluster, fc netsim.FaultConfig, res *ChaosResult) error {
+// leaked state. When the crash was recovered, no process stays crashed:
+// the victim is back, the rollback cleaned every half-done instance, and
+// the full leak audit applies to everyone.
+func verifyChaos(cluster *simrt.Cluster, fc netsim.FaultConfig, recovered bool, res *ChaosResult) error {
 	n := cluster.N()
 	crashed := func(p protocol.ProcessID) bool {
+		if recovered {
+			return false
+		}
 		_, ok := fc.CrashAt[p]
 		return ok
 	}
@@ -434,6 +522,14 @@ func DefaultChaosPoints() []ChaosPoint {
 			Drop: 0.20, Dup: 0.10, JitterMax: 10 * time.Millisecond,
 			PartitionWindow: 10 * time.Second, CrashCount: 1,
 		}},
+		// The crash is recovered live 20 s later (under relnet's ~30 s ARQ
+		// give-up): coordinated rollback, post-recovery consistency, and a
+		// RecoveredOK verdict on top of the usual line checks.
+		{Label: "recover", Config: ChaosConfig{
+			Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+			PartitionWindow: 10 * time.Second, CrashCount: 1,
+			CrashRestartAfter: 20 * time.Second,
+		}},
 	}
 }
 
@@ -455,6 +551,11 @@ type ChaosRow struct {
 	Duplicated       uint64
 	PartitionDropped uint64
 	CrashDropped     uint64
+
+	// Recovered counts seeds whose crash-and-recover verdict was OK
+	// (equals Seeds on recover points — RunChaos fails otherwise — and 0
+	// on plain points).
+	Recovered int
 }
 
 // ChaosGauntlet runs every operating point across every seed and verifies
@@ -502,6 +603,9 @@ func (r *Runner) ChaosGauntlet(points []ChaosPoint, seeds []uint64) ([]ChaosRow,
 			row.Duplicated += res.Duplicated
 			row.PartitionDropped += res.PartitionDropped
 			row.CrashDropped += res.CrashDropped
+			if res.RecoveredOK {
+				row.Recovered++
+			}
 		}
 		rows[pi] = row
 	}
@@ -512,12 +616,13 @@ func (r *Runner) ChaosGauntlet(points []ChaosPoint, seeds []uint64) ([]ChaosRow,
 func FormatChaos(rows []ChaosRow) string {
 	var b strings.Builder
 	b.WriteString("Chaos gauntlet: committed lines orphan-checked at every operating point\n")
-	fmt.Fprintf(&b, "%-8s %-6s %-10s %-8s %-9s %-8s %-8s %-8s %-8s %-8s\n",
-		"point", "seeds", "committed", "aborted", "timeouts", "retrans", "dupsup", "dropped", "partcut", "crashcut")
+	fmt.Fprintf(&b, "%-8s %-6s %-10s %-8s %-9s %-8s %-8s %-8s %-8s %-8s %-9s\n",
+		"point", "seeds", "committed", "aborted", "timeouts", "retrans", "dupsup", "dropped", "partcut", "crashcut", "recovered")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-6d %-10d %-8d %-9d %-8d %-8d %-8d %-8d %-8d\n",
+		fmt.Fprintf(&b, "%-8s %-6d %-10d %-8d %-9d %-8d %-8d %-8d %-8d %-8d %-9d\n",
 			r.Label, r.Seeds, r.Committed, r.Aborted, r.TimeoutAborts,
-			r.Retransmissions, r.DupsSuppressed, r.Dropped, r.PartitionDropped, r.CrashDropped)
+			r.Retransmissions, r.DupsSuppressed, r.Dropped, r.PartitionDropped, r.CrashDropped,
+			r.Recovered)
 	}
 	return b.String()
 }

@@ -14,12 +14,13 @@ func gauntletSeeds(t *testing.T) []uint64 {
 	return []uint64{1, 2, 3, 4, 5}
 }
 
-// shortPoints trims the grid under -short: the control point plus the two
-// fault extremes still cover every fault kind.
+// shortPoints trims the grid under -short: the control point, the two
+// fault extremes, and the crash-and-recover point still cover every fault
+// kind and both crash fates (permanent and recovered).
 func shortPoints(t *testing.T) []ChaosPoint {
 	pts := DefaultChaosPoints()
 	if testing.Short() {
-		return []ChaosPoint{pts[0], pts[2], pts[4]}
+		return []ChaosPoint{pts[0], pts[2], pts[4], pts[5]}
 	}
 	return pts
 }
@@ -72,6 +73,17 @@ func TestChaosGauntlet(t *testing.T) {
 	}
 	if crashTimeouts == 0 {
 		t.Error("no crash point ever fired a §3.6 timeout abort")
+	}
+	// The recover point's verdict must be unanimous, and no plain point
+	// may claim one.
+	for i, row := range rows {
+		want := 0
+		if points[i].Config.CrashRestartAfter > 0 {
+			want = row.Seeds
+		}
+		if row.Recovered != want {
+			t.Errorf("%s: recovered %d seeds, want %d", row.Label, row.Recovered, want)
+		}
 	}
 }
 
@@ -150,6 +162,72 @@ func TestChaosDurableMSSRestart(t *testing.T) {
 func TestChaosMSSRestartRequiresDurableStore(t *testing.T) {
 	if _, err := RunChaos(ChaosConfig{Seed: 1, MSSRestart: true}); err == nil {
 		t.Fatal("MSSRestart without StoreDir accepted")
+	}
+}
+
+// TestChaosRecoverDurable runs the crash-and-recover point with durable
+// stores: the rollback executes against disk-backed checkpoint state (the
+// restore reads what the log recovers, the rollback's tentative drops are
+// real deletions), and the final disk-fidelity audit proves the on-disk
+// image still equals the verified post-recovery state.
+func TestChaosRecoverDurable(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Seed: 7, Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1,
+		CrashRestartAfter: 20 * time.Second,
+		Horizon:           6 * 300 * time.Second,
+		StoreDir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RecoveredOK {
+		t.Fatal("crash-and-recover run did not earn the RecoveredOK verdict")
+	}
+	if res.Restarts != 1 || res.PeerRollbacks != uint64(res.Config.N-1) {
+		t.Fatalf("restarts=%d peerRollbacks=%d, want 1/%d",
+			res.Restarts, res.PeerRollbacks, res.Config.N-1)
+	}
+	if res.RecoveryTime < 20*time.Second {
+		t.Fatalf("recovery time %v below the 20s down window", res.RecoveryTime)
+	}
+	if res.Rel.ChannelResets == 0 {
+		t.Fatal("recovery re-established no ARQ channels")
+	}
+}
+
+// TestChaosRecoverDeterminism: the recover point must stay bit-reproducible
+// — the crash, the rollback, the replay, and the resumed run all land on
+// identical fingerprints for identical seeds.
+func TestChaosRecoverDeterminism(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 7, Drop: 0.05, Dup: 0.05, JitterMax: 5 * time.Millisecond,
+		PartitionWindow: 10 * time.Second, CrashCount: 1,
+		CrashRestartAfter: 20 * time.Second,
+		Horizon:           6 * 300 * time.Second,
+	}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestChaosRecoverValidation: crash-and-recover with anything but exactly
+// one victim is a configuration error, reported up front.
+func TestChaosRecoverValidation(t *testing.T) {
+	for _, crashes := range []int{0, 2} {
+		if _, err := RunChaos(ChaosConfig{
+			Seed: 1, CrashCount: crashes, CrashRestartAfter: 20 * time.Second,
+		}); err == nil {
+			t.Errorf("CrashRestartAfter with CrashCount=%d accepted", crashes)
+		}
 	}
 }
 

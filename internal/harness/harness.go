@@ -12,6 +12,7 @@ import (
 	"mutablecp/internal/algorithms/chandylamport"
 	"mutablecp/internal/algorithms/elnozahy"
 	"mutablecp/internal/algorithms/kootoueg"
+	"mutablecp/internal/algorithms/logbased"
 	"mutablecp/internal/algorithms/naive"
 	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/consistency"
@@ -37,6 +38,12 @@ const (
 	AlgoNaiveSimple     = "naive-simple"
 	AlgoNaiveRevised    = "naive-revised"
 	AlgoNaiveNoCSN      = "naive-nocsn"
+	// AlgoLogBased is independent checkpointing with sender-based message
+	// logging: the fourth recovery family (replay only the failed process
+	// from its own checkpoint plus its peers' logs). Its checkpoints are
+	// deliberately uncoordinated, so the permanent "line" is not a
+	// consistent cut and the end-of-run line check is skipped for it.
+	AlgoLogBased = "log-based"
 )
 
 // Algorithms lists every registered algorithm name.
@@ -44,6 +51,7 @@ func Algorithms() []string {
 	return []string{
 		AlgoMutable, AlgoMutableTargeted, AlgoKooToueg, AlgoElnozahy,
 		AlgoChandyLamport, AlgoNaiveSimple, AlgoNaiveRevised, AlgoNaiveNoCSN,
+		AlgoLogBased,
 	}
 }
 
@@ -68,6 +76,8 @@ func NewEngine(name string) (func(env protocol.Env) protocol.Engine, error) {
 		return func(env protocol.Env) protocol.Engine { return naive.New(env, naive.ModeRevised) }, nil
 	case AlgoNaiveNoCSN:
 		return func(env protocol.Env) protocol.Engine { return naive.New(env, naive.ModeNoCSN) }, nil
+	case AlgoLogBased:
+		return func(env protocol.Env) protocol.Engine { return logbased.New(env) }, nil
 	default:
 		return nil, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
@@ -348,7 +358,10 @@ func Run(cfg Config) (*Result, error) {
 	if res.Tentative.Mean() > 0 {
 		res.RedundantRatio = res.Redundant.Mean() / res.Tentative.Mean()
 	}
-	if !cfg.SkipConsistency {
+	if !cfg.SkipConsistency && cfg.Algorithm != AlgoLogBased {
+		// Log-based checkpoints are independent: the newest-permanent cut
+		// is not a consistent line by design (recovery replays the logs
+		// instead), so the line check does not apply.
 		if err := consistency.Check(cluster.PermanentLine()); err != nil {
 			res.ConsistencyOK = false
 			res.ConsistencyErr = err

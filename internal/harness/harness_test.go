@@ -29,7 +29,7 @@ func TestUnknownAlgorithmRejected(t *testing.T) {
 
 func TestAlgorithmsRegistryComplete(t *testing.T) {
 	names := harness.Algorithms()
-	if len(names) != 8 {
+	if len(names) != 9 {
 		t.Fatalf("registry has %d algorithms", len(names))
 	}
 	for _, name := range names {

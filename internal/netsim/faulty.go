@@ -48,8 +48,16 @@ type FaultConfig struct {
 	// Partitions are link-cut windows.
 	Partitions []Partition
 	// CrashAt schedules fail-stop crashes: from the given instant the
-	// process neither sends nor receives anything, ever again.
+	// process neither sends nor receives anything — forever, unless
+	// RestartAt reopens the window.
 	CrashAt map[protocol.ProcessID]time.Duration
+	// RestartAt, when it has an entry for a crashed process, turns the
+	// crash into a [CrashAt, RestartAt) window: from RestartAt on, the
+	// process's radio works again. Traffic delivered to or sent by a
+	// restarted process is counted in RevivedDeliveries, separately from
+	// the CrashDropped traffic the window ate. An entry without a
+	// matching CrashAt entry is ignored.
+	RestartAt map[protocol.ProcessID]time.Duration
 }
 
 // Faulty is the fault-injecting Transport decorator.
@@ -70,6 +78,10 @@ type Faulty struct {
 	Jittered         uint64
 	PartitionDropped uint64
 	CrashDropped     uint64
+	// RevivedDeliveries counts messages carried to or from a process after
+	// its crash window closed (RestartAt); CrashDropped counts only the
+	// traffic lost inside the window.
+	RevivedDeliveries uint64
 }
 
 var _ Transport = (*Faulty)(nil)
@@ -96,10 +108,26 @@ func NewFaulty(sim *des.Simulator, inner Transport, n int, cfg FaultConfig) *Fau
 	return f
 }
 
-// crashed reports whether p has fail-stopped by time now.
+// crashed reports whether p is inside its crash window at time now: the
+// window is [CrashAt, RestartAt), or [CrashAt, ∞) with no restart entry.
 func (f *Faulty) crashed(p protocol.ProcessID, now time.Duration) bool {
 	at, ok := f.cfg.CrashAt[p]
-	return ok && now >= at
+	if !ok || now < at {
+		return false
+	}
+	if until, ok := f.cfg.RestartAt[p]; ok && now >= until {
+		return false
+	}
+	return true
+}
+
+// restarted reports whether p's crash window has already closed at now.
+func (f *Faulty) restarted(p protocol.ProcessID, now time.Duration) bool {
+	if _, ok := f.cfg.CrashAt[p]; !ok {
+		return false
+	}
+	until, ok := f.cfg.RestartAt[p]
+	return ok && now >= until
 }
 
 // partitioned reports whether a message from -> to is cut by an active
@@ -139,9 +167,13 @@ func (f *Faulty) wrapDeliver(to protocol.ProcessID, deliver func()) func() {
 		}
 	}
 	return func() {
-		if f.crashed(to, f.sim.Now()) {
+		now := f.sim.Now()
+		if f.crashed(to, now) {
 			f.CrashDropped++
 			return
+		}
+		if f.restarted(to, now) {
+			f.RevivedDeliveries++
 		}
 		if jitter > 0 {
 			f.sim.Schedule(jitter, deliver)
@@ -157,6 +189,9 @@ func (f *Faulty) Unicast(from, to protocol.ProcessID, size int, deliver func()) 
 	if f.crashed(from, now) {
 		f.CrashDropped++
 		return
+	}
+	if f.restarted(from, now) {
+		f.RevivedDeliveries++
 	}
 	if f.partitioned(from, to, now) {
 		f.PartitionDropped++
@@ -176,6 +211,9 @@ func (f *Faulty) Broadcast(from protocol.ProcessID, size int, deliver func(to pr
 	if f.crashed(from, now) {
 		f.CrashDropped++
 		return
+	}
+	if f.restarted(from, now) {
+		f.RevivedDeliveries++
 	}
 	fates := make([]int, f.n)
 	wrapped := make([]func(), f.n)
@@ -209,9 +247,13 @@ func (f *Faulty) Broadcast(from protocol.ProcessID, size int, deliver func(to pr
 // StableTransfer implements Transport: the host-to-MSS checkpoint channel
 // is local and link-layer reliable, so only a crashed host is affected.
 func (f *Faulty) StableTransfer(from protocol.ProcessID, size int, done func()) {
-	if f.crashed(from, f.sim.Now()) {
+	now := f.sim.Now()
+	if f.crashed(from, now) {
 		f.CrashDropped++
 		return
+	}
+	if f.restarted(from, now) {
+		f.RevivedDeliveries++
 	}
 	f.inner.StableTransfer(from, size, done)
 }

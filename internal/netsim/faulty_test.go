@@ -154,6 +154,66 @@ func TestFaultyCrashSuppressesInFlight(t *testing.T) {
 	}
 }
 
+// TestFaultyCrashWindow: with a RestartAt entry, the crash is a
+// [from, until) window — traffic before the window and after it is carried
+// (the latter counted in RevivedDeliveries), traffic inside the window is
+// CrashDropped.
+func TestFaultyCrashWindow(t *testing.T) {
+	sim := des.New()
+	lan := netsim.NewLAN(sim, 3, netsim.WirelessLAN2Mbps)
+	f := netsim.NewFaulty(sim, lan, 3, netsim.FaultConfig{
+		Seed:      7,
+		CrashAt:   map[int]time.Duration{1: time.Second},
+		RestartAt: map[int]time.Duration{1: 3 * time.Second},
+	})
+	var before, during, after int
+	f.Unicast(0, 1, 100, func() { before++ }) // pre-window: delivered
+	sim.Schedule(2*time.Second, func() {
+		f.Unicast(0, 1, 100, func() { during++ }) // inside: dropped at receiver
+		f.Unicast(1, 0, 100, func() { during++ }) // inside: dropped at sender
+		f.StableTransfer(1, 100, func() { during++ })
+	})
+	sim.Schedule(4*time.Second, func() {
+		f.Unicast(0, 1, 100, func() { after++ }) // window closed: delivered
+		f.Unicast(1, 0, 100, func() { after++ }) // restarted sender works again
+		f.StableTransfer(1, 100, func() { after++ })
+	})
+	sim.RunAll()
+	if before != 1 {
+		t.Fatalf("pre-window message not delivered")
+	}
+	if during != 0 {
+		t.Fatalf("delivered %d messages inside the crash window", during)
+	}
+	if after != 3 {
+		t.Fatalf("post-restart deliveries = %d, want 3", after)
+	}
+	if f.CrashDropped != 3 {
+		t.Fatalf("CrashDropped = %d, want 3", f.CrashDropped)
+	}
+	// Receiver-side delivery to P1 + P1's two sends (unicast, stable).
+	if f.RevivedDeliveries != 3 {
+		t.Fatalf("RevivedDeliveries = %d, want 3", f.RevivedDeliveries)
+	}
+}
+
+// TestFaultyRestartWithoutCrashIgnored: a RestartAt entry with no matching
+// CrashAt entry never counts anything.
+func TestFaultyRestartWithoutCrashIgnored(t *testing.T) {
+	sim := des.New()
+	lan := netsim.NewLAN(sim, 2, netsim.WirelessLAN2Mbps)
+	f := netsim.NewFaulty(sim, lan, 2, netsim.FaultConfig{
+		Seed:      7,
+		RestartAt: map[int]time.Duration{1: time.Microsecond},
+	})
+	got := 0
+	sim.Schedule(time.Second, func() { f.Unicast(0, 1, 100, func() { got++ }) })
+	sim.RunAll()
+	if got != 1 || f.RevivedDeliveries != 0 || f.CrashDropped != 0 {
+		t.Fatalf("got=%d revived=%d crashdropped=%d, want 1/0/0", got, f.RevivedDeliveries, f.CrashDropped)
+	}
+}
+
 // fingerprint runs a fixed traffic pattern through a faulty LAN and
 // records the complete delivery schedule plus fault counters.
 func faultyFingerprint(cfg netsim.FaultConfig) string {

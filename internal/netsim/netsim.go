@@ -26,6 +26,15 @@ type ExactlyOnce interface {
 	DeliversExactlyOnce()
 }
 
+// PeerResetter marks transports that keep per-peer connection state (ARQ
+// sequence numbers, give-up verdicts) which must be re-established when a
+// process restarts after a crash. The recovery lifecycle calls ResetPeer
+// for every process it restores; stateless transports simply don't
+// implement it.
+type PeerResetter interface {
+	ResetPeer(p protocol.ProcessID)
+}
+
 // Transport is what the process runtime uses to move bytes.
 type Transport interface {
 	// Unicast schedules delivery of size bytes from one process to

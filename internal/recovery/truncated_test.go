@@ -1,0 +1,152 @@
+package recovery_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/recovery"
+)
+
+// The sparse-state ladder stores counters truncated at the last nonzero
+// entry. Cost and InTransit must treat a truncated vector and its
+// dense zero-padded form identically — a regression here silently
+// miscounts lost and in-transit messages for high process IDs.
+
+const truncN = 4
+
+// truncLine builds a line whose counters are deliberately truncated:
+// P0 has never talked to P2/P3, P3 has empty (nil) vectors, etc.
+func truncLine() map[protocol.ProcessID]protocol.State {
+	return map[protocol.ProcessID]protocol.State{
+		0: {Proc: 0, CSN: 2, At: 100 * time.Second,
+			SentTo: []uint64{0, 5}, RecvFrom: []uint64{0, 3}},
+		1: {Proc: 1, CSN: 2, At: 110 * time.Second,
+			SentTo: []uint64{3, 0, 0, 2}, RecvFrom: []uint64{4}},
+		2: {Proc: 2, CSN: 1, At: 90 * time.Second,
+			SentTo: []uint64{0, 2}, RecvFrom: nil},
+		3: {Proc: 3, CSN: 1, At: 95 * time.Second,
+			SentTo: nil, RecvFrom: []uint64{0, 1}},
+	}
+}
+
+// truncCurrent is the "where the computation is now" snapshot, also
+// truncated, with every process ahead of its checkpoint.
+func truncCurrent() map[protocol.ProcessID]protocol.State {
+	return map[protocol.ProcessID]protocol.State{
+		0: {Proc: 0, SentTo: []uint64{0, 7, 1}, RecvFrom: []uint64{0, 3, 0, 1}},
+		1: {Proc: 1, SentTo: []uint64{5, 0, 0, 2}, RecvFrom: []uint64{6}},
+		2: {Proc: 2, SentTo: []uint64{0, 2}, RecvFrom: []uint64{1}},
+		3: {Proc: 3, SentTo: []uint64{0, 0, 1}, RecvFrom: []uint64{0, 2, 2}},
+	}
+}
+
+func densify(states map[protocol.ProcessID]protocol.State) map[protocol.ProcessID]protocol.State {
+	out := make(map[protocol.ProcessID]protocol.State, len(states))
+	for id, st := range states {
+		d := st.Clone()
+		d.SentTo = protocol.PadCounters(d.SentTo, truncN)
+		d.RecvFrom = protocol.PadCounters(d.RecvFrom, truncN)
+		out[id] = d
+	}
+	return out
+}
+
+// seedManager builds a Manager whose stores hold the given states as
+// their newest permanent checkpoints.
+func seedManager(t *testing.T, states map[protocol.ProcessID]protocol.State) (*recovery.Manager, *recovery.Line) {
+	t.Helper()
+	stores := make(map[protocol.ProcessID]checkpoint.Store, len(states))
+	for id, st := range states {
+		s := checkpoint.NewStableStore(id, truncN)
+		if err := s.SeedPermanent(st); err != nil {
+			t.Fatalf("seed P%d: %v", id, err)
+		}
+		stores[id] = s
+	}
+	mgr := recovery.NewManager(stores)
+	line, err := mgr.LatestLine()
+	if err != nil {
+		t.Fatalf("latest line: %v", err)
+	}
+	return mgr, line
+}
+
+func TestCostTruncatedMatchesDense(t *testing.T) {
+	now := 200 * time.Second
+	mgrT, lineT := seedManager(t, truncLine())
+	mgrD, lineD := seedManager(t, densify(truncLine()))
+
+	costT := mgrT.Cost(lineT, truncCurrent(), now)
+	costD := mgrD.Cost(lineD, densify(truncCurrent()), now)
+
+	if !reflect.DeepEqual(costT.LostTime, costD.LostTime) {
+		t.Fatalf("LostTime diverges:\ntruncated %v\ndense     %v", costT.LostTime, costD.LostTime)
+	}
+	if !reflect.DeepEqual(costT.LostMessages, costD.LostMessages) {
+		t.Fatalf("LostMessages diverges:\ntruncated %v\ndense     %v", costT.LostMessages, costD.LostMessages)
+	}
+	if costT.TotalTime != costD.TotalTime || costT.TotalMsgs != costD.TotalMsgs {
+		t.Fatalf("totals diverge: truncated (%v, %d) vs dense (%v, %d)",
+			costT.TotalTime, costT.TotalMsgs, costD.TotalTime, costD.TotalMsgs)
+	}
+
+	// Pin the actual values so both forms are right, not merely equal.
+	wantMsgs := map[protocol.ProcessID]uint64{
+		0: 3, // sentTo[1]: 7-5, sentTo[2]: 1-0
+		1: 2, // sentTo[0]: 5-3
+		2: 0,
+		3: 1, // sentTo[2]: 1-0
+	}
+	if !reflect.DeepEqual(costT.LostMessages, wantMsgs) {
+		t.Fatalf("LostMessages = %v, want %v", costT.LostMessages, wantMsgs)
+	}
+	if costT.TotalMsgs != 6 {
+		t.Fatalf("TotalMsgs = %d, want 6", costT.TotalMsgs)
+	}
+	// Lost time: (200-100) + (200-110) + (200-90) + (200-95) = 405s.
+	if want := 405 * time.Second; costT.TotalTime != want {
+		t.Fatalf("TotalTime = %v, want %v", costT.TotalTime, want)
+	}
+}
+
+func TestInTransitTruncatedMatchesDense(t *testing.T) {
+	mgrT, lineT := seedManager(t, truncLine())
+	mgrD, lineD := seedManager(t, densify(truncLine()))
+
+	itT, err := mgrT.InTransit(lineT)
+	if err != nil {
+		t.Fatalf("truncated in-transit: %v", err)
+	}
+	itD, err := mgrD.InTransit(lineD)
+	if err != nil {
+		t.Fatalf("dense in-transit: %v", err)
+	}
+	if !reflect.DeepEqual(itT, itD) {
+		t.Fatalf("InTransit diverges:\ntruncated %v\ndense     %v", itT, itD)
+	}
+
+	// Pin the channel deficits the line implies:
+	//   0→1 sent 5, received 4 → 1 in transit
+	//   1→0 sent 3, received 3 → 0
+	//   1→3 sent 2, received 1 → 1 in transit
+	//   2→1 sent 2, P1's RecvFrom is truncated before index 2 (counts as
+	//   0 received) → 2 in transit; everything else balanced or zero.
+	want := map[[2]protocol.ProcessID]uint64{
+		{0, 1}: 1,
+		{1, 3}: 1,
+		{2, 1}: 2,
+	}
+	for ch, n := range want {
+		if itT[ch] != n {
+			t.Fatalf("in-transit %v→%v = %d, want %d (full map %v)", ch[0], ch[1], itT[ch], n, itT)
+		}
+	}
+	for ch, n := range itT {
+		if n != 0 && want[ch] == 0 {
+			t.Fatalf("unexpected in-transit channel %v→%v = %d", ch[0], ch[1], n)
+		}
+	}
+}

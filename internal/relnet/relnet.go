@@ -15,6 +15,14 @@
 // discards its backlog (the checkpointing layer above handles the loss
 // via the §3.6 timeout abort). Without the budget, Drain/RunAll would
 // never terminate against a crashed peer.
+//
+// Giving up is a verdict on the backlog, not on the peer: the next send
+// reopens the channel under a fresh incarnation (generation), exactly
+// like a transport connection re-established after a reset. Receivers
+// adopt whichever generation is newest — frames and acks from an older
+// one are discarded on arrival — so a peer that was merely slow (or has
+// since been crash-recovered) resumes cleanly instead of staying
+// unreachable forever.
 package relnet
 
 import (
@@ -32,10 +40,11 @@ type Config struct {
 	// MaxRTO caps the exponential backoff. Default 2 s.
 	MaxRTO time.Duration
 	// MaxRetries is the per-frame retransmission budget before the channel
-	// gives up on its peer. Default 16: with the default RTO/MaxRTO the
-	// give-up horizon is ~30 s of persistent silence, far beyond any
-	// partition window the gauntlet uses, and the chance of 17 consecutive
-	// independent losses at 20% drop is ~10^-12.
+	// gives up and discards its backlog (a later send reopens it). Default
+	// 16: with the default RTO/MaxRTO the give-up horizon is ~30 s of
+	// persistent silence, far beyond any partition window the gauntlet
+	// uses, and the chance of 17 consecutive independent losses at 20%
+	// drop is ~10^-12.
 	MaxRetries int
 	// HeaderBytes is the per-frame ARQ overhead added to data frames.
 	// Default 12 (seq + channel ids + kind).
@@ -71,7 +80,10 @@ type Metrics struct {
 	AcksSent        uint64
 	DupsSuppressed  uint64 // duplicate data frames discarded by receivers
 	Buffered        uint64 // out-of-order arrivals parked for resequencing
-	GaveUp          uint64 // channels that exhausted their retry budget
+	GaveUp          uint64 // backlogs discarded after an exhausted retry budget
+	Reopened        uint64 // given-up channels reopened by a later send
+	StaleFrames     uint64 // frames/acks from a superseded channel incarnation
+	ChannelResets   uint64 // channel pairs re-established by ResetPeer
 }
 
 // frame is one in-flight data frame on a send channel.
@@ -84,17 +96,19 @@ type frame struct {
 // sendChan is the sender half of one ordered-pair channel.
 type sendChan struct {
 	from, to protocol.ProcessID
+	gen      uint64 // channel incarnation; bumped by reopen and ResetPeer
 	nextSeq  uint64
 	unacked  []frame
 	rto      time.Duration
 	retries  int
 	timerID  des.EventID
 	armed    bool
-	dead     bool // gave up; all subsequent sends are discarded
+	dead     bool // gave up; the next send reopens a fresh incarnation
 }
 
 // recvChan is the receiver half of one ordered-pair channel.
 type recvChan struct {
+	gen      uint64
 	expected uint64
 	buf      map[uint64]func()
 }
@@ -159,7 +173,7 @@ func (r *Reliable) recvChanFor(from, to protocol.ProcessID) *recvChan {
 func (r *Reliable) Unicast(from, to protocol.ProcessID, size int, deliver func()) {
 	sc := r.sendChanFor(from, to)
 	if sc.dead {
-		return
+		r.reopen(sc)
 	}
 	f := frame{seq: sc.nextSeq, size: size, deliver: deliver}
 	sc.nextSeq++
@@ -182,7 +196,7 @@ func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to 
 		}
 		sc := r.sendChanFor(from, to)
 		if sc.dead {
-			continue
+			r.reopen(sc)
 		}
 		to := to
 		f := frame{seq: sc.nextSeq, size: size, deliver: func() { deliver(to) }}
@@ -192,9 +206,15 @@ func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to 
 		live[to] = true
 		r.Metrics.DataFrames++
 	}
+	gens := make([]uint64, r.n)
+	for to := 0; to < r.n; to++ {
+		if live[to] {
+			gens[to] = r.sendChanFor(from, protocol.ProcessID(to)).gen
+		}
+	}
 	r.inner.Broadcast(from, size+r.cfg.HeaderBytes, func(to protocol.ProcessID) {
 		if live[to] {
-			r.onData(from, to, seqs[to], func() { deliver(to) })
+			r.onData(from, to, gens[to], seqs[to], func() { deliver(to) })
 		}
 	})
 	for to := 0; to < r.n; to++ {
@@ -206,15 +226,30 @@ func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to 
 
 // transmit sends one data frame through the inner transport.
 func (r *Reliable) transmit(sc *sendChan, f frame) {
-	from, to, seq, deliver := sc.from, sc.to, f.seq, f.deliver
+	from, to, gen, seq, deliver := sc.from, sc.to, sc.gen, f.seq, f.deliver
 	r.inner.Unicast(from, to, f.size+r.cfg.HeaderBytes, func() {
-		r.onData(from, to, seq, deliver)
+		r.onData(from, to, gen, seq, deliver)
 	})
 }
 
 // onData runs at the destination when a data frame arrives.
-func (r *Reliable) onData(from, to protocol.ProcessID, seq uint64, deliver func()) {
+func (r *Reliable) onData(from, to protocol.ProcessID, gen, seq uint64, deliver func()) {
 	rc := r.recvChanFor(from, to)
+	if gen < rc.gen {
+		// A frame from a superseded incarnation of the channel. Its
+		// sequence numbers belong to the old incarnation; admitting it
+		// would wedge (or corrupt) the fresh incarnation's resequencing
+		// state. The sender already discarded its backlog, so no ack.
+		r.Metrics.StaleFrames++
+		return
+	}
+	if gen > rc.gen {
+		// The sender reopened the channel: adopt the new incarnation. Any
+		// parked frames belong to the old one and will never complete.
+		rc.gen = gen
+		rc.expected = 0
+		rc.buf = make(map[uint64]func())
+	}
 	switch {
 	case seq < rc.expected:
 		r.Metrics.DupsSuppressed++
@@ -242,13 +277,17 @@ func (r *Reliable) onData(from, to protocol.ProcessID, seq uint64, deliver func(
 	cum := rc.expected
 	r.Metrics.AcksSent++
 	r.inner.Unicast(to, from, r.cfg.AckBytes, func() {
-		r.onAck(from, to, cum)
+		r.onAck(from, to, gen, cum)
 	})
 }
 
 // onAck runs at the sender when a cumulative ack arrives.
-func (r *Reliable) onAck(from, to protocol.ProcessID, cum uint64) {
+func (r *Reliable) onAck(from, to protocol.ProcessID, gen, cum uint64) {
 	sc := r.sendChanFor(from, to)
+	if gen != sc.gen {
+		r.Metrics.StaleFrames++
+		return
+	}
 	progress := false
 	for len(sc.unacked) > 0 && sc.unacked[0].seq < cum {
 		sc.unacked = sc.unacked[1:]
@@ -284,7 +323,8 @@ func (r *Reliable) disarm(sc *sendChan) {
 }
 
 // onTimeout retransmits the lowest unacked frame with exponential backoff,
-// or gives the channel up for dead once the budget is spent.
+// or gives the backlog up once the budget is spent (the next send reopens
+// the channel under a fresh incarnation).
 func (r *Reliable) onTimeout(sc *sendChan) {
 	if len(sc.unacked) == 0 {
 		return
@@ -309,4 +349,56 @@ func (r *Reliable) onTimeout(sc *sendChan) {
 // and reliable, so it passes straight through.
 func (r *Reliable) StableTransfer(from protocol.ProcessID, size int, done func()) {
 	r.inner.StableTransfer(from, size, done)
+}
+
+var _ netsim.PeerResetter = (*Reliable)(nil)
+
+// ResetPeer re-establishes every channel to and from p: the transport
+// analog of the recovery layer's epoch fence. A restarting process gets
+// fresh sequence spaces on all its channel pairs — in particular, sender
+// halves that gave the crashed peer up for dead (sc.dead) come back to
+// life, and receiver halves forget resequencing gaps left by frames the
+// ARQ abandoned mid-outage. Both halves live in this object and are reset
+// synchronously under one new generation; frames and acks still in flight
+// from the old incarnation carry the old generation and are discarded on
+// arrival. Whatever payload they carried is the recovery executor's
+// problem (channel-deficit or log replay), not the ARQ's.
+func (r *Reliable) ResetPeer(p protocol.ProcessID) {
+	for x := 0; x < r.n; x++ {
+		if protocol.ProcessID(x) == p {
+			continue
+		}
+		r.resetPair(protocol.ProcessID(x), p)
+		r.resetPair(p, protocol.ProcessID(x))
+	}
+}
+
+// reopen starts a fresh incarnation of a given-up channel: the receiver
+// half adopts the new generation when its first frame arrives.
+func (r *Reliable) reopen(sc *sendChan) {
+	sc.gen++
+	sc.nextSeq = 0
+	sc.rto = r.cfg.RTO
+	sc.retries = 0
+	sc.dead = false
+	r.Metrics.Reopened++
+}
+
+// resetPair re-establishes one directed channel. Unlike reopen, both
+// halves are reset synchronously (they live in this object), so the new
+// incarnation is in effect before any of its frames arrive.
+func (r *Reliable) resetPair(from, to protocol.ProcessID) {
+	sc := r.sendChanFor(from, to)
+	r.disarm(sc)
+	sc.gen++
+	sc.nextSeq = 0
+	sc.unacked = nil
+	sc.rto = r.cfg.RTO
+	sc.retries = 0
+	sc.dead = false
+	rc := r.recvChanFor(from, to)
+	rc.gen = sc.gen
+	rc.expected = 0
+	rc.buf = make(map[uint64]func())
+	r.Metrics.ChannelResets++
 }

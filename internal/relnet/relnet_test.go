@@ -154,13 +154,57 @@ func TestGivesUpOnCrashedPeer(t *testing.T) {
 	if r.Metrics.Retransmissions != 5 {
 		t.Fatalf("Retransmissions = %d, want 5 (the budget)", r.Metrics.Retransmissions)
 	}
-	// The channel is dead: later sends are discarded immediately.
+	// A later send reopens the channel under a fresh incarnation — and,
+	// the peer still being dead, the new backlog is given up in turn. The
+	// event count stays bounded either way.
 	r.Unicast(0, 1, 100, func() { delivered = true })
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
 	}
 	if delivered {
-		t.Fatal("dead channel delivered")
+		t.Fatal("delivered to a crashed process after reopening")
+	}
+	if r.Metrics.Reopened != 1 || r.Metrics.GaveUp != 2 {
+		t.Fatalf("Reopened = %d, GaveUp = %d, want 1/2", r.Metrics.Reopened, r.Metrics.GaveUp)
+	}
+}
+
+// TestReopensAfterGiveUp: a channel that gave its peer up while the peer
+// was down must come back once the peer does — the next send starts a
+// fresh incarnation the receiver adopts, and traffic flows in order again.
+func TestReopensAfterGiveUp(t *testing.T) {
+	sim := des.New()
+	lan := netsim.NewLAN(sim, 2, netsim.WirelessLAN2Mbps)
+	faulty := netsim.NewFaulty(sim, lan, 2, netsim.FaultConfig{
+		Seed:      1,
+		CrashAt:   map[int]time.Duration{1: 0},
+		RestartAt: map[int]time.Duration{1: time.Second},
+	})
+	r := relnet.New(sim, faulty, 2, relnet.Config{
+		RTO: 10 * time.Millisecond, MaxRTO: 80 * time.Millisecond, MaxRetries: 5,
+	})
+	var got []int
+	r.Unicast(0, 1, 100, func() { got = append(got, 0) }) // lost: given up mid-outage
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.GaveUp != 1 || len(got) != 0 {
+		t.Fatalf("outage: gaveUp=%d delivered=%v", r.Metrics.GaveUp, got)
+	}
+	for i := 1; i <= 3; i++ {
+		i := i
+		sim.Schedule(2*time.Second, func() {
+			r.Unicast(0, 1, 100, func() { got = append(got, i) })
+		})
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("post-revival delivery %v, want [1 2 3]", got)
+	}
+	if r.Metrics.Reopened != 1 {
+		t.Fatalf("Reopened = %d, want 1", r.Metrics.Reopened)
 	}
 }
 

@@ -109,6 +109,14 @@ type Config struct {
 	// engine does not support partial commit) the whole instance aborts.
 	PartialAbortOnFailure bool
 
+	// MessageLogging enables sender-based message logging: every
+	// computation send also increments the sender's per-destination
+	// determinant log, which survives rollbacks and lets the recovery
+	// executor replay a failed process from its own checkpoint plus its
+	// peers' logs (the log-based recovery family) without rolling anyone
+	// else back.
+	MessageLogging bool
+
 	// Trace, when non-nil, records structured events for tests/tools.
 	Trace *trace.Log
 
@@ -561,11 +569,32 @@ func (c *Cluster) releaseMessage(m *protocol.Message) {
 // firstFailed returns the lowest-numbered fail-stopped process, or -1.
 func (c *Cluster) firstFailed() protocol.ProcessID {
 	for _, p := range c.procs {
-		if p.failed {
+		if p.down() {
 			return p.id
 		}
 	}
 	return -1
+}
+
+// DownProcs returns the ids of every process currently off the live
+// phase, in id order.
+func (c *Cluster) DownProcs() []protocol.ProcessID {
+	var out []protocol.ProcessID
+	for _, p := range c.procs {
+		if p.down() {
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// ResetOwners clears every SingleInitiation slot. The recovery executor
+// calls it after a coordinated rollback: any instance that was in flight
+// belongs to the discarded execution.
+func (c *Cluster) ResetOwners() {
+	for i := range c.owners {
+		c.owners[i] = -1
+	}
 }
 
 // SkippedInitiations reports checkpoint-timer firings that did not start

@@ -59,6 +59,15 @@ type Metrics struct {
 	// TimeoutAborts counts §3.6 request timeouts that fired an abort.
 	TimeoutAborts uint64
 
+	// Crash/recovery lifecycle counters.
+	Crashes          uint64 // fail-stop events
+	Restarts         uint64 // processes brought back to live
+	ReplayedMessages uint64 // logged/in-transit messages redelivered during recovery
+	DedupedReplays   uint64 // log entries skipped because the checkpoint already covered them
+	StaleDropped     uint64 // in-flight deliveries fenced off by an epoch bump
+	PeerRollbacks    uint64 // non-failed processes rolled back by a recovery
+	RecoveryTime     time.Duration // summed down → live time across restarts
+
 	byTrigger map[protocol.Trigger]*InitiationRecord
 	order     []protocol.Trigger
 }
@@ -117,6 +126,23 @@ func (m *Metrics) Record(trig protocol.Trigger) (*InitiationRecord, bool) {
 	return rec, ok
 }
 
+// purgeRolledBack removes the initiation records of instances the given
+// process initiated after its restored checkpoint: the rolled-back
+// execution may re-initiate with the same trigger (pid, inum) after
+// recovery, and a stale record would absorb the new instance's lifecycle
+// events (and fail the line-replay audit with phantom commits).
+func (m *Metrics) purgeRolledBack(pid protocol.ProcessID, csn int) {
+	kept := m.order[:0]
+	for _, trig := range m.order {
+		if trig.Pid == pid && trig.Inum > csn {
+			delete(m.byTrigger, trig)
+			continue
+		}
+		kept = append(kept, trig)
+	}
+	m.order = kept
+}
+
 // mergeMetrics folds per-cell collectors into one cluster-wide view. An
 // instance's participants can span cells, so a trigger may have a record
 // in several cells: the initiator's cell (pid % cells) owns the
@@ -136,6 +162,13 @@ func mergeMetrics(cells []*Metrics) *Metrics {
 		merged.TotalDiscarded += cm.TotalDiscarded
 		merged.TotalPermanent += cm.TotalPermanent
 		merged.TimeoutAborts += cm.TimeoutAborts
+		merged.Crashes += cm.Crashes
+		merged.Restarts += cm.Restarts
+		merged.ReplayedMessages += cm.ReplayedMessages
+		merged.DedupedReplays += cm.DedupedReplays
+		merged.StaleDropped += cm.StaleDropped
+		merged.PeerRollbacks += cm.PeerRollbacks
+		merged.RecoveryTime += cm.RecoveryTime
 	}
 	for _, cm := range cells {
 		for _, trig := range cm.order {

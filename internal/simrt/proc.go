@@ -17,6 +17,38 @@ type queuedSend struct {
 	payload []byte
 }
 
+// Phase is a process's position in the crash/recovery lifecycle. A healthy
+// process is PhaseLive; a fail-stop moves it to PhaseDown; the recovery
+// executor walks it down → restoring (state reloaded from the stable
+// store) → replaying (channel state redelivered) → live. The intermediate
+// phases are traversed synchronously inside one recovery event, so other
+// simulation events only ever observe live or down.
+type Phase int
+
+// Lifecycle phases.
+const (
+	PhaseLive Phase = iota
+	PhaseDown
+	PhaseRestoring
+	PhaseReplaying
+)
+
+// String names the phase.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseLive:
+		return "live"
+	case PhaseDown:
+		return "down"
+	case PhaseRestoring:
+		return "restoring"
+	case PhaseReplaying:
+		return "replaying"
+	default:
+		return "phase?"
+	}
+}
+
 // Proc is one simulated process: it owns the engine, the checkpoint
 // stores, the per-peer counters, and implements protocol.Env.
 type Proc struct {
@@ -31,13 +63,30 @@ type Proc struct {
 	recvFrom []uint64
 	seq      uint64
 
+	// logged mirrors sentTo for computation messages when the cluster
+	// runs with MessageLogging: the sender-based message log, counting
+	// determinants per destination. It survives rollbacks (the log is the
+	// recovery source, not part of the rolled-back state) and, because
+	// the replayed messages are content-free counter deltas, the counts
+	// are the entire log.
+	logged []uint64
+
+	// epoch fences in-flight deliveries across a rollback: every send
+	// captures the sender's and receiver's epochs, and a delivery whose
+	// captured epochs no longer match is dropped as stale (it belongs to
+	// the discarded pre-rollback execution). Recovery bumps the epoch of
+	// every process it restores.
+	epoch uint64
+
 	ticker    *des.Ticker
 	busyUntil time.Duration
+
+	phase     Phase
+	downSince time.Duration // crash instant while down; -1 otherwise
 
 	blocked      bool
 	blockedSince time.Duration
 	disconnected bool
-	failed       bool
 	dozing       bool
 	wakeups      uint64
 	queue        []queuedSend
@@ -52,12 +101,17 @@ func newProc(c *Cluster, id protocol.ProcessID) (*Proc, error) {
 		return nil, fmt.Errorf("simrt: P%d store: %w", id, err)
 	}
 	return &Proc{
-		c:       c,
-		id:      id,
-		stable:  st,
-		mutable: checkpoint.NewMutableStore(id),
+		c:         c,
+		id:        id,
+		stable:    st,
+		mutable:   checkpoint.NewMutableStore(id),
+		downSince: -1,
 	}, nil
 }
+
+// down reports whether the process is anywhere off the live phase; a
+// non-live process neither sends nor receives.
+func (p *Proc) down() bool { return p.phase != PhaseLive }
 
 // growCounter extends a truncated per-peer counter vector so index i is
 // addressable. Entries past the stored length are semantically 0
@@ -149,13 +203,16 @@ func (p *Proc) armRequestTimeout() {
 		return
 	}
 	trig := a.OwnTrigger()
+	ep := p.epoch
 	p.sim().Schedule(p.c.cfg.RequestTimeout, func() {
-		p.requestTimeout(a, trig)
+		p.requestTimeout(a, trig, ep)
 	})
 }
 
-func (p *Proc) requestTimeout(a aborter, trig protocol.Trigger) {
-	if p.failed || !a.Initiating() || a.OwnTrigger() != trig {
+func (p *Proc) requestTimeout(a aborter, trig protocol.Trigger, ep uint64) {
+	if p.down() || p.epoch != ep || !a.Initiating() || a.OwnTrigger() != trig {
+		// Crashed, rolled back (the aborter references a discarded
+		// engine), or the instance already terminated.
 		return
 	}
 	p.metrics().TimeoutAborts++
@@ -178,7 +235,7 @@ func (p *Proc) requestTimeout(a aborter, trig protocol.Trigger) {
 // --- application side ---
 
 func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
-	if p.failed {
+	if p.down() {
 		return
 	}
 	if p.blocked || p.disconnected || p.dozing {
@@ -193,6 +250,14 @@ func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
 	m.Size = p.c.cfg.CompMsgBytes
 	p.sentTo = growCounter(p.sentTo, to)
 	p.sentTo[to]++
+	if p.c.cfg.MessageLogging {
+		// Sender-based message logging: the determinant (destination,
+		// order) is recorded before the message touches the network, so
+		// everything the receiver could possibly have consumed is in the
+		// log when it fails.
+		p.logged = growCounter(p.logged, to)
+		p.logged[to]++
+	}
 	p.metrics().CompMsgs++
 	p.metrics().CompBytes += uint64(m.Size)
 	if p.Tracing() {
@@ -202,7 +267,14 @@ func (p *Proc) sendApp(to protocol.ProcessID, payload []byte) {
 		p.Trace(trace.KindSend, to, "csn=%d trigger=%v", m.CSN, m.Trigger)
 	}
 	dst := p.c.procs[to]
-	p.c.transport.Unicast(p.id, to, m.Size, func() { dst.receive(m) })
+	epS, epD := p.epoch, dst.epoch
+	p.c.transport.Unicast(p.id, to, m.Size, func() {
+		if p.epoch != epS || dst.epoch != epD {
+			dst.metrics().StaleDropped++
+			return
+		}
+		dst.receive(m)
+	})
 }
 
 func (p *Proc) flushQueue() {
@@ -217,7 +289,7 @@ func (p *Proc) flushQueue() {
 // mutable-checkpoint memory copy makes the host briefly unresponsive),
 // doze-mode wakeup latency, and fail-stop semantics.
 func (p *Proc) receive(m *protocol.Message) {
-	if p.failed {
+	if p.down() {
 		return // fail-stop: messages to a crashed host are lost
 	}
 	now := p.sim().Now()
@@ -228,14 +300,21 @@ func (p *Proc) receive(m *protocol.Message) {
 		p.Trace(trace.KindNote, m.From, "wakeup for %v", m.Kind)
 	}
 	if now < p.busyUntil {
-		p.sim().ScheduleAt(p.busyUntil, func() { p.deliverNow(m) })
+		ep := p.epoch
+		p.sim().ScheduleAt(p.busyUntil, func() {
+			if p.epoch != ep {
+				p.metrics().StaleDropped++
+				return
+			}
+			p.deliverNow(m)
+		})
 		return
 	}
 	p.deliverNow(m)
 }
 
 func (p *Proc) deliverNow(m *protocol.Message) {
-	if p.failed {
+	if p.down() {
 		return
 	}
 	if p.disconnected && m.Kind == protocol.KindComputation {
@@ -267,7 +346,14 @@ func (p *Proc) Send(m *protocol.Message) {
 	m.Size = p.c.cfg.SysMsgBytes
 	p.countSys(m, 1)
 	dst := p.c.procs[m.To]
-	p.c.transport.Unicast(p.id, m.To, m.Size, func() { dst.receive(m) })
+	epS, epD := p.epoch, dst.epoch
+	p.c.transport.Unicast(p.id, m.To, m.Size, func() {
+		if p.epoch != epS || dst.epoch != epD {
+			dst.metrics().StaleDropped++
+			return
+		}
+		dst.receive(m)
+	})
 }
 
 // Broadcast implements protocol.Env: one radio transmission reaching every
@@ -277,13 +363,25 @@ func (p *Proc) Broadcast(m *protocol.Message) {
 	m.To = -1
 	m.Size = p.c.cfg.SysMsgBytes
 	p.countSys(m, 1)
+	epS := p.epoch
 	p.c.transport.Broadcast(p.id, m.Size, func(to protocol.ProcessID) {
+		dst := p.c.procs[to]
+		if p.epoch != epS {
+			// The sender rolled back; its broadcast belongs to the
+			// discarded execution. (Per-destination receiver epochs are
+			// not captured here — the broadcast fan-out closure is shared
+			// — but receive() drops on a down process and recovery runs
+			// atomically, so a receiver epoch can only change together
+			// with the sender's in rollback mode.)
+			dst.metrics().StaleDropped++
+			return
+		}
 		// Each destination gets its own shallow copy so deliveries can be
 		// recycled independently (the MR snapshot words are immutable and
 		// safely shared).
 		cp := p.c.newMessage()
 		*cp = *m
-		p.c.procs[to].receive(cp)
+		dst.receive(cp)
 	})
 }
 
@@ -518,10 +616,12 @@ func (p *Proc) Reconnect() {
 // to it are dropped, and it generates no further traffic. Stable
 // checkpoints survive at the MSS.
 func (p *Proc) Fail() {
-	if p.failed {
+	if p.down() {
 		return
 	}
-	p.failed = true
+	p.phase = PhaseDown
+	p.downSince = p.sim().Now()
+	p.metrics().Crashes++
 	p.mutable.Clear()
 	p.queue = nil
 	p.inbox = nil
@@ -537,14 +637,22 @@ func (p *Proc) Fail() {
 	p.Trace(trace.KindNote, -1, "fail-stop")
 }
 
-// Failed reports whether the host has crashed.
-func (p *Proc) Failed() bool { return p.failed }
+// Failed reports whether the host is off the live phase (down or mid
+// recovery).
+func (p *Proc) Failed() bool { return p.down() }
+
+// Phase reports the process's lifecycle phase.
+func (p *Proc) Phase() Phase { return p.phase }
+
+// Epoch reports the process's rollback epoch (bumped by every recovery
+// restore; in-flight deliveries carrying an older epoch are dropped).
+func (p *Proc) Epoch() uint64 { return p.epoch }
 
 // Doze puts the host into the paper's doze mode: it powers down and is
 // awakened only by an arriving message, each wakeup costing the
 // configured latency. Application sends are deferred until Wake.
 func (p *Proc) Doze() {
-	if p.dozing || p.failed {
+	if p.dozing || p.down() {
 		return
 	}
 	p.dozing = true
