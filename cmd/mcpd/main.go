@@ -1,0 +1,41 @@
+// Command mcpd runs one process of a multi-process checkpointing
+// cluster: a daemon hosting one protocol engine over TCP channels to
+// its peers and an on-disk stable store, driven by the control RPC that
+// mcpctl speaks.
+//
+// Usage:
+//
+//	mcpd -config cluster.json -id 0
+//
+// Start one mcpd per node row in the config, in any order; each daemon
+// keeps dialing its peers until the full mesh is up. SIGTERM (or
+// `mcpctl shutdown`) drains in-flight work and fsyncs the store shut.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mutablecp/internal/daemon"
+)
+
+func main() {
+	if daemon.MaybeChild() {
+		return
+	}
+	fs := flag.NewFlagSet("mcpd", flag.ContinueOnError)
+	config := fs.String("config", "", "cluster config file (JSON)")
+	id := fs.Int("id", -1, "this node's id in the config")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *config == "" || *id < 0 {
+		fmt.Fprintln(os.Stderr, "mcpd: -config and -id are required")
+		os.Exit(2)
+	}
+	if err := daemon.Run(*config, *id); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+package benchreg
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"mutablecp/internal/daemon"
+)
+
+// daemonCommit measures checkpoint commit throughput through the real
+// cluster daemon: n agents over loopback TCP with the ARQ channel layer,
+// per-agent durable stores at the production sync policy, and the control
+// RPC driving one initiation per op. Besides commits/sec it reports the
+// p99 initiation latency (initiate → committed, as the control client
+// sees it) in milliseconds — the lower-is-better tail the paper's
+// blocking-window analysis cares about.
+func daemonCommit(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mcpbench-daemon-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg := &daemon.Config{
+			Algorithm:        "mutable",
+			StoreRoot:        filepath.Join(dir, "stores"),
+			RequestTimeoutMS: 10_000,
+		}
+		addrs, err := reserveAddrs(2 * n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			cfg.Nodes = append(cfg.Nodes, daemon.NodeConfig{
+				ID: i, Addr: addrs[i], CtlAddr: addrs[n+i],
+			})
+		}
+		daemons := make([]*daemon.Daemon, n)
+		defer func() {
+			for _, d := range daemons {
+				if d != nil {
+					d.Stop()
+				}
+			}
+		}()
+		for i := 0; i < n; i++ {
+			if daemons[i], err = daemon.New(cfg, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := daemon.WaitClusterReady(cfg, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		nc, _ := cfg.Node(0)
+		cl, err := daemon.Dial(nc.CtlAddr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close() //nolint:errcheck
+
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			committed, err := cl.Checkpoint(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !committed {
+				b.Fatal("instance aborted on an idle healthy cluster")
+			}
+			lat = append(lat, time.Since(start))
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "commits/sec")
+		}
+		b.ReportMetric(percentile(lat, 0.99).Seconds()*1e3, "p99-init-ms")
+	}
+}
+
+// percentile returns the pth (0..1) order statistic by nearest rank.
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// reserveAddrs picks distinct free loopback ports by binding and
+// releasing them, the same trick the daemon tests use.
+func reserveAddrs(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close() //nolint:errcheck
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: reserve port: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

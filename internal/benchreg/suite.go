@@ -184,8 +184,9 @@ func recoveryBench(algo string) func(b *testing.B) {
 }
 
 // Suite returns the headline benchmarks tracked across baselines: the DES
-// kernel hot paths, the durable stable-store disk path, and representative
-// full-stack simulation workloads.
+// kernel hot paths, the durable stable-store disk path, representative
+// full-stack simulation workloads, and the live cluster daemon's commit
+// path over real TCP.
 func Suite() []Benchmark {
 	return []Benchmark{
 		{Name: "des/schedule-run", Run: func(b *testing.B) {
@@ -350,6 +351,8 @@ func Suite() []Benchmark {
 		})},
 		{Name: "recovery/rollback-256", Run: recoveryBench(harness.AlgoMutable)},
 		{Name: "recovery/replay-256", Run: recoveryBench(harness.AlgoLogBased)},
+		{Name: "daemon/commit-3proc", Run: daemonCommit(3)},
+		{Name: "daemon/commit-8proc", Run: daemonCommit(8)},
 	}
 }
 

@@ -1,0 +1,171 @@
+// Package daemon runs one checkpointing process per OS process: the
+// third driver of the same protocol engines, after the discrete-event
+// runtime (internal/simrt) and the in-process live cluster
+// (internal/livenet). An mcpd daemon loads a shared cluster config,
+// binds the livenet TCP transport with the relnet ARQ sublayer on top
+// for reliable FIFO delivery across real sockets, opens its own
+// on-disk stable store, and exposes a length-prefixed control RPC for
+// initiation, recovery-line queries, metrics, and graceful shutdown.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mutablecp/internal/harness"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+)
+
+// Config describes a whole cluster; every daemon loads the same file and
+// picks its own row out of Nodes by ID.
+type Config struct {
+	// Algorithm names the checkpointing engine (harness registry:
+	// "mutable", "koo-toueg", ...). Empty means "mutable".
+	Algorithm string `json:"algorithm"`
+	// StoreRoot is the directory holding the per-process stable stores
+	// (StoreRoot/p000, p001, ... unless a node overrides StoreDir).
+	StoreRoot string `json:"store_root"`
+	// RequestTimeoutMS arms the §3.6 give-up timer on every initiation:
+	// an instance still in progress after this many milliseconds is
+	// aborted at the initiator, so a crashed participant cannot wedge
+	// the survivors. Zero means 5000.
+	RequestTimeoutMS int `json:"request_timeout_ms,omitempty"`
+	// NoSync disables fsync on commit (tests and benchmarks only).
+	NoSync bool `json:"no_sync,omitempty"`
+	// Nodes lists every process. IDs must be exactly 0..len(Nodes)-1
+	// (the engines index peers densely), in any order.
+	Nodes []NodeConfig `json:"nodes"`
+}
+
+// NodeConfig is one process's row.
+type NodeConfig struct {
+	ID int `json:"id"`
+	// Addr is the peer-traffic listen address (host:port).
+	Addr string `json:"addr"`
+	// CtlAddr is the control-RPC listen address.
+	CtlAddr string `json:"ctl_addr"`
+	// StoreDir overrides the default StoreRoot/pNNN store directory.
+	StoreDir string `json:"store_dir,omitempty"`
+}
+
+// N returns the cluster size.
+func (c *Config) N() int { return len(c.Nodes) }
+
+// Node returns the row for id.
+func (c *Config) Node(id int) (NodeConfig, bool) {
+	for _, nc := range c.Nodes {
+		if nc.ID == id {
+			return nc, true
+		}
+	}
+	return NodeConfig{}, false
+}
+
+// StoreDir returns the stable-store directory for id.
+func (c *Config) StoreDir(id int) string {
+	if nc, ok := c.Node(id); ok && nc.StoreDir != "" {
+		return nc.StoreDir
+	}
+	return stable.ProcDir(c.StoreRoot, protocol.ProcessID(id))
+}
+
+// RequestTimeout returns the configured §3.6 timeout.
+func (c *Config) RequestTimeout() time.Duration {
+	if c.RequestTimeoutMS <= 0 {
+		return 5 * time.Second
+	}
+	return time.Duration(c.RequestTimeoutMS) * time.Millisecond
+}
+
+// StoreOptions returns the stable.Options the daemons open stores with.
+func (c *Config) StoreOptions() stable.Options {
+	opts := stable.Options{Sync: stable.SyncOnCommit}
+	if c.NoSync {
+		opts.Sync = stable.SyncNever
+	}
+	return opts
+}
+
+// Validate rejects configs a cluster cannot run on. It is deliberately
+// strict: a bad cluster file should fail every daemon at startup, not
+// wedge the protocol at the first checkpoint.
+func (c *Config) Validate() error {
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("daemon: config needs at least 2 nodes, got %d", len(c.Nodes))
+	}
+	if c.StoreRoot == "" {
+		hasDirs := true
+		for _, nc := range c.Nodes {
+			if nc.StoreDir == "" {
+				hasDirs = false
+			}
+		}
+		if !hasDirs {
+			return fmt.Errorf("daemon: config needs store_root (or a store_dir on every node)")
+		}
+	}
+	algo := c.Algorithm
+	if algo == "" {
+		algo = harness.AlgoMutable
+	}
+	if _, err := harness.NewEngine(algo); err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	seen := make(map[int]bool, len(c.Nodes))
+	addrs := make(map[string]string, 2*len(c.Nodes))
+	dirs := make(map[string]int, len(c.Nodes))
+	for _, nc := range c.Nodes {
+		if nc.ID < 0 || nc.ID >= len(c.Nodes) {
+			return fmt.Errorf("daemon: node id %d outside 0..%d (ids must be dense)", nc.ID, len(c.Nodes)-1)
+		}
+		if seen[nc.ID] {
+			return fmt.Errorf("daemon: duplicate node id %d", nc.ID)
+		}
+		seen[nc.ID] = true
+		for _, p := range []struct{ what, addr string }{{"addr", nc.Addr}, {"ctl_addr", nc.CtlAddr}} {
+			what, addr := p.what, p.addr
+			if addr == "" {
+				return fmt.Errorf("daemon: node %d has no %s — the cluster cannot reach it", nc.ID, what)
+			}
+			if prev, dup := addrs[addr]; dup {
+				return fmt.Errorf("daemon: address %s used by both %s and node %d %s", addr, prev, nc.ID, what)
+			}
+			addrs[addr] = fmt.Sprintf("node %d %s", nc.ID, what)
+		}
+		dir := filepath.Clean(c.StoreDir(nc.ID))
+		if prev, dup := dirs[dir]; dup {
+			return fmt.Errorf("daemon: nodes %d and %d share store directory %s", prev, nc.ID, dir)
+		}
+		dirs[dir] = nc.ID
+	}
+	return nil
+}
+
+// LoadConfig reads and validates a cluster config file (JSON).
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: read config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("daemon: parse config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// WriteConfig writes cfg to path (tests and mcpctl init).
+func WriteConfig(path string, cfg *Config) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

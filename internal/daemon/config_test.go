@@ -1,0 +1,141 @@
+package daemon
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validConfig() *Config {
+	return &Config{
+		Algorithm: "mutable",
+		StoreRoot: "/tmp/mcpd-test-store",
+		Nodes: []NodeConfig{
+			{ID: 0, Addr: "127.0.0.1:9101", CtlAddr: "127.0.0.1:9201"},
+			{ID: 1, Addr: "127.0.0.1:9102", CtlAddr: "127.0.0.1:9202"},
+			{ID: 2, Addr: "127.0.0.1:9103", CtlAddr: "127.0.0.1:9203"},
+		},
+	}
+}
+
+// TestConfigValidation drives every rejection path: a bad cluster file
+// must fail loudly at startup on every daemon, not wedge the protocol at
+// the first checkpoint.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; empty = config must pass
+	}{
+		{name: "valid", mutate: func(c *Config) {}},
+		{
+			name: "valid with per-node store dirs and no root",
+			mutate: func(c *Config) {
+				c.StoreRoot = ""
+				for i := range c.Nodes {
+					c.Nodes[i].StoreDir = filepath.Join("/tmp/s", c.Nodes[i].Addr)
+				}
+			},
+		},
+		{
+			name:    "single node is not a cluster",
+			mutate:  func(c *Config) { c.Nodes = c.Nodes[:1] },
+			wantErr: "at least 2 nodes",
+		},
+		{
+			name:    "no nodes",
+			mutate:  func(c *Config) { c.Nodes = nil },
+			wantErr: "at least 2 nodes",
+		},
+		{
+			name:    "duplicate node id",
+			mutate:  func(c *Config) { c.Nodes[2].ID = 1 },
+			wantErr: "duplicate node id 1",
+		},
+		{
+			name:    "sparse ids",
+			mutate:  func(c *Config) { c.Nodes[2].ID = 7 },
+			wantErr: "outside 0..2",
+		},
+		{
+			name:    "negative id",
+			mutate:  func(c *Config) { c.Nodes[0].ID = -1 },
+			wantErr: "outside 0..2",
+		},
+		{
+			name:    "unreachable node: empty data address",
+			mutate:  func(c *Config) { c.Nodes[1].Addr = "" },
+			wantErr: "node 1 has no addr",
+		},
+		{
+			name:    "unreachable node: empty control address",
+			mutate:  func(c *Config) { c.Nodes[2].CtlAddr = "" },
+			wantErr: "node 2 has no ctl_addr",
+		},
+		{
+			name:    "two nodes share a data address",
+			mutate:  func(c *Config) { c.Nodes[1].Addr = c.Nodes[0].Addr },
+			wantErr: "used by both",
+		},
+		{
+			name:    "data address collides with a control address",
+			mutate:  func(c *Config) { c.Nodes[1].Addr = c.Nodes[0].CtlAddr },
+			wantErr: "used by both",
+		},
+		{
+			name:    "store dir collision via override",
+			mutate:  func(c *Config) { c.Nodes[1].StoreDir = c.StoreRoot + "/p000" },
+			wantErr: "share store directory",
+		},
+		{
+			name:    "no store root and incomplete overrides",
+			mutate:  func(c *Config) { c.StoreRoot = ""; c.Nodes[0].StoreDir = "/tmp/only-one" },
+			wantErr: "store_root",
+		},
+		{
+			name:    "unknown algorithm",
+			mutate:  func(c *Config) { c.Algorithm = "two-phase-wishing" },
+			wantErr: "two-phase-wishing",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("bad config accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestConfigRoundTrip pins the file format Load expects.
+func TestConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	in := validConfig()
+	in.RequestTimeoutMS = 750
+	if err := WriteConfig(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 3 || out.RequestTimeout().Milliseconds() != 750 {
+		t.Fatalf("round trip mangled config: %+v", out)
+	}
+	if got := out.StoreDir(1); got != filepath.Join(in.StoreRoot, "p001") {
+		t.Fatalf("default store dir: %s", got)
+	}
+}

@@ -1,0 +1,183 @@
+package daemon
+
+import (
+	"net"
+	"time"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/wire"
+)
+
+// Control RPC: length-prefixed gob frames (the wire package's generic
+// value framing) over a dedicated TCP listener. One request, one
+// response, repeatable on the same connection — mcpctl and the e2e
+// harness drive the daemon entirely through this plane.
+
+// Control operations.
+const (
+	OpStatus     = "status"
+	OpCheckpoint = "checkpoint"
+	OpSend       = "send"
+	OpLine       = "line"
+	OpMetrics    = "metrics"
+	OpRollback   = "rollback"
+	OpShutdown   = "shutdown"
+)
+
+// Request is one control call.
+type Request struct {
+	Op      string
+	To      int    // send: destination process
+	Payload []byte // send: application payload
+	WaitMS  int    // checkpoint: wait bound (0 = 2x request timeout)
+}
+
+// Response is the answer to any Request; Err is empty on success and
+// only the fields relevant to the Op are populated.
+type Response struct {
+	Err string
+
+	// status
+	ID          int
+	N           int
+	Algorithm   string
+	Ready       bool
+	InProgress  bool
+	Incarnation int64
+	Commits     uint64
+	Aborts      uint64
+
+	// checkpoint
+	Committed bool
+
+	// line
+	State protocol.State
+
+	// metrics
+	Metrics Metrics
+}
+
+// Metrics aggregates one daemon's counters for the control plane.
+type Metrics struct {
+	Commits  uint64
+	Aborts   uint64
+	Sessions map[int]SessionMetrics
+	Backlog  map[int]int // unacked frames per peer channel
+	Store    stable.Metrics
+}
+
+func (d *Daemon) acceptControl() {
+	for {
+		conn, err := d.ctlLn.Accept()
+		if err != nil {
+			return
+		}
+		d.connsMu.Lock()
+		d.conns = append(d.conns, conn)
+		d.connsMu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveControl(conn)
+		}()
+	}
+}
+
+func (d *Daemon) serveControl(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck
+	for {
+		var req Request
+		if err := wire.ReadValue(conn, &req); err != nil {
+			return
+		}
+		resp := d.handleControl(req)
+		if err := wire.WriteValue(conn, &resp); err != nil {
+			return
+		}
+		if req.Op == OpShutdown && resp.Err == "" {
+			// The response is on the wire; now let main tear us down.
+			d.requestStop()
+			return
+		}
+	}
+}
+
+func (d *Daemon) handleControl(req Request) Response {
+	var resp Response
+	fail := func(err error) Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpStatus:
+		resp.ID, resp.N = d.id, d.n
+		resp.Algorithm = d.engineName()
+		resp.Ready = d.Ready()
+		resp.Incarnation = d.inc
+		err := d.onLoop(func() {
+			resp.InProgress = d.engine.InProgress()
+			resp.Commits, resp.Aborts = d.commits, d.aborts
+		})
+		if err != nil {
+			return fail(err)
+		}
+	case OpCheckpoint:
+		wait := time.Duration(req.WaitMS) * time.Millisecond
+		if wait <= 0 {
+			wait = 2 * d.cfg.RequestTimeout()
+		}
+		committed, err := d.Checkpoint(wait)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Committed = committed
+	case OpSend:
+		if err := d.SendApp(protocol.ProcessID(req.To), req.Payload); err != nil {
+			return fail(err)
+		}
+	case OpLine:
+		st, err := d.PermanentState()
+		if err != nil {
+			return fail(err)
+		}
+		resp.State = st
+	case OpMetrics:
+		m := Metrics{
+			Sessions: make(map[int]SessionMetrics, d.n-1),
+			Backlog:  make(map[int]int, d.n-1),
+		}
+		for _, s := range d.sessions {
+			if s == nil {
+				continue
+			}
+			m.Sessions[s.peer] = s.snapshotMetrics()
+			m.Backlog[s.peer] = s.backlog()
+		}
+		err := d.onLoop(func() {
+			m.Commits, m.Aborts = d.commits, d.aborts
+			m.Store = d.store.Metrics()
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Metrics = m
+	case OpRollback:
+		if err := d.Rollback(); err != nil {
+			return fail(err)
+		}
+	case OpShutdown:
+		// Acknowledged in serveControl after the response is written.
+	default:
+		resp.Err = "daemon: unknown op " + req.Op
+	}
+	return resp
+}
+
+func (d *Daemon) engineName() string {
+	var name string
+	if err := d.onLoop(func() { name = d.engine.Name() }); err != nil {
+		return ""
+	}
+	return name
+}

@@ -1,0 +1,690 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/harness"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/trace"
+	"mutablecp/internal/wire"
+)
+
+// mailbox is an unbounded FIFO queue feeding the daemon's event loop —
+// the same single-threaded engine discipline simrt and livenet use, so
+// protocol.Engine runs unmodified: every engine call happens on the loop
+// goroutine, in message-arrival order.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(fn func()) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.queue = append(mb.queue, fn)
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) get() (func(), bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return nil, false
+	}
+	fn := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return fn, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// ErrStopped is returned by operations issued against a stopping daemon.
+var ErrStopped = errors.New("daemon: stopped")
+
+// Daemon is one process of a multi-process cluster: an OS process
+// running one protocol engine over an on-disk stable store and TCP
+// channels to every peer.
+type Daemon struct {
+	cfg   *Config
+	id    int
+	n     int
+	inc   int64
+	start time.Time
+
+	newEngine func(env protocol.Env) protocol.Engine
+	engine    protocol.Engine
+	store     *stable.Store
+	mutable   *checkpoint.MutableStore
+	mb        *mailbox
+
+	sessions []*peerSession // nil at d.id
+
+	dataLn net.Listener
+	ctlLn  net.Listener
+
+	// Computation bookkeeping; loop-goroutine only.
+	sentTo   []uint64
+	recvFrom []uint64
+	blocked  bool
+	appQ     []queuedApp
+
+	// Instance tracking; loop-goroutine only.
+	doneCh     chan bool
+	lastDone   *bool
+	abortTimer *time.Timer
+	commits    uint64
+	aborts     uint64
+
+	logger *log.Logger
+
+	connsMu sync.Mutex
+	conns   []net.Conn
+
+	wg        sync.WaitGroup
+	loopWG    sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	stopReq   chan struct{}
+	stopOnce  sync.Once
+}
+
+type queuedApp struct {
+	to      protocol.ProcessID
+	payload []byte
+}
+
+var _ protocol.Env = (*Daemon)(nil)
+
+// New builds and starts one daemon for cfg.Nodes[id]: it recovers its
+// stable store, restores the engine from the newest permanent
+// checkpoint, binds its peer and control listeners, and begins dialing
+// peers. Call WaitReady for the readiness barrier and Stop to shut down.
+func New(cfg *Config, id int) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nc, ok := cfg.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("daemon: node %d not in config", id)
+	}
+	algo := cfg.Algorithm
+	if algo == "" {
+		algo = harness.AlgoMutable
+	}
+	newEngine, err := harness.NewEngine(algo)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		id:        id,
+		n:         cfg.N(),
+		inc:       bootIncarnation(),
+		start:     time.Now(),
+		newEngine: newEngine,
+		mutable:   checkpoint.NewMutableStore(protocol.ProcessID(id)),
+		mb:        newMailbox(),
+		logger:    log.New(os.Stderr, fmt.Sprintf("mcpd[P%d] ", id), log.LstdFlags|log.Lmicroseconds),
+		closed:    make(chan struct{}),
+		stopReq:   make(chan struct{}),
+	}
+
+	dir := cfg.StoreDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: store dir: %w", err)
+	}
+	d.store, err = stable.Open(dir, protocol.ProcessID(id), d.n, cfg.StoreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("daemon: open store: %w", err)
+	}
+	if err := d.restoreFromStore(); err != nil {
+		d.store.Close() //nolint:errcheck
+		return nil, err
+	}
+
+	d.dataLn, err = net.Listen("tcp", nc.Addr)
+	if err != nil {
+		d.store.Close() //nolint:errcheck
+		return nil, fmt.Errorf("daemon: listen %s: %w", nc.Addr, err)
+	}
+	d.ctlLn, err = net.Listen("tcp", nc.CtlAddr)
+	if err != nil {
+		d.dataLn.Close() //nolint:errcheck
+		d.store.Close()  //nolint:errcheck
+		return nil, fmt.Errorf("daemon: listen %s: %w", nc.CtlAddr, err)
+	}
+
+	d.sessions = make([]*peerSession, d.n)
+	for _, peer := range cfg.Nodes {
+		if peer.ID == id {
+			continue
+		}
+		d.sessions[peer.ID] = newPeerSession(d, peer.ID, peer.Addr)
+	}
+
+	d.loopWG.Add(1)
+	go func() {
+		defer d.loopWG.Done()
+		d.loop()
+	}()
+	d.wg.Add(3)
+	go func() { defer d.wg.Done(); d.acceptData() }()
+	go func() { defer d.wg.Done(); d.acceptControl() }()
+	go func() { defer d.wg.Done(); d.dialPeers() }()
+	return d, nil
+}
+
+// dialPeers drives the bootstrap handshakes in the background so the
+// cluster converges no matter the start order: peers whose listeners are
+// not up yet are re-dialed until they are. Once every handshake has
+// completed the loop exits — later breaks are repaired lazily by sends
+// and retransmissions, and a restarted peer announces itself by dialing
+// us.
+func (d *Daemon) dialPeers() {
+	for {
+		ready := true
+		for _, s := range d.sessions {
+			if s == nil || s.ready() {
+				continue
+			}
+			ready = false
+			s.connectOnce() //nolint:errcheck // retried on the next pass
+		}
+		if ready {
+			return
+		}
+		select {
+		case <-d.closed:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// restoreFromStore aligns in-memory state with the on-disk store: stale
+// tentatives from a crashed instance are dropped (they never committed;
+// the initiator's §3.6 timeout aborted the instance for the survivors),
+// counters resume from the newest permanent checkpoint, and the engine
+// restarts its numbering there.
+func (d *Daemon) restoreFromStore() error {
+	for _, trig := range d.store.TentativeTriggers() {
+		d.logger.Printf("dropping stale tentative checkpoint %+v from before restart", trig)
+		if err := d.store.DropTentative(trig); err != nil {
+			return fmt.Errorf("daemon: drop stale tentative: %w", err)
+		}
+	}
+	perm := d.store.Permanent()
+	d.sentTo = append([]uint64(nil), protocol.PadCounters(perm.State.SentTo, d.n)...)
+	d.recvFrom = append([]uint64(nil), protocol.PadCounters(perm.State.RecvFrom, d.n)...)
+	d.blocked = false
+	d.appQ = nil
+	d.engine = d.newEngine(d)
+	if perm.State.CSN > 0 {
+		if r, ok := d.engine.(protocol.CheckpointRestorer); ok {
+			r.RestoreFromCheckpoint(perm.State.CSN)
+		}
+	}
+	return nil
+}
+
+// ID returns this daemon's process ID.
+func (d *Daemon) ID() protocol.ProcessID { return protocol.ProcessID(d.id) }
+
+// Incarnation returns the boot incarnation (diagnostics).
+func (d *Daemon) Incarnation() int64 { return d.inc }
+
+// Addr returns the bound peer-traffic address (resolved port).
+func (d *Daemon) Addr() string { return d.dataLn.Addr().String() }
+
+// CtlAddr returns the bound control address.
+func (d *Daemon) CtlAddr() string { return d.ctlLn.Addr().String() }
+
+func (d *Daemon) logf(format string, args ...any) { d.logger.Printf(format, args...) }
+
+func (d *Daemon) loop() {
+	for {
+		fn, ok := d.mb.get()
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+// onLoop runs fn on the event loop and waits for it (control plane).
+func (d *Daemon) onLoop(fn func()) error {
+	done := make(chan struct{})
+	d.mb.put(func() { fn(); close(done) })
+	select {
+	case <-done:
+		return nil
+	case <-d.closed:
+		// Drain race: the closure may still run if it was queued before
+		// close; give it a moment so callers see its effects.
+		select {
+		case <-done:
+			return nil
+		case <-time.After(100 * time.Millisecond):
+			return ErrStopped
+		}
+	}
+}
+
+// --- data plane ---
+
+func (d *Daemon) acceptData() {
+	for {
+		conn, err := d.dataLn.Accept()
+		if err != nil {
+			return
+		}
+		d.connsMu.Lock()
+		d.conns = append(d.conns, conn)
+		d.connsMu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveData(conn)
+		}()
+	}
+}
+
+// serveData handles one inbound peer connection: hello/welcome
+// handshake, then a stream of data and ack envelopes.
+func (d *Daemon) serveData(conn net.Conn) {
+	defer conn.Close()                                     //nolint:errcheck
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	var hello envelope
+	if err := wire.ReadValue(conn, &hello); err != nil {
+		return
+	}
+	if hello.Kind != envHello || hello.Src < 0 || hello.Src >= d.n || hello.Src == d.id {
+		d.logf("rejecting connection from %s: bad hello %+v", conn.RemoteAddr(), hello)
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	welcome := envelope{Kind: envHello, Src: d.id, Inc: d.inc}
+	if err := wire.WriteValue(conn, &welcome); err != nil {
+		return
+	}
+	s := d.sessions[hello.Src]
+	s.noteRemoteInc(hello.Inc)
+
+	deliver := func(body []byte) {
+		m, err := wire.NewDecoder(bytes.NewReader(body)).Decode()
+		if err != nil {
+			d.logf("P%d sent an undecodable frame: %v", hello.Src, err)
+			return
+		}
+		d.mb.put(func() { d.engine.HandleMessage(m) })
+	}
+	for {
+		var e envelope
+		if err := wire.ReadValue(conn, &e); err != nil {
+			return // connection broke; the peer re-dials
+		}
+		switch e.Kind {
+		case envData:
+			s.accept(e, deliver)
+		case envAck:
+			s.onAck(e.Gen, e.Cum)
+		}
+	}
+}
+
+// WaitReady blocks until the handshake with every peer has completed —
+// the readiness barrier that makes cluster start order irrelevant (each
+// daemon keeps dialing peers whose listeners are not up yet).
+func (d *Daemon) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, s := range d.sessions {
+			if s == nil || s.ready() {
+				continue
+			}
+			ready = false
+			s.connectOnce() //nolint:errcheck // retried until the deadline
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var waiting []int
+			for _, s := range d.sessions {
+				if s != nil && !s.ready() {
+					waiting = append(waiting, s.peer)
+				}
+			}
+			return fmt.Errorf("daemon: P%d not ready after %v, waiting for peers %v", d.id, timeout, waiting)
+		}
+		select {
+		case <-d.closed:
+			return ErrStopped
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// Ready reports whether every peer handshake has completed.
+func (d *Daemon) Ready() bool {
+	for _, s := range d.sessions {
+		if s != nil && !s.ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// --- lifecycle ---
+
+// StopRequested is closed when a control client asked for shutdown.
+func (d *Daemon) StopRequested() <-chan struct{} { return d.stopReq }
+
+func (d *Daemon) requestStop() { d.stopOnce.Do(func() { close(d.stopReq) }) }
+
+// Stop shuts the daemon down gracefully: listeners close, the event
+// loop drains, per-peer writers flush their queues, and the stable store
+// is fsynced shut.
+func (d *Daemon) Stop() {
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		d.dataLn.Close() //nolint:errcheck
+		d.ctlLn.Close()  //nolint:errcheck
+		d.connsMu.Lock()
+		conns := d.conns
+		d.conns = nil
+		d.connsMu.Unlock()
+		for _, c := range conns {
+			c.Close() //nolint:errcheck
+		}
+		d.mb.close()
+		d.loopWG.Wait() // loop drains queued events before exiting
+		for _, s := range d.sessions {
+			if s != nil {
+				s.close() // flushes the writer's queue
+			}
+		}
+		d.wg.Wait()
+		if err := d.store.Close(); err != nil {
+			d.logf("store close: %v", err)
+		}
+	})
+}
+
+// --- operations (control plane entry points) ---
+
+// Checkpoint initiates a checkpointing instance here and waits for it to
+// terminate; it reports whether the instance committed. The §3.6 request
+// timeout is armed so a dead participant aborts the instance instead of
+// wedging it; waitTimeout (> the request timeout) bounds the wait itself.
+func (d *Daemon) Checkpoint(waitTimeout time.Duration) (bool, error) {
+	result := make(chan bool, 1)
+	errCh := make(chan error, 1)
+	d.mb.put(func() {
+		if err := d.engine.Initiate(); err != nil {
+			errCh <- err
+			return
+		}
+		d.armRequestTimeout()
+		// Subscribe after Initiate so a synchronous completion (already
+		// recorded in lastDone) is not missed.
+		if d.lastDone != nil {
+			result <- *d.lastDone
+			d.lastDone = nil
+			return
+		}
+		d.doneCh = result
+	})
+	select {
+	case err := <-errCh:
+		return false, err
+	case committed := <-result:
+		return committed, nil
+	case <-time.After(waitTimeout):
+		return false, fmt.Errorf("daemon: checkpoint at P%d timed out after %v", d.id, waitTimeout)
+	case <-d.closed:
+		return false, ErrStopped
+	}
+}
+
+// armRequestTimeout schedules the §3.6 give-up: if the instance is still
+// in progress when it fires, the initiator aborts it (exactly what simrt
+// does in virtual time). Loop goroutine only.
+func (d *Daemon) armRequestTimeout() {
+	d.cancelRequestTimeout()
+	d.abortTimer = time.AfterFunc(d.cfg.RequestTimeout(), func() {
+		d.mb.put(func() {
+			if !d.engine.InProgress() {
+				return
+			}
+			type aborter interface{ AbortCurrent() error }
+			if a, ok := d.engine.(aborter); ok {
+				d.logf("request timeout: aborting in-progress instance")
+				if err := a.AbortCurrent(); err != nil {
+					d.logf("abort failed: %v", err)
+				}
+			}
+		})
+	})
+}
+
+func (d *Daemon) cancelRequestTimeout() {
+	if d.abortTimer != nil {
+		d.abortTimer.Stop()
+		d.abortTimer = nil
+	}
+}
+
+// SendApp queues one application message to a peer (cluster traffic).
+func (d *Daemon) SendApp(to protocol.ProcessID, payload []byte) error {
+	if to < 0 || int(to) >= d.n || int(to) == d.id {
+		return fmt.Errorf("daemon: bad destination P%d", to)
+	}
+	d.mb.put(func() { d.sendApp(to, payload) })
+	return nil
+}
+
+// Rollback restores this daemon to its newest permanent checkpoint: the
+// counters rewind, stale tentatives drop, and the engine is rebuilt with
+// its numbering aligned — the per-process half of a cluster-wide
+// recovery (mcpctl recover drives it on every survivor after a restart).
+func (d *Daemon) Rollback() error {
+	var rerr error
+	err := d.onLoop(func() {
+		d.cancelRequestTimeout()
+		d.mutable.Clear()
+		rerr = d.restoreFromStore()
+	})
+	if err != nil {
+		return err
+	}
+	return rerr
+}
+
+// PermanentState returns the newest permanent checkpoint's state.
+func (d *Daemon) PermanentState() (protocol.State, error) {
+	var st protocol.State
+	err := d.onLoop(func() { st = d.store.Permanent().State.Clone() })
+	return st, err
+}
+
+func (d *Daemon) sendApp(to protocol.ProcessID, payload []byte) {
+	if d.blocked {
+		d.appQ = append(d.appQ, queuedApp{to: to, payload: payload})
+		return
+	}
+	m := &protocol.Message{From: d.ID(), To: to, Payload: payload}
+	d.engine.PrepareSend(m)
+	d.sentTo[to]++
+	d.transmit(m)
+}
+
+func (d *Daemon) transmit(m *protocol.Message) {
+	s := d.sessions[m.To]
+	if s == nil {
+		d.logf("dropping message to nonexistent P%d", m.To)
+		return
+	}
+	frame, err := wire.AppendMessage(nil, m)
+	if err != nil {
+		d.logf("encode to P%d: %v", m.To, err)
+		return
+	}
+	s.sendFrame(frame)
+}
+
+// --- protocol.Env (loop goroutine only) ---
+
+// N implements protocol.Env.
+func (d *Daemon) N() int { return d.n }
+
+// Now implements protocol.Env.
+func (d *Daemon) Now() time.Duration { return time.Since(d.start) }
+
+// Send implements protocol.Env.
+func (d *Daemon) Send(m *protocol.Message) {
+	m.From = d.ID()
+	d.transmit(m)
+}
+
+// Broadcast implements protocol.Env.
+func (d *Daemon) Broadcast(m *protocol.Message) {
+	m.From = d.ID()
+	for to := 0; to < d.n; to++ {
+		if to == d.id {
+			continue
+		}
+		cp := *m
+		cp.To = protocol.ProcessID(to)
+		d.transmit(&cp)
+	}
+}
+
+// CaptureState implements protocol.Env.
+func (d *Daemon) CaptureState() protocol.State {
+	return protocol.State{
+		Proc:     d.ID(),
+		SentTo:   append([]uint64(nil), d.sentTo...),
+		RecvFrom: append([]uint64(nil), d.recvFrom...),
+		At:       d.Now(),
+	}
+}
+
+// SaveTentative implements protocol.Env.
+func (d *Daemon) SaveTentative(s protocol.State, trig protocol.Trigger) {
+	if err := d.store.SaveTentative(s, trig, d.Now()); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// SaveMutable implements protocol.Env.
+func (d *Daemon) SaveMutable(s protocol.State, trig protocol.Trigger) {
+	if err := d.mutable.Save(s, trig, d.Now()); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// PromoteMutable implements protocol.Env.
+func (d *Daemon) PromoteMutable(trig protocol.Trigger) {
+	rec, err := d.mutable.Take(trig)
+	if err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+	if err := d.store.SaveTentative(rec.State, trig, d.Now()); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// DiscardMutable implements protocol.Env.
+func (d *Daemon) DiscardMutable(trig protocol.Trigger) {
+	if _, err := d.mutable.Take(trig); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// MakePermanent implements protocol.Env.
+func (d *Daemon) MakePermanent(trig protocol.Trigger) {
+	if err := d.store.MakePermanent(trig, d.Now()); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// DropTentative implements protocol.Env.
+func (d *Daemon) DropTentative(trig protocol.Trigger) {
+	if err := d.store.DropTentative(trig); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+}
+
+// DeliverApp implements protocol.Env.
+func (d *Daemon) DeliverApp(m *protocol.Message) {
+	d.recvFrom[m.From]++
+}
+
+// BlockApp implements protocol.Env.
+func (d *Daemon) BlockApp() { d.blocked = true }
+
+// UnblockApp implements protocol.Env.
+func (d *Daemon) UnblockApp() {
+	if !d.blocked {
+		return
+	}
+	d.blocked = false
+	q := d.appQ
+	d.appQ = nil
+	for _, s := range q {
+		d.sendApp(s.to, s.payload)
+	}
+}
+
+// CheckpointingDone implements protocol.Env.
+func (d *Daemon) CheckpointingDone(trig protocol.Trigger, committed bool) {
+	d.cancelRequestTimeout()
+	if committed {
+		d.commits++
+	} else {
+		d.aborts++
+	}
+	if d.doneCh != nil {
+		d.doneCh <- committed
+		d.doneCh = nil
+		return
+	}
+	v := committed
+	d.lastDone = &v
+}
+
+// Trace implements protocol.Env (daemons log instead of tracing).
+func (d *Daemon) Trace(kind trace.Kind, peer int, format string, args ...any) {}
+
+// Tracing implements protocol.Env.
+func (d *Daemon) Tracing() bool { return false }

@@ -1,0 +1,318 @@
+package daemon_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mutablecp/internal/daemon"
+	"mutablecp/internal/recovery"
+	"mutablecp/internal/stable"
+)
+
+// TestMain makes this test binary re-exec-able as an mcpd daemon: the
+// e2e test spawns real OS processes without needing a built binary.
+func TestMain(m *testing.M) {
+	if daemon.MaybeChild() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// reserveAddrs picks n distinct free loopback ports by binding and
+// releasing them. The window between release and the daemon's bind is a
+// theoretical race; on loopback with ephemeral ports it is negligible.
+func reserveAddrs(t testing.TB, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close() //nolint:errcheck
+	}
+	return addrs
+}
+
+func newClusterConfig(t testing.TB, n int, reqTimeout time.Duration) *daemon.Config {
+	t.Helper()
+	addrs := reserveAddrs(t, 2*n)
+	cfg := &daemon.Config{
+		Algorithm:        "mutable",
+		StoreRoot:        filepath.Join(t.TempDir(), "stores"),
+		RequestTimeoutMS: int(reqTimeout / time.Millisecond),
+	}
+	for i := 0; i < n; i++ {
+		cfg.Nodes = append(cfg.Nodes, daemon.NodeConfig{
+			ID: i, Addr: addrs[i], CtlAddr: addrs[n+i],
+		})
+	}
+	return cfg
+}
+
+// TestStartOrderIndependence is the readiness-barrier test: daemons come
+// up one at a time, in an order unrelated to their IDs, with real gaps
+// between starts — and every WaitReady still converges because each
+// daemon keeps dialing the peers that are not up yet.
+func TestStartOrderIndependence(t *testing.T) {
+	cfg := newClusterConfig(t, 3, 2*time.Second)
+	order := []int{2, 0, 1}
+	daemons := make([]*daemon.Daemon, 3)
+	defer func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.Stop()
+			}
+		}
+	}()
+	for _, id := range order {
+		d, err := daemon.New(cfg, id)
+		if err != nil {
+			t.Fatalf("start P%d: %v", id, err)
+		}
+		daemons[id] = d
+		time.Sleep(50 * time.Millisecond) // real gap: later daemons truly absent
+	}
+	for id, d := range daemons {
+		if err := d.WaitReady(10 * time.Second); err != nil {
+			t.Fatalf("P%d: %v", id, err)
+		}
+	}
+	if err := daemon.WaitClusterReady(cfg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quiesce polls the cluster until no channel holds unacked frames and no
+// instance is in progress — app counters are then globally consistent.
+func quiesce(t testing.TB, cfg *daemon.Config, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		settled := true
+		for _, nc := range cfg.Nodes {
+			cl, err := daemon.Dial(nc.CtlAddr)
+			if err != nil {
+				t.Fatalf("quiesce dial P%d: %v", nc.ID, err)
+			}
+			st, serr := cl.Status()
+			var m daemon.Metrics
+			var merr error
+			if serr == nil {
+				m, merr = cl.Metrics()
+			}
+			cl.Close() //nolint:errcheck
+			if serr != nil || merr != nil {
+				t.Fatalf("quiesce P%d: %v %v", nc.ID, serr, merr)
+			}
+			if st.InProgress {
+				settled = false
+			}
+			for _, backlog := range m.Backlog {
+				if backlog > 0 {
+					settled = false
+				}
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not quiesce within %v", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func ctlClient(t testing.TB, cfg *daemon.Config, id int) *daemon.Client {
+	t.Helper()
+	nc, ok := cfg.Node(id)
+	if !ok {
+		t.Fatalf("no node %d", id)
+	}
+	cl, err := daemon.Dial(nc.CtlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+	return cl
+}
+
+// crossTraffic pushes a ring of application messages through the cluster.
+func crossTraffic(t testing.TB, cfg *daemon.Config, rounds int) {
+	t.Helper()
+	n := cfg.N()
+	for _, nc := range cfg.Nodes {
+		cl, err := daemon.Dial(nc.CtlAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			if err := cl.Send((nc.ID+1)%n, []byte(fmt.Sprintf("m%d", r))); err != nil {
+				t.Fatalf("send from P%d: %v", nc.ID, err)
+			}
+		}
+		cl.Close() //nolint:errcheck
+	}
+}
+
+// TestClusterE2E is the tentpole's acceptance test with real OS
+// processes: spawn a 3-daemon cluster by re-exec, converge the readiness
+// barrier, drive traffic and a committed checkpoint through the control
+// plane, kill one daemon mid-protocol, restart it, run the cluster-wide
+// recovery, and assert the recovery line audits clean both over RPC and
+// from the on-disk stores.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process cluster test; skipped in -short")
+	}
+	cfg := newClusterConfig(t, 3, 1500*time.Millisecond)
+	cfgPath := filepath.Join(t.TempDir(), "cluster.json")
+	if err := daemon.WriteConfig(cfgPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	procs := make(map[int]*exec.Cmd)
+	startNode := func(id int) {
+		t.Helper()
+		cmd := daemon.ChildCommand(cfgPath, id)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn P%d: %v", id, err)
+		}
+		procs[id] = cmd
+	}
+	defer func() {
+		for id, cmd := range procs {
+			if cmd.ProcessState == nil {
+				cmd.Process.Kill() //nolint:errcheck
+				cmd.Wait()         //nolint:errcheck
+				t.Logf("P%d killed at teardown", id)
+			}
+		}
+	}()
+
+	// Deliberately not ID order: the readiness barrier absorbs it.
+	for _, id := range []int{1, 2, 0} {
+		startNode(id)
+	}
+	if err := daemon.WaitClusterReady(cfg, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: traffic, then a checkpoint that must commit.
+	crossTraffic(t, cfg, 5)
+	quiesce(t, cfg, 10*time.Second)
+	if committed, err := ctlClient(t, cfg, 0).Checkpoint(0); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	} else if !committed {
+		t.Fatal("checkpoint 1 aborted on a healthy cluster")
+	}
+	if _, err := daemon.AuditLine(cfg); err != nil {
+		t.Fatalf("live audit after commit: %v", err)
+	}
+
+	// Round 2: more traffic, then kill P1 as a checkpoint instance is in
+	// flight. The initiator's §3.6 timeout aborts (or the instance wins
+	// the race and commits); either way the control call must return.
+	crossTraffic(t, cfg, 3)
+	quiesce(t, cfg, 10*time.Second)
+	nc0, _ := cfg.Node(0)
+	resultCh := make(chan bool, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		cl, err := daemon.Dial(nc0.CtlAddr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer cl.Close() //nolint:errcheck
+		committed, err := cl.Checkpoint(0)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resultCh <- committed
+	}()
+	time.Sleep(2 * time.Millisecond) // let the initiation reach the wire
+	victim := procs[1]
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() //nolint:errcheck
+	select {
+	case committed := <-resultCh:
+		t.Logf("instance with P1 killed mid-protocol: committed=%v", committed)
+	case err := <-errCh:
+		t.Logf("instance with P1 killed mid-protocol: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("checkpoint call wedged by the kill: §3.6 timeout did not fire")
+	}
+
+	// Restart the victim: it recovers its store, drops any stale
+	// tentative, and rejoins under a fresh incarnation.
+	startNode(1)
+	if err := daemon.WaitClusterReady(cfg, 20*time.Second); err != nil {
+		t.Fatalf("cluster after restart: %v", err)
+	}
+	quiesce(t, cfg, 10*time.Second)
+
+	// Cluster-wide recovery: every daemon rolls back to the newest
+	// permanent line, and the live audit must come back clean.
+	if err := daemon.RollbackCluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+	states, err := daemon.AuditLine(cfg)
+	if err != nil {
+		t.Fatalf("post-recovery audit: %v (line %v)", err, states)
+	}
+
+	// The recovered cluster keeps working: traffic and a fresh commit.
+	crossTraffic(t, cfg, 4)
+	quiesce(t, cfg, 10*time.Second)
+	if committed, err := ctlClient(t, cfg, 2).Checkpoint(0); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	} else if !committed {
+		t.Fatal("post-recovery checkpoint aborted")
+	}
+	if _, err := daemon.AuditLine(cfg); err != nil {
+		t.Fatalf("live audit after recovery commit: %v", err)
+	}
+
+	// Graceful shutdown, then the on-disk audit: the stores the daemons
+	// left behind must reconstruct a consistent recovery line.
+	if err := daemon.ShutdownCluster(cfg); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for id, cmd := range procs {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("P%d exited with %v", id, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("P%d did not exit after shutdown", id)
+		}
+	}
+	line, err := recovery.OpenLine(cfg.StoreRoot, cfg.N(), stable.Options{})
+	if err != nil {
+		t.Fatalf("on-disk audit: %v", err)
+	}
+	for id, rec := range line.Checkpoints {
+		if rec.State.CSN < 1 {
+			t.Errorf("P%d permanent checkpoint still at csn %d after two commits", id, rec.State.CSN)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"syscall"
+)
+
+// Re-exec support: tests and benchmarks spawn real mcpd processes by
+// re-running their own binary with these environment variables set. The
+// host binary's main (or TestMain) calls MaybeChild first; when the
+// variables are present the process becomes a daemon and never returns.
+const (
+	childConfigEnv = "MCPD_CHILD_CONFIG"
+	childIDEnv     = "MCPD_CHILD_ID"
+)
+
+// MaybeChild turns this process into an mcpd daemon when the re-exec
+// environment is set; it then never returns (the process exits when the
+// daemon stops). Returns false in ordinary processes.
+func MaybeChild() bool {
+	cfgPath := os.Getenv(childConfigEnv)
+	if cfgPath == "" {
+		return false
+	}
+	id, err := strconv.Atoi(os.Getenv(childIDEnv))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcpd child: bad %s: %v\n", childIDEnv, err)
+		os.Exit(2)
+	}
+	if err := Run(cfgPath, id); err != nil {
+		fmt.Fprintf(os.Stderr, "mcpd child: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+	return true // unreachable
+}
+
+// ChildCommand builds a command that re-execs the current binary as the
+// daemon for cfg.Nodes[id]. The caller starts and reaps it.
+func ChildCommand(cfgPath string, id int) *exec.Cmd {
+	cmd := exec.Command(os.Args[0]) //nolint:gosec // re-exec of self
+	cmd.Env = append(os.Environ(),
+		childConfigEnv+"="+cfgPath,
+		childIDEnv+"="+strconv.Itoa(id),
+	)
+	return cmd
+}
+
+// Run loads the cluster config and runs one daemon until a control
+// client requests shutdown or the process receives SIGTERM/SIGINT; it
+// then drains, fsyncs the store shut, and returns.
+func Run(cfgPath string, id int) error {
+	cfg, err := LoadConfig(cfgPath)
+	if err != nil {
+		return err
+	}
+	d, err := New(cfg, id)
+	if err != nil {
+		return err
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	select {
+	case sig := <-sigCh:
+		d.logf("received %v, draining", sig)
+	case <-d.StopRequested():
+		d.logf("shutdown requested over control plane, draining")
+	}
+	d.Stop()
+	return nil
+}

@@ -1,0 +1,352 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mutablecp/internal/livenet"
+	"mutablecp/internal/relnet"
+	"mutablecp/internal/wire"
+)
+
+// The data plane between daemons: every ordered pair of processes is one
+// ARQ channel (relnet's Outbox/Inbox halves, the same state machines the
+// DES sublayer runs) carried over a livenet.Link — a re-dialing TCP
+// connection with persistent backoff. Frames are wire-encoded protocol
+// messages wrapped in envelopes that carry the channel incarnation and
+// sequence number; acks ride the reverse-direction link un-ARQ'd (a lost
+// ack only delays the cumulative ack the next data frame refreshes).
+//
+// Incarnations make restarts safe without coordination: every daemon
+// picks one at boot (its start time in nanoseconds) and the handshake on
+// each fresh connection exchanges them. Both directions of a pair run
+// under generation max(incA, incB), which strictly increases when either
+// side restarts — the surviving sender reopens its outbox under the new
+// generation, renumbering and replaying its unacked backlog, and the
+// restarted peer's fresh inbox adopts it cleanly.
+
+// Envelope kinds.
+const (
+	envHello = iota + 1 // handshake: Src, Inc
+	envData             // Src, Gen, Seq, Body (one wire message frame)
+	envAck              // Src, Gen, Cum
+)
+
+// envelope is the unit on a daemon-to-daemon connection, framed by
+// wire.AppendValue. Hello is written bare on every fresh connection
+// before any data; the receiver answers with its own hello (the
+// "welcome") so both sides learn both incarnations.
+type envelope struct {
+	Kind int
+	Src  int
+	Inc  int64
+	Gen  uint64
+	Seq  uint64
+	Cum  uint64
+	Body []byte
+}
+
+// SessionMetrics counts one peer session's ARQ work.
+type SessionMetrics struct {
+	DataFrames      uint64
+	Retransmissions uint64
+	AcksSent        uint64
+	DupsSuppressed  uint64
+	Buffered        uint64
+	StaleFrames     uint64
+	Reopened        uint64
+	Batches         uint64 // Link.Send calls (coalesced envelope groups)
+	Envelopes       uint64 // envelopes carried by those batches
+}
+
+// Retransmission pacing for daemon channels. Unlike the DES sublayer
+// there is no give-up budget: the backlog must survive a peer outage so
+// the protocol state stays exact across restarts; the §3.6 request
+// timeout above (not the transport) bounds how long a checkpoint waits.
+const (
+	sessionBaseRTO = 100 * time.Millisecond
+	sessionMaxRTO  = 2 * time.Second
+)
+
+// peerSession is one ordered pair: this daemon's channel to one peer.
+// The reverse direction lives in the peer's own session for us; the only
+// coupling is that our acks for their data ride our link.
+type peerSession struct {
+	d    *Daemon
+	peer int
+	link *livenet.Link
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	out       relnet.Outbox[[]byte]
+	in        relnet.Inbox[[]byte]
+	remoteInc int64
+	sendQ     []envelope // envelopes awaiting the writer, in order
+	ackDirty  bool
+	ackGen    uint64
+	ackCum    uint64
+	closed    bool
+
+	rto   time.Duration
+	timer *time.Timer
+
+	metrics SessionMetrics
+
+	wg sync.WaitGroup
+}
+
+func newPeerSession(d *Daemon, peer int, addr string) *peerSession {
+	s := &peerSession{d: d, peer: peer, rto: sessionBaseRTO}
+	s.cond = sync.NewCond(&s.mu)
+	s.link = livenet.NewLink(addr, livenet.LinkOptions{
+		WriteTimeout: 5 * time.Second,
+		MaxAttempts:  3,
+		OnConnect:    s.handshake,
+	})
+	// Boot under our own incarnation; the first handshake lifts it to
+	// max(ours, peer's). The inbox floor matters after a restart: any
+	// frame stamped with a generation below our boot incarnation was
+	// sent to our previous life (the pair generation is the incarnation
+	// maximum, and ours is newer than both old ones), so it is stale by
+	// definition — the peer replays its backlog under the new generation
+	// once it learns it, and admitting the old copies too would deliver
+	// them twice.
+	s.out.Reopen(uint64(d.inc))
+	s.in.Reset(uint64(d.inc))
+	s.wg.Add(1)
+	go s.writeLoop()
+	s.timer = time.AfterFunc(s.rto, s.retransmitTick)
+	return s
+}
+
+// handshake runs on every freshly dialed connection, before any frame:
+// introduce ourselves, read the peer's welcome, and adopt the session
+// generation both incarnations agree on.
+func (s *peerSession) handshake(conn net.Conn) error {
+	hello := envelope{Kind: envHello, Src: s.d.id, Inc: s.d.inc}
+	if err := wire.WriteValue(conn, &hello); err != nil {
+		return fmt.Errorf("handshake write: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	var welcome envelope
+	if err := wire.ReadValue(conn, &welcome); err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if welcome.Kind != envHello || welcome.Src != s.peer {
+		return fmt.Errorf("handshake: peer at %s identifies as node %d, want %d",
+			s.link.Addr(), welcome.Src, s.peer)
+	}
+	s.noteRemoteInc(welcome.Inc)
+	return nil
+}
+
+// noteRemoteInc records the peer's incarnation (from its hello on either
+// side's connection) and reopens the outbox when the pair generation
+// moved: the peer restarted, so the unacked backlog is renumbered from 0
+// under the new generation and queued for replay.
+func (s *peerSession) noteRemoteInc(inc int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if inc > s.remoteInc {
+		s.remoteInc = inc
+	}
+	gen := uint64(s.d.inc)
+	if r := uint64(s.remoteInc); r > gen {
+		gen = r
+	}
+	if gen == s.out.Gen() {
+		return
+	}
+	s.out.Reopen(gen)
+	s.metrics.Reopened++
+	// Drop queued data envelopes (their gen/seq stamps are stale) and
+	// requeue the whole renumbered backlog.
+	q := s.sendQ[:0]
+	for _, e := range s.sendQ {
+		if e.Kind != envData {
+			q = append(q, e)
+		}
+	}
+	s.sendQ = q
+	for _, f := range s.out.Pending() {
+		s.sendQ = append(s.sendQ, s.dataEnvLocked(f))
+	}
+	s.rto = sessionBaseRTO
+	s.cond.Signal()
+}
+
+func (s *peerSession) dataEnvLocked(f relnet.OutFrame[[]byte]) envelope {
+	return envelope{Kind: envData, Src: s.d.id, Gen: s.out.Gen(), Seq: f.Seq, Body: f.Payload}
+}
+
+// sendFrame queues one wire-encoded protocol message for the peer. The
+// frame bytes are retained for retransmission until acked.
+func (s *peerSession) sendFrame(frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	f := s.out.Push(len(frame), frame)
+	s.metrics.DataFrames++
+	s.sendQ = append(s.sendQ, s.dataEnvLocked(f))
+	s.cond.Signal()
+}
+
+// accept runs the inbox on one arriving data envelope and queues the
+// cumulative ack. deliver receives in-order frames, synchronously.
+func (s *peerSession) accept(e envelope, deliver func([]byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.in.Accept(e.Gen, e.Seq, e.Body, deliver) {
+	case relnet.VerdictStale:
+		s.metrics.StaleFrames++
+		return // dead sequence space: no ack
+	case relnet.VerdictDuplicate:
+		s.metrics.DupsSuppressed++
+	case relnet.VerdictBuffered:
+		s.metrics.Buffered++
+	}
+	s.ackGen, s.ackCum, s.ackDirty = s.in.Gen(), s.in.Cum(), true
+	s.metrics.AcksSent++
+	s.cond.Signal()
+}
+
+// onAck consumes a cumulative ack that arrived on our inbound plane.
+func (s *peerSession) onAck(gen, cum uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	progress, stale := s.out.Ack(gen, cum)
+	if stale {
+		s.metrics.StaleFrames++
+		return
+	}
+	if progress {
+		s.rto = sessionBaseRTO
+	}
+}
+
+// retransmitTick replays the oldest unacked frame with exponential
+// backoff; it reschedules itself until the session closes.
+func (s *peerSession) retransmitTick() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if f, ok := s.out.Oldest(); ok {
+		s.metrics.Retransmissions++
+		s.sendQ = append(s.sendQ, s.dataEnvLocked(f))
+		s.cond.Signal()
+		s.rto *= 2
+		if s.rto > sessionMaxRTO {
+			s.rto = sessionMaxRTO
+		}
+	} else {
+		s.rto = sessionBaseRTO
+	}
+	s.timer.Reset(s.rto)
+	s.mu.Unlock()
+}
+
+// writeLoop is the per-peer sender: it drains everything queued since
+// the last write into one buffer and hands it to the link as a single
+// coalesced Send — under load, many envelopes per syscall.
+func (s *peerSession) writeLoop() {
+	defer s.wg.Done()
+	var buf bytes.Buffer
+	for {
+		s.mu.Lock()
+		for len(s.sendQ) == 0 && !s.ackDirty && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		buf.Reset()
+		count := 0
+		for i := range s.sendQ {
+			wire.WriteValue(&buf, &s.sendQ[i]) //nolint:errcheck
+			count++
+		}
+		s.sendQ = s.sendQ[:0]
+		if s.ackDirty {
+			ack := envelope{Kind: envAck, Src: s.d.id, Gen: s.ackGen, Cum: s.ackCum}
+			wire.WriteValue(&buf, &ack) //nolint:errcheck
+			s.ackDirty = false
+			count++
+		}
+		s.metrics.Batches++
+		s.metrics.Envelopes += uint64(count)
+		s.mu.Unlock()
+
+		// Outside the lock: Send re-dials with the link's persistent
+		// backoff; new envelopes coalesce behind it meanwhile.
+		if err := s.link.Send(buf.Bytes()); err != nil {
+			// Unacked data frames stay in the outbox and the retransmit
+			// timer replays them; a lost ack is refreshed by the next one.
+			s.d.logf("P%d: send to P%d: %v", s.d.id, s.peer, err)
+		}
+	}
+}
+
+// ready reports whether the handshake with this peer has completed at
+// least once since boot.
+func (s *peerSession) ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remoteInc != 0
+}
+
+func (s *peerSession) snapshotMetrics() SessionMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+func (s *peerSession) backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.Len()
+}
+
+func (s *peerSession) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.timer.Stop()
+	s.link.Close()
+	s.wg.Wait()
+}
+
+// connectOnce makes one non-blocking dial attempt (bootstrap readiness
+// loops drive their own cadence).
+func (s *peerSession) connectOnce() error { return s.link.Connect() }
+
+// incarnation helpers ------------------------------------------------
+
+// bootIncarnation picks a strictly positive incarnation for this process
+// start. Nanosecond wall time is unique across restarts of the same node
+// for any realistic restart cadence; ties across distinct nodes are
+// harmless (only the pair maximum matters).
+var lastInc atomic.Int64
+
+func bootIncarnation() int64 {
+	for {
+		now := time.Now().UnixNano()
+		prev := lastInc.Load()
+		if now <= prev {
+			now = prev + 1
+		}
+		if lastInc.CompareAndSwap(prev, now) {
+			return now
+		}
+	}
+}

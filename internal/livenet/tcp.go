@@ -18,10 +18,11 @@ import (
 //
 // The mesh is failure-hardened: every write carries a deadline so a wedged
 // peer cannot block a sender's event loop, reads idle out when configured,
-// and a broken connection is re-dialed with bounded exponential backoff on
-// the next send (a fresh connection gets a fresh encoder/decoder pair, so
-// the gob streams restart cleanly). Listeners accept forever, not a fixed
-// number of times, so re-dialed connections are served.
+// and a broken connection is re-dialed with exponential backoff on the
+// next send. The backoff schedule lives on the Link — per channel, not
+// per send — so a peer that stays down keeps escalating instead of being
+// hammered at the base interval by every send. Listeners accept forever,
+// not a fixed number of times, so re-dialed connections are served.
 
 // TCP mesh defaults; override via the Config fields of the same name.
 const (
@@ -30,24 +31,15 @@ const (
 	tcpReconnectBackoff     = 10 * time.Millisecond
 )
 
-// tcpLink is the sender side of one ordered-pair channel.
-type tcpLink struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
-	enc  *wire.Encoder
-}
-
 // tcpMesh owns the listeners and connections of a TCP-backed cluster.
 type tcpMesh struct {
 	n         int
 	listeners []net.Listener
 	// links[i][j] is the i->j channel (nil on the diagonal).
-	links [][]*tcpLink
+	links [][]*Link
 
-	writeTimeout  time.Duration
-	readIdle      time.Duration
-	maxReconnects int
+	readIdle time.Duration
+	linkOpts LinkOptions
 
 	// conns collects receiver-side connections for Close.
 	mu    sync.Mutex
@@ -67,17 +59,13 @@ func NewTCP(cfg Config) (*Cluster, error) {
 		return nil, errors.New("livenet: Config.NewEngine is required")
 	}
 	mesh := &tcpMesh{
-		n:             cfg.N,
-		writeTimeout:  cfg.TCPWriteTimeout,
-		readIdle:      cfg.TCPReadIdleTimeout,
-		maxReconnects: cfg.TCPMaxReconnects,
-		closed:        make(chan struct{}),
-	}
-	if mesh.writeTimeout == 0 {
-		mesh.writeTimeout = defaultTCPWriteTimeout
-	}
-	if mesh.maxReconnects == 0 {
-		mesh.maxReconnects = defaultTCPMaxReconnects
+		n:        cfg.N,
+		readIdle: cfg.TCPReadIdleTimeout,
+		linkOpts: LinkOptions{
+			WriteTimeout: cfg.TCPWriteTimeout,
+			MaxAttempts:  cfg.TCPMaxReconnects,
+		},
+		closed: make(chan struct{}),
 	}
 	if err := mesh.listen(); err != nil {
 		return nil, err
@@ -125,32 +113,20 @@ func (m *tcpMesh) listen() error {
 // dial eagerly connects every ordered pair i->j so startup failures
 // surface immediately; later breaks are repaired lazily by send.
 func (m *tcpMesh) dial() error {
-	m.links = make([][]*tcpLink, m.n)
+	m.links = make([][]*Link, m.n)
 	for i := 0; i < m.n; i++ {
-		m.links[i] = make([]*tcpLink, m.n)
+		m.links[i] = make([]*Link, m.n)
 		for j := 0; j < m.n; j++ {
 			if i == j {
 				continue
 			}
-			l := &tcpLink{addr: m.listeners[j].Addr().String()}
-			if err := m.connectLocked(l); err != nil {
+			l := NewLink(m.listeners[j].Addr().String(), m.linkOpts)
+			if err := l.Connect(); err != nil {
 				return fmt.Errorf("livenet: dial P%d->P%d: %w", i, j, err)
 			}
 			m.links[i][j] = l
 		}
 	}
-	return nil
-}
-
-// connectLocked dials the link's peer; the caller holds l.mu (or, during
-// dial, has exclusive access).
-func (m *tcpMesh) connectLocked(l *tcpLink) error {
-	conn, err := net.Dial("tcp", l.addr)
-	if err != nil {
-		return err
-	}
-	l.conn = conn
-	l.enc = wire.NewEncoder(conn)
 	return nil
 }
 
@@ -193,8 +169,8 @@ func (m *tcpMesh) readLoop(c *Cluster, dst protocol.ProcessID, conn net.Conn) {
 		msg, err := dec.Decode()
 		if err != nil {
 			// EOF, idle timeout, or a torn frame: drop the connection. The
-			// sender re-dials on its next write, restarting both gob
-			// streams from scratch.
+			// sender re-dials on its next write; frames are self-contained,
+			// so the stream restarts cleanly.
 			return
 		}
 		m := msg
@@ -202,61 +178,32 @@ func (m *tcpMesh) readLoop(c *Cluster, dst protocol.ProcessID, conn net.Conn) {
 	}
 }
 
-// send transmits one message on the i->j channel. A broken connection is
-// re-dialed with exponential backoff, at most maxReconnects times; every
-// write carries a deadline so a wedged peer cannot block the sender
-// forever.
+// send frames one message and transmits it on the i->j link. Reconnection
+// and backoff are the link's business.
 func (m *tcpMesh) send(from, to protocol.ProcessID, msg *protocol.Message) error {
 	l := m.links[from][to]
 	if l == nil {
 		return fmt.Errorf("livenet: no connection P%d->P%d", from, to)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	backoff := tcpReconnectBackoff
-	var lastErr error
-	for attempt := 0; attempt <= m.maxReconnects; attempt++ {
-		select {
-		case <-m.closed:
-			return errors.New("livenet: mesh closed")
-		default:
-		}
-		if l.conn == nil {
-			if attempt > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
-			}
-			if err := m.connectLocked(l); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		l.conn.SetWriteDeadline(time.Now().Add(m.writeTimeout)) //nolint:errcheck
-		if err := l.enc.Encode(msg); err != nil {
-			lastErr = err
-			l.conn.Close() //nolint:errcheck
-			l.conn = nil
-			l.enc = nil
-			continue
-		}
-		return nil
+	select {
+	case <-m.closed:
+		return errors.New("livenet: mesh closed")
+	default:
 	}
-	return fmt.Errorf("livenet: send P%d->P%d after %d reconnect attempts: %w",
-		from, to, m.maxReconnects, lastErr)
+	frame, err := wire.AppendMessage(nil, msg)
+	if err != nil {
+		return err
+	}
+	return l.Send(frame)
 }
 
-// kill closes the pair's socket but leaves the stale encoder in place, so
-// the next send runs the full failure path: write error, re-dial, retry.
+// kill closes the pair's socket through the link's fault-injection hook:
+// the next send runs the full failure path — write error, re-dial, retry.
 func (m *tcpMesh) kill(from, to protocol.ProcessID) error {
 	if from < 0 || from >= m.n || to < 0 || to >= m.n || from == to {
 		return fmt.Errorf("livenet: bad channel P%d->P%d", from, to)
 	}
-	l := m.links[from][to]
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.conn != nil {
-		l.conn.Close() //nolint:errcheck
-	}
+	m.links[from][to].Kill()
 	return nil
 }
 
@@ -273,16 +220,9 @@ func (m *tcpMesh) close() {
 	}
 	for _, row := range m.links {
 		for _, l := range row {
-			if l == nil {
-				continue
+			if l != nil {
+				l.Close()
 			}
-			l.mu.Lock()
-			if l.conn != nil {
-				l.conn.Close() //nolint:errcheck
-				l.conn = nil
-				l.enc = nil
-			}
-			l.mu.Unlock()
 		}
 	}
 	m.mu.Lock()

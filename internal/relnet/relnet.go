@@ -86,31 +86,17 @@ type Metrics struct {
 	ChannelResets   uint64 // channel pairs re-established by ResetPeer
 }
 
-// frame is one in-flight data frame on a send channel.
-type frame struct {
-	seq     uint64
-	size    int
-	deliver func()
-}
-
-// sendChan is the sender half of one ordered-pair channel.
+// sendChan couples the transport-agnostic Outbox (sequence numbers,
+// backlog, cumulative acks — see channel.go) with the DES-specific
+// retransmission machinery: the virtual-time timer and its backoff.
 type sendChan struct {
 	from, to protocol.ProcessID
-	gen      uint64 // channel incarnation; bumped by reopen and ResetPeer
-	nextSeq  uint64
-	unacked  []frame
+	out      Outbox[func()]
 	rto      time.Duration
 	retries  int
 	timerID  des.EventID
 	armed    bool
 	dead     bool // gave up; the next send reopens a fresh incarnation
-}
-
-// recvChan is the receiver half of one ordered-pair channel.
-type recvChan struct {
-	gen      uint64
-	expected uint64
-	buf      map[uint64]func()
 }
 
 // Reliable is the ARQ decorator. It implements netsim.Transport.
@@ -121,7 +107,7 @@ type Reliable struct {
 	cfg   Config
 
 	send map[[2]protocol.ProcessID]*sendChan
-	recv map[[2]protocol.ProcessID]*recvChan
+	recv map[[2]protocol.ProcessID]*Inbox[func()]
 
 	// Metrics is exported for reports.
 	Metrics Metrics
@@ -143,7 +129,7 @@ func New(sim *des.Simulator, inner netsim.Transport, n int, cfg Config) *Reliabl
 		n:     n,
 		cfg:   cfg.defaults(),
 		send:  make(map[[2]protocol.ProcessID]*sendChan),
-		recv:  make(map[[2]protocol.ProcessID]*recvChan),
+		recv:  make(map[[2]protocol.ProcessID]*Inbox[func()]),
 	}
 }
 
@@ -157,11 +143,11 @@ func (r *Reliable) sendChanFor(from, to protocol.ProcessID) *sendChan {
 	return sc
 }
 
-func (r *Reliable) recvChanFor(from, to protocol.ProcessID) *recvChan {
+func (r *Reliable) recvChanFor(from, to protocol.ProcessID) *Inbox[func()] {
 	key := [2]protocol.ProcessID{from, to}
 	rc := r.recv[key]
 	if rc == nil {
-		rc = &recvChan{buf: make(map[uint64]func())}
+		rc = new(Inbox[func()])
 		r.recv[key] = rc
 	}
 	return rc
@@ -175,9 +161,7 @@ func (r *Reliable) Unicast(from, to protocol.ProcessID, size int, deliver func()
 	if sc.dead {
 		r.reopen(sc)
 	}
-	f := frame{seq: sc.nextSeq, size: size, deliver: deliver}
-	sc.nextSeq++
-	sc.unacked = append(sc.unacked, f)
+	f := sc.out.Push(size, deliver)
 	r.Metrics.DataFrames++
 	r.transmit(sc, f)
 	r.arm(sc)
@@ -199,17 +183,15 @@ func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to 
 			r.reopen(sc)
 		}
 		to := to
-		f := frame{seq: sc.nextSeq, size: size, deliver: func() { deliver(to) }}
-		sc.nextSeq++
-		sc.unacked = append(sc.unacked, f)
-		seqs[to] = f.seq
+		f := sc.out.Push(size, func() { deliver(to) })
+		seqs[to] = f.Seq
 		live[to] = true
 		r.Metrics.DataFrames++
 	}
 	gens := make([]uint64, r.n)
 	for to := 0; to < r.n; to++ {
 		if live[to] {
-			gens[to] = r.sendChanFor(from, protocol.ProcessID(to)).gen
+			gens[to] = r.sendChanFor(from, protocol.ProcessID(to)).out.Gen()
 		}
 	}
 	r.inner.Broadcast(from, size+r.cfg.HeaderBytes, func(to protocol.ProcessID) {
@@ -225,73 +207,49 @@ func (r *Reliable) Broadcast(from protocol.ProcessID, size int, deliver func(to 
 }
 
 // transmit sends one data frame through the inner transport.
-func (r *Reliable) transmit(sc *sendChan, f frame) {
-	from, to, gen, seq, deliver := sc.from, sc.to, sc.gen, f.seq, f.deliver
-	r.inner.Unicast(from, to, f.size+r.cfg.HeaderBytes, func() {
+func (r *Reliable) transmit(sc *sendChan, f OutFrame[func()]) {
+	from, to, gen, seq, deliver := sc.from, sc.to, sc.out.Gen(), f.Seq, f.Payload
+	r.inner.Unicast(from, to, f.Size+r.cfg.HeaderBytes, func() {
 		r.onData(from, to, gen, seq, deliver)
 	})
 }
 
-// onData runs at the destination when a data frame arrives.
+// onData runs at the destination when a data frame arrives. The verdict
+// logic — staleness, generation adoption, resequencing, duplicate
+// suppression — lives in Inbox (channel.go); this wrapper only maps
+// verdicts to metrics and issues the cumulative ack.
 func (r *Reliable) onData(from, to protocol.ProcessID, gen, seq uint64, deliver func()) {
 	rc := r.recvChanFor(from, to)
-	if gen < rc.gen {
-		// A frame from a superseded incarnation of the channel. Its
-		// sequence numbers belong to the old incarnation; admitting it
-		// would wedge (or corrupt) the fresh incarnation's resequencing
-		// state. The sender already discarded its backlog, so no ack.
+	switch rc.Accept(gen, seq, deliver, runDeliver) {
+	case VerdictStale:
+		// Its sequence space is dead and the sender already discarded the
+		// backlog, so no ack either.
 		r.Metrics.StaleFrames++
 		return
-	}
-	if gen > rc.gen {
-		// The sender reopened the channel: adopt the new incarnation. Any
-		// parked frames belong to the old one and will never complete.
-		rc.gen = gen
-		rc.expected = 0
-		rc.buf = make(map[uint64]func())
-	}
-	switch {
-	case seq < rc.expected:
+	case VerdictDuplicate:
 		r.Metrics.DupsSuppressed++
-	case seq == rc.expected:
-		deliver()
-		rc.expected++
-		for {
-			next, ok := rc.buf[rc.expected]
-			if !ok {
-				break
-			}
-			delete(rc.buf, rc.expected)
-			next()
-			rc.expected++
-		}
-	default:
-		if _, dup := rc.buf[seq]; dup {
-			r.Metrics.DupsSuppressed++
-		} else {
-			rc.buf[seq] = deliver
-			r.Metrics.Buffered++
-		}
+	case VerdictBuffered:
+		r.Metrics.Buffered++
 	}
-	// Cumulative ack: everything below rc.expected has been delivered.
-	cum := rc.expected
+	// Cumulative ack: everything below Cum has been delivered.
+	cum := rc.Cum()
 	r.Metrics.AcksSent++
 	r.inner.Unicast(to, from, r.cfg.AckBytes, func() {
 		r.onAck(from, to, gen, cum)
 	})
 }
 
+// runDeliver executes one delivered closure (the Inbox payload for the
+// DES instantiation is the deliver callback itself).
+func runDeliver(f func()) { f() }
+
 // onAck runs at the sender when a cumulative ack arrives.
 func (r *Reliable) onAck(from, to protocol.ProcessID, gen, cum uint64) {
 	sc := r.sendChanFor(from, to)
-	if gen != sc.gen {
+	progress, stale := sc.out.Ack(gen, cum)
+	if stale {
 		r.Metrics.StaleFrames++
 		return
-	}
-	progress := false
-	for len(sc.unacked) > 0 && sc.unacked[0].seq < cum {
-		sc.unacked = sc.unacked[1:]
-		progress = true
 	}
 	if !progress {
 		return
@@ -305,7 +263,7 @@ func (r *Reliable) onAck(from, to protocol.ProcessID, gen, cum uint64) {
 
 // arm starts the retransmission timer if frames are outstanding.
 func (r *Reliable) arm(sc *sendChan) {
-	if sc.armed || len(sc.unacked) == 0 || sc.dead {
+	if sc.armed || sc.out.Len() == 0 || sc.dead {
 		return
 	}
 	sc.armed = true
@@ -326,18 +284,19 @@ func (r *Reliable) disarm(sc *sendChan) {
 // or gives the backlog up once the budget is spent (the next send reopens
 // the channel under a fresh incarnation).
 func (r *Reliable) onTimeout(sc *sendChan) {
-	if len(sc.unacked) == 0 {
+	oldest, ok := sc.out.Oldest()
+	if !ok {
 		return
 	}
 	if sc.retries >= r.cfg.MaxRetries {
 		sc.dead = true
-		sc.unacked = nil
+		sc.out.Discard()
 		r.Metrics.GaveUp++
 		return
 	}
 	sc.retries++
 	r.Metrics.Retransmissions++
-	r.transmit(sc, sc.unacked[0])
+	r.transmit(sc, oldest)
 	sc.rto *= 2
 	if sc.rto > r.cfg.MaxRTO {
 		sc.rto = r.cfg.MaxRTO
@@ -376,8 +335,7 @@ func (r *Reliable) ResetPeer(p protocol.ProcessID) {
 // reopen starts a fresh incarnation of a given-up channel: the receiver
 // half adopts the new generation when its first frame arrives.
 func (r *Reliable) reopen(sc *sendChan) {
-	sc.gen++
-	sc.nextSeq = 0
+	sc.out.Reopen(sc.out.Gen() + 1) // backlog was discarded at give-up
 	sc.rto = r.cfg.RTO
 	sc.retries = 0
 	sc.dead = false
@@ -390,15 +348,11 @@ func (r *Reliable) reopen(sc *sendChan) {
 func (r *Reliable) resetPair(from, to protocol.ProcessID) {
 	sc := r.sendChanFor(from, to)
 	r.disarm(sc)
-	sc.gen++
-	sc.nextSeq = 0
-	sc.unacked = nil
+	sc.out.Discard()
+	sc.out.Reopen(sc.out.Gen() + 1)
 	sc.rto = r.cfg.RTO
 	sc.retries = 0
 	sc.dead = false
-	rc := r.recvChanFor(from, to)
-	rc.gen = sc.gen
-	rc.expected = 0
-	rc.buf = make(map[uint64]func())
+	r.recvChanFor(from, to).Reset(sc.out.Gen())
 	r.Metrics.ChannelResets++
 }

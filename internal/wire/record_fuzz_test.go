@@ -29,8 +29,8 @@ func FuzzStableRecord(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(frame)
-		f.Add(frame[:len(frame)/2])          // torn frame
-		f.Add(flip(frame, len(frame)-1))     // garbage CRC
+		f.Add(frame[:len(frame)/2])      // torn frame
+		f.Add(flip(frame, len(frame)-1)) // garbage CRC
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // absurd length
