@@ -11,6 +11,7 @@
 //	mcpctl -config cluster.json line               # audit live recovery line
 //	mcpctl -config cluster.json audit              # audit the on-disk stores
 //	mcpctl -config cluster.json metrics
+//	mcpctl -config cluster.json store              # payload chunk-store stats + audit
 //	mcpctl -config cluster.json recover            # roll every node back
 //	mcpctl -config cluster.json shutdown
 package main
@@ -155,6 +156,30 @@ func run(args []string) error {
 					peer, sm.DataFrames, sm.Retransmissions, sm.AcksSent, sm.DupsSuppressed,
 					sm.Buffered, sm.Batches, sm.Envelopes, m.Backlog[peer])
 			}
+		}
+	case "store":
+		for _, nc := range cfg.Nodes {
+			cl, err := daemon.Dial(nc.CtlAddr)
+			if err != nil {
+				return err
+			}
+			stats, ok, serr := cl.Store()
+			cl.Close() //nolint:errcheck
+			if serr != nil {
+				return fmt.Errorf("store audit P%d: %w", nc.ID, serr)
+			}
+			if !ok {
+				fmt.Printf("P%d: no payload store (payload_bytes=0)\n", nc.ID)
+				continue
+			}
+			ratio := 0.0
+			if stats.LogicalBytes > 0 {
+				ratio = float64(stats.NewBytes) / float64(stats.LogicalBytes)
+			}
+			fmt.Printf("P%d: perm=%d tent=%d chunks=%d live=%d new=%dKiB logical=%dKiB ratio=%.3f dedup=%d delta=%d gc=%d (verified)\n",
+				nc.ID, stats.Permanents, stats.Tentatives, stats.Chunks, stats.LiveChunks,
+				stats.NewBytes>>10, stats.LogicalBytes>>10, ratio,
+				stats.DedupChunks, stats.DeltaChunks, stats.Compactions)
 		}
 	case "recover":
 		if err := daemon.RollbackCluster(cfg); err != nil {

@@ -27,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/harness"
 	"mutablecp/internal/profiling"
+	"mutablecp/internal/workload"
 )
 
 func main() {
@@ -292,6 +294,18 @@ func run(args []string) error {
 		"back stable stores with the durable on-disk log under this directory and audit the on-disk image after the run")
 	mssRestart := fs.Bool("chaos-mss-restart", false,
 		"with -chaos: crash and restart every support station's storage at mid-run (requires -store)")
+	payloadBytes := fs.Int("payload-bytes", 0,
+		"attach the checkpoint payload plane: synthetic process-image size in bytes (0 = control plane only)")
+	payloadChunk := fs.Int("payload-chunk", 0,
+		"with -payload-bytes: content-addressed chunk size in bytes (0 = 4096)")
+	payloadProfile := fs.String("payload-profile", "",
+		"with -payload-bytes: image mutation profile: uniform, skewed, or append")
+	payloadMode := fs.String("payload-mode", "",
+		"with -payload-bytes: storage mode: incremental, delta, or full")
+	payloadStripe := fs.Int("payload-stripe", 0,
+		"with -payload-bytes: stripe payload chunks across this many MSS stores (0 or 1 = single store; needs -store)")
+	payloadReplicas := fs.Int("payload-replicas", 0,
+		"with -payload-stripe: replicas per chunk (0 = 2)")
 	recoveryMode := fs.String("recovery", "",
 		"run a crash-and-recover experiment: rollback (coordinated line) or log (sender-based message logging)")
 	crashAt := fs.Duration("crash-at", 0,
@@ -312,6 +326,38 @@ func run(args []string) error {
 		*parallel, *chaos, *chaosDrop, *chaosDup, *chaosCrashes, *store, *mssRestart,
 		*wl, *servers, *scale, *cells, *cellWorkers, *active,
 		*recoveryMode, *crashAt, *restartAfter); err != nil {
+		return err
+	}
+	if *payloadBytes <= 0 {
+		for _, f := range []string{"payload-chunk", "payload-profile", "payload-mode",
+			"payload-stripe", "payload-replicas"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s requires -payload-bytes", f)
+			}
+		}
+		if explicit["payload-bytes"] && *payloadBytes < 0 {
+			return fmt.Errorf("-payload-bytes must be >= 0")
+		}
+	} else {
+		if *chaos || *recoveryMode != "" {
+			return fmt.Errorf("-payload-bytes does not apply to -chaos or -recovery (those fix their own experiment shape)")
+		}
+		if *cells > 1 {
+			return fmt.Errorf("-payload-bytes needs the sequential kernel (drop -cells)")
+		}
+		if *payloadStripe < 0 {
+			return fmt.Errorf("-payload-stripe must be >= 0")
+		}
+		if *payloadStripe > 1 && *store == "" {
+			return fmt.Errorf("-payload-stripe needs -store (stripe members live on disk so a member can be lost and restored)")
+		}
+	}
+	imgProfile, err := workload.ParseImageProfile(*payloadProfile)
+	if err != nil {
+		return err
+	}
+	chunkMode, err := chunkstore.ParseMode(*payloadMode)
+	if err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -386,6 +432,17 @@ func run(args []string) error {
 		CellWorkers:     *cellWorkers,
 		Active:          *active,
 	}
+	if *payloadBytes > 0 {
+		cfg.PayloadBytes = *payloadBytes
+		cfg.PayloadChunkBytes = *payloadChunk
+		cfg.PayloadProfile = imgProfile
+		cfg.PayloadMode = chunkMode
+		cfg.PayloadStripe = *payloadStripe
+		cfg.PayloadReplicas = *payloadReplicas
+		// With -store the chunk stores persist next to the stable stores;
+		// otherwise they run on the in-memory error-injecting filesystem.
+		cfg.PayloadDir = *store
+	}
 	switch *wl {
 	case "p2p":
 		cfg.Workload = harness.WorkloadP2P
@@ -438,10 +495,25 @@ func run(args []string) error {
 			fmt.Printf("durable store        FAILED: %v\n", res.DiskLineErr)
 		}
 	}
+	if cfg.PayloadBytes > 0 {
+		fmt.Printf("payload transfer     %dKiB logical -> %dKiB after dedup (ratio %.3f over %d saves, mode %v)\n",
+			res.PayloadLogicalBytes>>10, res.PayloadNewBytes>>10,
+			res.PayloadRatio, res.PayloadSaves, cfg.PayloadMode)
+		if cfg.PayloadStripe > 1 {
+			fmt.Printf("payload stripe       %d stores, %d chunks live across members\n",
+				res.PayloadStats.Stores, res.PayloadStats.LiveChunks)
+		}
+		if res.PayloadVerifyOK {
+			fmt.Printf("payload audit        OK (every manifest resolves to intact chunks)\n")
+		} else {
+			fmt.Printf("payload audit        FAILED: %v\n", res.PayloadVerifyErr)
+		}
+	}
 	for _, e := range res.ClusterErrors {
 		fmt.Printf("cluster error        %v\n", e)
 	}
-	if len(res.ClusterErrors) > 0 || (!res.ConsistencyOK && !cfg.SkipConsistency) || !res.DiskLineOK {
+	if len(res.ClusterErrors) > 0 || (!res.ConsistencyOK && !cfg.SkipConsistency) ||
+		!res.DiskLineOK || !res.PayloadVerifyOK {
 		return profileErr(fmt.Errorf("run finished with errors"))
 	}
 	return profileErr(nil)

@@ -18,8 +18,11 @@ import (
 // RPC driving one initiation per op. Besides commits/sec it reports the
 // p99 initiation latency (initiate → committed, as the control client
 // sees it) in milliseconds — the lower-is-better tail the paper's
-// blocking-window analysis cares about.
-func daemonCommit(n int) func(b *testing.B) {
+// blocking-window analysis cares about. payloadBytes > 0 attaches the
+// content-addressed payload plane, so each commit additionally chunks,
+// dedups, and durably commits a skewed-dirty process image of that size
+// on every daemon — the full-payload cost on the real commit path.
+func daemonCommit(n, payloadBytes int) func(b *testing.B) {
 	return func(b *testing.B) {
 		dir, err := os.MkdirTemp("", "mcpbench-daemon-")
 		if err != nil {
@@ -30,6 +33,11 @@ func daemonCommit(n int) func(b *testing.B) {
 			Algorithm:        "mutable",
 			StoreRoot:        filepath.Join(dir, "stores"),
 			RequestTimeoutMS: 10_000,
+		}
+		if payloadBytes > 0 {
+			cfg.PayloadBytes = payloadBytes
+			cfg.PayloadChunkBytes = 4 << 10
+			cfg.PayloadProfile = "skewed"
 		}
 		addrs, err := reserveAddrs(2 * n)
 		if err != nil {

@@ -1,0 +1,94 @@
+package benchreg
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"mutablecp/internal/chunkstore"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/workload"
+)
+
+// payloadImageBytes sizes the process image the payload benchmarks
+// store per checkpoint.
+const payloadImageBytes = 256 << 10
+
+// payloadWrite measures raw chunk-store ingest: every op saves and
+// commits a fresh image whose content never repeats, so each save
+// chunks, hashes, frames, and appends the full image — the no-dedup
+// upper bound on what one MSS chunk store sustains.
+func payloadWrite() func(b *testing.B) {
+	return payloadSave(chunkstore.ModeFull, workload.ImagesConfig{
+		Procs:         1,
+		Bytes:         payloadImageBytes,
+		PageBytes:     4 << 10,
+		DirtyFraction: 1.0, // every page rewritten: nothing to dedup
+		Profile:       workload.ProfileUniform,
+		Seed:          1,
+	})
+}
+
+// payloadDedup measures the incremental path on the skewed-dirty-page
+// workload: most chunks hash-hit the previous checkpoint, so an op is
+// dominated by hashing plus a small append — the steady-state cost of
+// the paper's periodic checkpoints under content addressing.
+func payloadDedup() func(b *testing.B) {
+	return payloadSave(chunkstore.ModeIncremental, workload.ImagesConfig{
+		Procs:         1,
+		Bytes:         payloadImageBytes,
+		PageBytes:     4 << 10,
+		DirtyFraction: 0.10,
+		HotFraction:   0.10,
+		Profile:       workload.ProfileSkewed,
+		Seed:          1,
+	})
+}
+
+// payloadSave is the shared save→commit loop behind the two chunk-store
+// rows. Sync policy matches stable/commit-nosync so the rows isolate
+// CPU + buffered-write cost rather than fsync latency.
+func payloadSave(mode chunkstore.Mode, imgCfg workload.ImagesConfig) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mcpbench-chunk-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cs, err := chunkstore.Open(chunkstore.Dir(dir), chunkstore.Options{
+			ChunkBytes: 4 << 10,
+			Mode:       mode,
+			Keep:       1,
+			Sync:       stable.SyncNever,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cs.Close() //nolint:errcheck
+		view := cs.Proc(0)
+		images := workload.NewImages(imgCfg)
+		var logical, stored uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trig := protocol.Trigger{Pid: 0, Inum: i + 1}
+			rcpt, err := view.SavePayload(trig, time.Duration(i), images.Image(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := view.CommitPayload(trig, time.Duration(i)); err != nil {
+				b.Fatal(err)
+			}
+			logical += rcpt.LogicalBytes
+			stored += rcpt.NewBytes
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(logical)/(1<<20)/secs, "logicalMB/sec")
+			b.ReportMetric(float64(b.N)/secs, "saves/sec")
+		}
+		if stored > 0 {
+			b.ReportMetric(float64(logical)/float64(stored), "dedup-ratio")
+		}
+	}
+}

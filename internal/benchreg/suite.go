@@ -351,8 +351,11 @@ func Suite() []Benchmark {
 		})},
 		{Name: "recovery/rollback-256", Run: recoveryBench(harness.AlgoMutable)},
 		{Name: "recovery/replay-256", Run: recoveryBench(harness.AlgoLogBased)},
-		{Name: "daemon/commit-3proc", Run: daemonCommit(3)},
-		{Name: "daemon/commit-8proc", Run: daemonCommit(8)},
+		{Name: "stable/payload-write", Run: payloadWrite()},
+		{Name: "stable/payload-dedup", Run: payloadDedup()},
+		{Name: "daemon/commit-3proc", Run: daemonCommit(3, 0)},
+		{Name: "daemon/commit-8proc", Run: daemonCommit(8, 0)},
+		{Name: "daemon/commit-payload-3proc", Run: daemonCommit(3, 256<<10)},
 	}
 }
 

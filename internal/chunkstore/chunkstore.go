@@ -1,0 +1,1212 @@
+// Package chunkstore is the checkpoint data plane: a content-addressed
+// chunk store in the style of stdchk. A process image is split into
+// fixed-size chunks, each addressed by its SHA-256; a per-checkpoint
+// manifest records the hash sequence. Successive checkpoints of the same
+// process dedup automatically — only chunks whose content changed are
+// written (incremental checkpointing) — and an optional delta mode
+// patch-encodes a changed chunk against the chunk at the same offset in
+// the previous permanent payload.
+//
+// Durability reuses the internal/stable idioms wholesale: append-only
+// CRC-framed segment logs on the stable.FS seam (so the errfs
+// power-failure gauntlet applies unchanged), fsync discipline with the
+// commit record as the commit point, torn-tail truncation at open,
+// mid-log damage failing the open, and poisoning after an I/O error.
+// Garbage collection is refcount-based and tied to the paper's discard
+// rule: a chunk is live while any retained manifest (permanent history
+// bounded by Keep, plus pending tentatives) can reach it; compaction
+// rewrites exactly the live set behind a wire.ChunkOpReset boundary and
+// removes the superseded segments.
+package chunkstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/wire"
+)
+
+// Mode selects how much work the store does to shrink a payload.
+type Mode int
+
+// Payload storage modes. ModeFull is the naive baseline: every chunk of
+// every checkpoint is written. ModeIncremental (the default) skips
+// chunks already present under the same hash. ModeDelta additionally
+// patch-encodes a changed chunk against the same-offset chunk of the
+// previous permanent payload when the patch is materially smaller.
+const (
+	ModeIncremental Mode = iota
+	ModeFull
+	ModeDelta
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIncremental:
+		return "incremental"
+	case ModeFull:
+		return "full"
+	case ModeDelta:
+		return "delta"
+	default:
+		return "mode?"
+	}
+}
+
+// ParseMode parses a mode name as used by the CLI flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "incremental", "":
+		return ModeIncremental, nil
+	case "full":
+		return ModeFull, nil
+	case "delta":
+		return ModeDelta, nil
+	default:
+		return 0, fmt.Errorf("chunkstore: unknown mode %q (want full, incremental, or delta)", s)
+	}
+}
+
+// Manifest statuses persisted in wire.ChunkRecord.Status.
+const (
+	statusTentative = uint8(checkpoint.StatusTentative)
+	statusPermanent = uint8(checkpoint.StatusPermanent)
+)
+
+// Options configures a chunk store.
+type Options struct {
+	// FS is the filesystem seam; nil means the real disk.
+	FS stable.FS
+	// Sync is the fsync discipline, sharing stable's policy enum: the
+	// commit marker is the durable point under SyncOnCommit.
+	Sync stable.SyncPolicy
+	// ChunkBytes is the fixed chunk size (default 64 KiB). Must leave
+	// room inside wire.MaxFrame for framing overhead.
+	ChunkBytes int
+	// Keep bounds the permanent manifest history per process (the
+	// paper's discard rule); 0 keeps everything.
+	Keep int
+	// Mode selects full / incremental / delta storage.
+	Mode Mode
+	// SegmentBytes is the roll threshold (default 8 MiB).
+	SegmentBytes int64
+	// GarbageRatio triggers auto-compaction after a commit when
+	// unreachable bytes exceed this fraction of the on-disk payload
+	// bytes (default 0.5). Negative disables auto-compaction.
+	GarbageRatio float64
+	// Partial marks this store as one member of a stripe: manifests may
+	// reference chunks placed on other members, so open does not require
+	// local resolution and refcounts cover local chunks only.
+	Partial bool
+}
+
+const (
+	defaultChunkBytes   = 64 << 10
+	defaultSegmentBytes = 8 << 20
+	maxChunkBytes       = wire.MaxFrame / 2
+)
+
+func (o Options) defaults() Options {
+	if o.FS == nil {
+		o.FS = stable.OS()
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = defaultChunkBytes
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.GarbageRatio == 0 {
+		o.GarbageRatio = 0.5
+	}
+	if o.Keep < 0 {
+		o.Keep = 0
+	}
+	return o
+}
+
+// Chunk-store errors.
+var (
+	ErrClosed       = errors.New("chunkstore: store closed")
+	ErrUnknownChunk = errors.New("chunkstore: unknown chunk")
+	ErrBadChunk     = errors.New("chunkstore: chunk content does not match its hash")
+)
+
+// Manifest is one checkpoint payload: the ordered chunk hashes of a
+// process image.
+type Manifest struct {
+	Proc       protocol.ProcessID
+	Trigger    protocol.Trigger
+	At         time.Duration
+	ChunkBytes int
+	Length     int64
+	Hashes     []wire.ChunkHash
+}
+
+// chunkInfo locates one stored chunk and tracks its liveness.
+type chunkInfo struct {
+	refs   int64  // references from retained manifests (+1 per delta built on it)
+	size   int    // decoded chunk length
+	stored int    // payload bytes on disk (chunk content, or the patch)
+	seg    string // segment holding the record
+	off    int64  // frame start offset within seg
+	delta  bool
+	base   wire.ChunkHash
+}
+
+// Stats is a point-in-time summary of the store, flat for the control
+// RPC's gob plane.
+type Stats struct {
+	Stores     int // stripe members represented (1 for a plain store)
+	Segments   int
+	Chunks     int   // indexed chunks, including unreferenced-but-revivable ones
+	LiveChunks int   // chunks reachable from a retained manifest
+	LiveBytes  int64 // stored payload bytes reachable from retained manifests
+	DiskBytes  int64 // stored payload bytes on disk, including garbage
+	Permanents int
+	Tentatives int
+
+	Saves        uint64
+	LogicalBytes uint64 // image bytes presented to the store
+	NewBytes     uint64 // chunk/patch/manifest bytes actually appended
+	NewChunks    uint64
+	DedupChunks  uint64
+	DeltaChunks  uint64
+
+	Appends         uint64
+	Syncs           uint64
+	Compactions     uint64
+	ReplayedRecords uint64
+	TruncatedBytes  int64
+}
+
+// GarbageBytes reports stored payload bytes no retained manifest reaches.
+func (st Stats) GarbageBytes() int64 { return st.DiskBytes - st.LiveBytes }
+
+// DedupRatio reports logical bytes per byte actually written (1.0 means
+// no savings; higher is better).
+func (st Stats) DedupRatio() float64 {
+	if st.NewBytes == 0 {
+		return 0
+	}
+	return float64(st.LogicalBytes) / float64(st.NewBytes)
+}
+
+// Store is one MSS's content-addressed chunk store. It is safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	fs   stable.FS
+
+	chunks map[wire.ChunkHash]*chunkInfo
+	perm   map[protocol.ProcessID][]*Manifest
+	tent   map[protocol.ProcessID]map[protocol.Trigger]*Manifest
+
+	active     stable.File
+	activeName string
+	activeSize int64
+	segs       []string
+	nextSeq    uint64
+
+	liveBytes int64
+	diskBytes int64
+	ctrlBytes int64 // manifest/commit/drop frame bytes since the last compaction
+	broken    error
+	closed    bool
+	stats     Stats
+}
+
+func chunkSegName(seq uint64) string { return fmt.Sprintf("chk-%08d.log", seq) }
+
+func chunkSegSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "chk-%08d.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Dir returns the conventional chunk-store directory under a store root.
+func Dir(root string) string { return filepath.Join(root, "chunks") }
+
+// Open opens (or creates) the chunk store in dir. On an existing
+// directory it runs recovery: replay from the newest reset boundary,
+// truncate the torn tail, rebuild the index and refcounts, and require
+// every retained manifest to resolve locally (unless Partial).
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.defaults()
+	if opts.ChunkBytes > maxChunkBytes {
+		return nil, fmt.Errorf("chunkstore: chunk size %d exceeds limit %d", opts.ChunkBytes, maxChunkBytes)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		fs:      opts.FS,
+		chunks:  make(map[wire.ChunkHash]*chunkInfo),
+		perm:    make(map[protocol.ProcessID][]*Manifest),
+		tent:    make(map[protocol.ProcessID]map[protocol.Trigger]*Manifest),
+		nextSeq: 1,
+	}
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("chunkstore: mkdir %s: %w", dir, err)
+	}
+	names, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: list %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if seq, ok := chunkSegSeq(name); ok {
+			s.segs = append(s.segs, filepath.Join(dir, name))
+			if seq >= s.nextSeq {
+				s.nextSeq = seq + 1
+			}
+		}
+	}
+	if len(s.segs) == 0 {
+		startSeq := s.nextSeq
+		if err := s.roll(); err != nil {
+			return nil, err
+		}
+		if err := s.append(&wire.ChunkRecord{Op: wire.ChunkOpReset, Length: int64(startSeq)}, true); err != nil {
+			return nil, fmt.Errorf("chunkstore: init %s: %w", dir, err)
+		}
+		return s, nil
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover replays the segment chain from the newest intact reset
+// boundary. The boundary record names the first segment of its rewrite
+// (compaction writes data first and publishes the boundary only once it
+// is durable), so a crash anywhere in a compaction leaves either the
+// old chain or a complete new one. Anything before the boundary target
+// is a superseded leftover — a crash during segment removal can leave
+// any subset behind — and is deleted here.
+func (s *Store) recover() error {
+	bound, startSeq := -1, uint64(0)
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if seq, ok := s.resetTarget(s.segs[i]); ok {
+			bound, startSeq = i, seq
+			break
+		}
+	}
+	if bound < 0 {
+		// No intact boundary anywhere means the store never acknowledged
+		// anything on this chain: the init boundary is made durable before
+		// the first save can be acknowledged, and compaction publishes its
+		// new boundary durably before removing the old one — so an acked
+		// store always leaves an intact boundary behind. What we are
+		// looking at is the debris of a crash during initialization;
+		// reinitialize in place.
+		return s.reinit()
+	}
+	start := -1
+	for i, path := range s.segs {
+		if seq, ok := chunkSegSeq(segBase(path)); ok && seq == startSeq {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start > bound {
+		return fmt.Errorf("chunkstore: %s: reset boundary targets missing segment %d", s.dir, startSeq)
+	}
+	stale := s.segs[:start]
+	s.segs = append([]string(nil), s.segs[start:]...)
+	last := len(s.segs) - 1
+	for i, path := range s.segs {
+		valid, err := s.replaySegment(path)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, wire.ErrTornRecord) && !errors.Is(err, wire.ErrCorruptRecord) {
+			return err
+		}
+		if i != last {
+			return fmt.Errorf("chunkstore: %s: mid-log damage: %w", path, err)
+		}
+		if terr := s.fs.Truncate(path, valid); terr != nil {
+			return fmt.Errorf("chunkstore: truncate torn tail of %s: %w", path, terr)
+		}
+	}
+	if err := s.rebuildRefs(); err != nil {
+		return err
+	}
+	for _, path := range stale {
+		if err := s.fs.Remove(path); err != nil {
+			return fmt.Errorf("chunkstore: remove stale %s: %w", path, err)
+		}
+	}
+	if len(stale) > 0 && s.opts.Sync != stable.SyncNever {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return fmt.Errorf("chunkstore: sync dir %s: %w", s.dir, err)
+		}
+		s.stats.Syncs++
+	}
+	s.activeName = s.segs[len(s.segs)-1]
+	f, err := s.fs.OpenAppend(s.activeName)
+	if err != nil {
+		return fmt.Errorf("chunkstore: reopen %s: %w", s.activeName, err)
+	}
+	s.active = f
+	return nil
+}
+
+// reinit wipes the debris of a crash that predates the first durable
+// boundary and starts the chain fresh. nextSeq stays past every name
+// ever used: a removal still volatile at the next crash may resurrect
+// an old segment, and recovery must find the new boundary strictly
+// newer than it.
+func (s *Store) reinit() error {
+	for _, path := range s.segs {
+		if err := s.fs.Remove(path); err != nil {
+			return fmt.Errorf("chunkstore: remove %s: %w", path, err)
+		}
+	}
+	s.segs = nil
+	startSeq := s.nextSeq
+	if err := s.roll(); err != nil {
+		return err
+	}
+	if err := s.append(&wire.ChunkRecord{Op: wire.ChunkOpReset, Length: int64(startSeq)}, true); err != nil {
+		return fmt.Errorf("chunkstore: init %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// resetTarget reports whether the segment's first record is an intact
+// reset boundary, and if so which segment seq its rewrite starts at.
+func (s *Store) resetTarget(path string) (uint64, bool) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	rec, _, err := wire.DecodeChunkRecord(f)
+	if err != nil || rec.Op != wire.ChunkOpReset || rec.Length <= 0 {
+		return 0, false
+	}
+	return uint64(rec.Length), true
+}
+
+func segBase(path string) string { return filepath.Base(path) }
+
+// replaySegment applies one segment's records to the index, returning
+// the byte offset of the end of the last valid record.
+func (s *Store) replaySegment(path string) (int64, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("chunkstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var valid int64
+	for {
+		rec, n, err := wire.DecodeChunkRecord(f)
+		if err == io.EOF {
+			s.activeSize = valid
+			return valid, nil
+		}
+		if err != nil {
+			s.activeSize = valid
+			s.stats.TruncatedBytes += int64(n)
+			return valid, err
+		}
+		if err := s.apply(rec, path, valid); err != nil {
+			return valid, fmt.Errorf("chunkstore: %s at offset %d: %w", path, valid, err)
+		}
+		valid += int64(n)
+		s.stats.ReplayedRecords++
+	}
+}
+
+// apply folds one replayed record into the index. Refcounts are not
+// maintained here — rebuildRefs recomputes them from the surviving
+// manifests once the whole chain is replayed.
+func (s *Store) apply(rec *wire.ChunkRecord, seg string, off int64) error {
+	switch rec.Op {
+	case wire.ChunkOpReset:
+		return nil
+	case wire.ChunkOpPut:
+		s.indexChunk(rec.Hash, &chunkInfo{
+			size: len(rec.Payload), stored: len(rec.Payload), seg: seg, off: off,
+		})
+		return nil
+	case wire.ChunkOpDelta:
+		size, err := patchOutLen(rec.Payload)
+		if err != nil {
+			return err
+		}
+		s.indexChunk(rec.Hash, &chunkInfo{
+			size: size, stored: len(rec.Payload), seg: seg, off: off,
+			delta: true, base: rec.Base,
+		})
+		return nil
+	case wire.ChunkOpManifest:
+		m := &Manifest{
+			Proc: rec.Proc, Trigger: rec.Trigger, At: rec.At,
+			ChunkBytes: rec.ChunkBytes, Length: rec.Length,
+			Hashes: append([]wire.ChunkHash(nil), rec.Hashes...),
+		}
+		switch rec.Status {
+		case statusTentative:
+			tm := s.tent[m.Proc]
+			if tm == nil {
+				tm = make(map[protocol.Trigger]*Manifest)
+				s.tent[m.Proc] = tm
+			}
+			// Last writer wins: a crash between a compaction's rewrite and
+			// its boundary becoming durable leaves the old chain followed by
+			// an orphaned compaction suffix that restates every pending
+			// tentative — the restatement is byte-identical, so replaying it
+			// as a replacement is safe and keeps the open from failing.
+			tm[m.Trigger] = m
+			return nil
+		case statusPermanent:
+			// Compaction copy of committed history. An orphaned compaction
+			// suffix (see above) restates manifests already promoted by
+			// their commit records during this replay; skip those.
+			for _, have := range s.perm[m.Proc] {
+				if have.Trigger == m.Trigger && have.At == m.At {
+					return nil
+				}
+			}
+			s.perm[m.Proc] = append(s.perm[m.Proc], m)
+			s.trimPermanent(m.Proc, nil)
+			return nil
+		default:
+			return fmt.Errorf("manifest with status %d", rec.Status)
+		}
+	case wire.ChunkOpCommit:
+		m := s.tent[rec.Proc][rec.Trigger]
+		if m == nil {
+			return fmt.Errorf("commit without tentative manifest for P%d %+v", rec.Proc, rec.Trigger)
+		}
+		delete(s.tent[rec.Proc], rec.Trigger)
+		m.At = rec.At
+		s.perm[rec.Proc] = append(s.perm[rec.Proc], m)
+		s.trimPermanent(rec.Proc, nil)
+		return nil
+	case wire.ChunkOpDrop:
+		if s.tent[rec.Proc][rec.Trigger] == nil {
+			return fmt.Errorf("drop without tentative manifest for P%d %+v", rec.Proc, rec.Trigger)
+		}
+		delete(s.tent[rec.Proc], rec.Trigger)
+		return nil
+	default:
+		return fmt.Errorf("unknown op %d", rec.Op)
+	}
+}
+
+// indexChunk records a chunk's (latest) location. diskBytes counts every
+// stored copy — duplicates from compaction or ModeFull rewrites are
+// garbage until the next compaction.
+func (s *Store) indexChunk(h wire.ChunkHash, info *chunkInfo) {
+	s.diskBytes += int64(info.stored)
+	if old := s.chunks[h]; old != nil {
+		info.refs = old.refs
+	}
+	s.chunks[h] = info
+}
+
+// rebuildRefs recomputes refcounts from the retained manifests, drops
+// unreferenced delta entries (they cannot be safely revived), and —
+// outside Partial mode — requires every retained manifest to resolve to
+// locally indexed chunks, transitively through delta bases.
+func (s *Store) rebuildRefs() error {
+	for _, info := range s.chunks {
+		info.refs = 0
+	}
+	walk := func(m *Manifest, kind string) error {
+		for _, h := range m.Hashes {
+			info := s.chunks[h]
+			if info == nil {
+				if s.opts.Partial {
+					continue
+				}
+				return fmt.Errorf("chunkstore: %s manifest P%d %+v references missing chunk %x", kind, m.Proc, m.Trigger, h[:8])
+			}
+			info.refs++
+		}
+		return nil
+	}
+	for _, ms := range s.perm {
+		for _, m := range ms {
+			if err := walk(m, "permanent"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, tm := range s.tent {
+		for _, m := range tm {
+			if err := walk(m, "tentative"); err != nil {
+				return err
+			}
+		}
+	}
+	// A delta entry holds one reference on its base; a base must itself
+	// be a full chunk (no chains).
+	for h, info := range s.chunks {
+		if !info.delta {
+			continue
+		}
+		if info.refs == 0 {
+			delete(s.chunks, h)
+			continue
+		}
+		b := s.chunks[info.base]
+		if b == nil {
+			if s.opts.Partial {
+				continue
+			}
+			return fmt.Errorf("chunkstore: delta chunk %x references missing base %x", h[:8], info.base[:8])
+		}
+		if b.delta {
+			return fmt.Errorf("chunkstore: delta chunk %x has delta base %x", h[:8], info.base[:8])
+		}
+		b.refs++
+	}
+	s.liveBytes = 0
+	for _, info := range s.chunks {
+		if info.refs > 0 {
+			s.liveBytes += int64(info.stored)
+		}
+	}
+	return nil
+}
+
+// trimPermanent applies the retention bound after a commit, releasing
+// references held by evicted manifests. During replay (unref nil) refs
+// are not yet computed, so eviction just shortens the history.
+func (s *Store) trimPermanent(proc protocol.ProcessID, unref func(*Manifest)) {
+	if s.opts.Keep <= 0 {
+		return
+	}
+	ms := s.perm[proc]
+	for len(ms) > s.opts.Keep {
+		if unref != nil {
+			unref(ms[0])
+		}
+		ms = ms[1:]
+	}
+	s.perm[proc] = append([]*Manifest(nil), ms...)
+}
+
+// --- write path ---
+
+func (s *Store) roll() error {
+	if s.active != nil {
+		if err := s.syncActive(); err != nil {
+			return err
+		}
+		if err := s.active.Close(); err != nil {
+			return s.poison(fmt.Errorf("chunkstore: close %s: %w", s.activeName, err))
+		}
+		s.active = nil
+	}
+	name := filepath.Join(s.dir, chunkSegName(s.nextSeq))
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return s.poison(fmt.Errorf("chunkstore: create %s: %w", name, err))
+	}
+	s.nextSeq++
+	s.active = f
+	s.activeName = name
+	s.activeSize = 0
+	s.segs = append(s.segs, name)
+	if s.opts.Sync != stable.SyncNever {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return s.poison(fmt.Errorf("chunkstore: sync dir %s: %w", s.dir, err))
+		}
+		s.stats.Syncs++
+	}
+	return nil
+}
+
+func (s *Store) syncActive() error {
+	if s.opts.Sync == stable.SyncNever || s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return s.poison(fmt.Errorf("chunkstore: fsync %s: %w", s.activeName, err))
+	}
+	s.stats.Syncs++
+	return nil
+}
+
+func (s *Store) poison(err error) error {
+	if s.broken == nil {
+		s.broken = err
+	}
+	return err
+}
+
+// Broken returns the error that poisoned the store, if any.
+func (s *Store) Broken() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+func (s *Store) usable() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.broken
+}
+
+// append frames rec, writes it as a single ordered write, and applies
+// the fsync discipline. It returns the frame's start offset and length
+// so chunk records can be indexed.
+func (s *Store) append(rec *wire.ChunkRecord, durable bool) error {
+	_, _, err := s.appendAt(rec, durable)
+	return err
+}
+
+func (s *Store) appendAt(rec *wire.ChunkRecord, durable bool) (seg string, off int64, err error) {
+	if err := s.usable(); err != nil {
+		return "", 0, err
+	}
+	frame, err := wire.AppendChunkRecord(nil, rec)
+	if err != nil {
+		return "", 0, err
+	}
+	if s.activeSize+int64(len(frame)) > s.opts.SegmentBytes && s.activeSize > 0 {
+		if err := s.roll(); err != nil {
+			return "", 0, err
+		}
+	}
+	off = s.activeSize
+	n, werr := s.active.Write(frame)
+	s.activeSize += int64(n)
+	if werr != nil {
+		return "", 0, s.poison(fmt.Errorf("chunkstore: append to %s: %w", s.activeName, werr))
+	}
+	s.stats.Appends++
+	switch rec.Op {
+	case wire.ChunkOpManifest, wire.ChunkOpCommit, wire.ChunkOpDrop:
+		// Control records are not payload bytes, but they still consume
+		// disk; compaction is also triggered when they alone outgrow the
+		// chain (see maybeCompactLocked).
+		s.ctrlBytes += int64(len(frame))
+	}
+	if s.opts.Sync == stable.SyncAlways || (durable && s.opts.Sync == stable.SyncOnCommit) {
+		if err := s.syncActive(); err != nil {
+			return "", 0, err
+		}
+	}
+	return s.activeName, off, nil
+}
+
+// HashChunk returns the content address of one chunk.
+func HashChunk(b []byte) wire.ChunkHash { return sha256.Sum256(b) }
+
+// SplitChunks cuts an image into fixed-size chunks (the last one may be
+// short). The sub-slices alias image.
+func SplitChunks(image []byte, chunkBytes int) [][]byte {
+	if chunkBytes <= 0 {
+		chunkBytes = defaultChunkBytes
+	}
+	n := (len(image) + chunkBytes - 1) / chunkBytes
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for off := 0; off < len(image); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(image) {
+			end = len(image)
+		}
+		out = append(out, image[off:end])
+	}
+	return out
+}
+
+// ref bumps a chunk's reference count, reviving garbage if needed.
+func (s *Store) ref(info *chunkInfo) {
+	if info.refs == 0 {
+		s.liveBytes += int64(info.stored)
+	}
+	info.refs++
+}
+
+// unref releases one reference; a delta chunk whose count hits zero is
+// dropped from the index (never revived) and releases its base.
+func (s *Store) unref(h wire.ChunkHash) {
+	info := s.chunks[h]
+	if info == nil {
+		return // stripe member without this chunk
+	}
+	info.refs--
+	if info.refs > 0 {
+		return
+	}
+	s.liveBytes -= int64(info.stored)
+	if info.delta {
+		delete(s.chunks, h)
+		s.unref(info.base)
+	}
+}
+
+func (s *Store) unrefManifest(m *Manifest) {
+	for _, h := range m.Hashes {
+		s.unref(h)
+	}
+}
+
+// PutChunk stores one content-addressed chunk and returns the payload
+// bytes appended (0 when an identical chunk was already present and the
+// mode allows dedup). The caller must pass the chunk's true hash. The
+// reference count is not changed — references come from manifests.
+func (s *Store) PutChunk(h wire.ChunkHash, data []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putChunkLocked(h, data)
+}
+
+func (s *Store) putChunkLocked(h wire.ChunkHash, data []byte) (int, error) {
+	if _, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
+		return 0, nil
+	}
+	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Hash: h, Payload: data}, false)
+	if err != nil {
+		return 0, err
+	}
+	s.indexChunk(h, &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off})
+	return len(data), nil
+}
+
+// putDeltaLocked stores a chunk as a patch against base (which must be a
+// full indexed chunk) and returns the payload bytes appended.
+func (s *Store) putDeltaLocked(h, base wire.ChunkHash, patch []byte, size int) (int, error) {
+	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpDelta, Hash: h, Base: base, Payload: patch}, false)
+	if err != nil {
+		return 0, err
+	}
+	s.indexChunk(h, &chunkInfo{size: size, stored: len(patch), seg: seg, off: off, delta: true, base: base})
+	s.ref(s.chunks[base]) // the delta holds its base live
+	return len(patch), nil
+}
+
+// PutTentativeManifest appends a tentative manifest record, registers
+// it, and takes references on the locally present chunks. It returns the
+// frame bytes appended.
+func (s *Store) PutTentativeManifest(m *Manifest) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return 0, err
+	}
+	tm := s.tent[m.Proc]
+	if tm == nil {
+		tm = make(map[protocol.Trigger]*Manifest)
+		s.tent[m.Proc] = tm
+	}
+	if _, dup := tm[m.Trigger]; dup {
+		return 0, checkpoint.ErrPayloadPending
+	}
+	if !s.opts.Partial {
+		for _, h := range m.Hashes {
+			if s.chunks[h] == nil {
+				return 0, fmt.Errorf("chunkstore: manifest P%d %+v references unknown chunk %x", m.Proc, m.Trigger, h[:8])
+			}
+		}
+	}
+	rec := &wire.ChunkRecord{
+		Op: wire.ChunkOpManifest, Proc: m.Proc, Trigger: m.Trigger, At: m.At,
+		Status: statusTentative, ChunkBytes: m.ChunkBytes, Length: m.Length, Hashes: m.Hashes,
+	}
+	frame, err := wire.AppendChunkRecord(nil, rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.append(rec, false); err != nil {
+		return 0, err
+	}
+	cp := manifestCopy(m)
+	tm[m.Trigger] = cp
+	for _, h := range cp.Hashes {
+		if info := s.chunks[h]; info != nil {
+			s.ref(info)
+		}
+	}
+	return len(frame), nil
+}
+
+// PutTentative chunks a process image, stores the new chunks (dedup and
+// delta per the mode), and records the tentative manifest. It is the
+// single-store save path; a Stripe places chunks itself.
+func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at time.Duration, image []byte) (checkpoint.PayloadReceipt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var r checkpoint.PayloadReceipt
+	if err := s.usable(); err != nil {
+		return r, err
+	}
+	if s.tent[proc][trig] != nil {
+		return r, checkpoint.ErrPayloadPending
+	}
+	var base *Manifest
+	if s.opts.Mode == ModeDelta {
+		if ms := s.perm[proc]; len(ms) > 0 {
+			base = ms[len(ms)-1]
+		}
+	}
+	chunks := SplitChunks(image, s.opts.ChunkBytes)
+	hashes := make([]wire.ChunkHash, len(chunks))
+	r.LogicalBytes = uint64(len(image))
+	r.Chunks = len(chunks)
+	for i, data := range chunks {
+		h := HashChunk(data)
+		hashes[i] = h
+		if _, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
+			r.DedupChunks++
+			continue
+		}
+		if base != nil && i < len(base.Hashes) && base.Hashes[i] != h {
+			if binfo := s.chunks[base.Hashes[i]]; binfo != nil && !binfo.delta {
+				bdata, err := s.readChunkLocked(base.Hashes[i])
+				if err != nil {
+					return r, err
+				}
+				if patch := DiffChunk(bdata, data); patch != nil {
+					n, err := s.putDeltaLocked(h, base.Hashes[i], patch, len(data))
+					if err != nil {
+						return r, err
+					}
+					r.NewBytes += uint64(n)
+					r.NewChunks++
+					r.DeltaChunks++
+					continue
+				}
+			}
+		}
+		n, err := s.putChunkLocked(h, data)
+		if err != nil {
+			return r, err
+		}
+		r.NewBytes += uint64(n)
+		r.NewChunks++
+	}
+	m := &Manifest{
+		Proc: proc, Trigger: trig, At: at,
+		ChunkBytes: s.opts.ChunkBytes, Length: int64(len(image)), Hashes: hashes,
+	}
+	// Inline PutTentativeManifest under the held lock.
+	rec := &wire.ChunkRecord{
+		Op: wire.ChunkOpManifest, Proc: proc, Trigger: trig, At: at,
+		Status: statusTentative, ChunkBytes: m.ChunkBytes, Length: m.Length, Hashes: hashes,
+	}
+	frame, err := wire.AppendChunkRecord(nil, rec)
+	if err != nil {
+		return r, err
+	}
+	if err := s.append(rec, false); err != nil {
+		return r, err
+	}
+	tm := s.tent[proc]
+	if tm == nil {
+		tm = make(map[protocol.Trigger]*Manifest)
+		s.tent[proc] = tm
+	}
+	tm[trig] = m
+	for _, h := range hashes {
+		s.ref(s.chunks[h])
+	}
+	r.NewBytes += uint64(len(frame))
+	s.stats.Saves++
+	s.stats.LogicalBytes += r.LogicalBytes
+	s.stats.NewBytes += r.NewBytes
+	s.stats.NewChunks += uint64(r.NewChunks)
+	s.stats.DedupChunks += uint64(r.DedupChunks)
+	s.stats.DeltaChunks += uint64(r.DeltaChunks)
+	return r, nil
+}
+
+// CommitTentative promotes trig's tentative manifest to permanent. The
+// commit marker is the durable point (fsynced under SyncOnCommit);
+// retention then applies the discard rule, and auto-compaction may
+// reclaim newly dead chunks.
+func (s *Store) CommitTentative(proc protocol.ProcessID, trig protocol.Trigger, at time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	m := s.tent[proc][trig]
+	if m == nil {
+		return checkpoint.ErrNoPayload
+	}
+	if err := s.append(&wire.ChunkRecord{Op: wire.ChunkOpCommit, Proc: proc, Trigger: trig, At: at}, true); err != nil {
+		return err
+	}
+	delete(s.tent[proc], trig)
+	m.At = at
+	s.perm[proc] = append(s.perm[proc], m)
+	s.trimPermanent(proc, s.unrefManifest)
+	return s.maybeCompactLocked()
+}
+
+// DropTentative discards trig's tentative manifest (abort path) and
+// releases its chunk references.
+func (s *Store) DropTentative(proc protocol.ProcessID, trig protocol.Trigger) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	m := s.tent[proc][trig]
+	if m == nil {
+		return checkpoint.ErrNoPayload
+	}
+	if err := s.append(&wire.ChunkRecord{Op: wire.ChunkOpDrop, Proc: proc, Trigger: trig}, true); err != nil {
+		return err
+	}
+	delete(s.tent[proc], trig)
+	s.unrefManifest(m)
+	return nil
+}
+
+// --- read path ---
+
+// readChunkLocked materializes one chunk's content, resolving a delta
+// through its base, and verifies the content hash.
+func (s *Store) readChunkLocked(h wire.ChunkHash) ([]byte, error) {
+	info := s.chunks[h]
+	if info == nil {
+		return nil, fmt.Errorf("%w: %x", ErrUnknownChunk, h[:8])
+	}
+	rec, err := s.readRecordAt(info.seg, info.off)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Hash != h {
+		return nil, fmt.Errorf("%w: record at %s+%d holds %x", ErrBadChunk, info.seg, info.off, rec.Hash[:8])
+	}
+	data := rec.Payload
+	if rec.Op == wire.ChunkOpDelta {
+		bdata, err := s.readChunkLocked(rec.Base)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: delta base of %x: %w", h[:8], err)
+		}
+		data, err = ApplyPatch(bdata, rec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: patch for %x: %w", h[:8], err)
+		}
+	}
+	if HashChunk(data) != h {
+		return nil, fmt.Errorf("%w: %x", ErrBadChunk, h[:8])
+	}
+	return data, nil
+}
+
+func (s *Store) readRecordAt(seg string, off int64) (*wire.ChunkRecord, error) {
+	f, err := s.fs.Open(seg)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: open %s: %w", seg, err)
+	}
+	defer f.Close()
+	if off > 0 {
+		if _, err := io.CopyN(io.Discard, f, off); err != nil {
+			return nil, fmt.Errorf("chunkstore: seek %s to %d: %w", seg, off, err)
+		}
+	}
+	rec, _, err := wire.DecodeChunkRecord(f)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: read %s at %d: %w", seg, off, err)
+	}
+	return rec, nil
+}
+
+// ReadChunk materializes and hash-verifies one chunk.
+func (s *Store) ReadChunk(h wire.ChunkHash) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.readChunkLocked(h)
+}
+
+// HasChunk reports whether the chunk is locally indexed.
+func (s *Store) HasChunk(h wire.ChunkHash) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chunks[h]
+	return ok
+}
+
+// Permanent returns the newest permanent manifest for proc.
+func (s *Store) Permanent(proc protocol.ProcessID) (*Manifest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.perm[proc]
+	if len(ms) == 0 {
+		return nil, false
+	}
+	return manifestCopy(ms[len(ms)-1]), true
+}
+
+// History returns proc's retained permanent manifests, oldest first.
+func (s *Store) History(proc protocol.ProcessID) []*Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Manifest, 0, len(s.perm[proc]))
+	for _, m := range s.perm[proc] {
+		out = append(out, manifestCopy(m))
+	}
+	return out
+}
+
+// TentativeTriggers lists proc's pending payload triggers in (Pid, Inum)
+// order.
+func (s *Store) TentativeTriggers(proc protocol.ProcessID) []protocol.Trigger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tentTriggersLocked(proc)
+}
+
+func (s *Store) tentTriggersLocked(proc protocol.ProcessID) []protocol.Trigger {
+	out := make([]protocol.Trigger, 0, len(s.tent[proc]))
+	for trig := range s.tent[proc] {
+		out = append(out, trig)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pid != out[j].Pid {
+			return out[i].Pid < out[j].Pid
+		}
+		return out[i].Inum < out[j].Inum
+	})
+	return out
+}
+
+func manifestCopy(m *Manifest) *Manifest {
+	cp := *m
+	cp.Hashes = append([]wire.ChunkHash(nil), m.Hashes...)
+	return &cp
+}
+
+// Materialize reassembles proc's newest permanent payload image. ok is
+// false when no payload has been committed.
+func (s *Store) Materialize(proc protocol.ProcessID) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.perm[proc]
+	if len(ms) == 0 {
+		return nil, false, nil
+	}
+	img, err := s.materializeLocked(ms[len(ms)-1])
+	return img, true, err
+}
+
+func (s *Store) materializeLocked(m *Manifest) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(int(m.Length))
+	for i, h := range m.Hashes {
+		data, err := s.readChunkLocked(h)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: P%d %+v chunk %d: %w", m.Proc, m.Trigger, i, err)
+		}
+		buf.Write(data)
+	}
+	if int64(buf.Len()) != m.Length {
+		return nil, fmt.Errorf("chunkstore: P%d %+v materialized %d bytes, manifest says %d", m.Proc, m.Trigger, buf.Len(), m.Length)
+	}
+	return buf.Bytes(), nil
+}
+
+// Verify checks that every retained manifest for proc — the permanent
+// history and pending tentatives — resolves to intact, hash-verified
+// chunks.
+func (s *Store) Verify(proc protocol.ProcessID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	seen := make(map[wire.ChunkHash]bool)
+	check := func(m *Manifest) error {
+		for i, h := range m.Hashes {
+			if seen[h] {
+				continue
+			}
+			if _, err := s.readChunkLocked(h); err != nil {
+				return fmt.Errorf("chunkstore: P%d %+v chunk %d: %w", m.Proc, m.Trigger, i, err)
+			}
+			seen[h] = true
+		}
+		return nil
+	}
+	for _, m := range s.perm[proc] {
+		if err := check(m); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.tent[proc] {
+		if err := check(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a point-in-time summary.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Stores = 1
+	st.Segments = len(s.segs)
+	st.Chunks = len(s.chunks)
+	st.DiskBytes = s.diskBytes
+	st.LiveBytes = s.liveBytes
+	for _, info := range s.chunks {
+		if info.refs > 0 {
+			st.LiveChunks++
+		}
+	}
+	for _, ms := range s.perm {
+		st.Permanents += len(ms)
+	}
+	for _, tm := range s.tent {
+		st.Tentatives += len(tm)
+	}
+	return st
+}
+
+// Close syncs (per policy) and closes the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.active == nil {
+		return s.broken
+	}
+	serr := error(nil)
+	if s.broken == nil {
+		serr = s.syncActive()
+	}
+	cerr := s.active.Close()
+	s.active = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

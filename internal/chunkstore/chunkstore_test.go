@@ -1,0 +1,456 @@
+package chunkstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable/errfs"
+)
+
+func trig(pid, inum int) protocol.Trigger {
+	return protocol.Trigger{Pid: protocol.ProcessID(pid), Inum: inum}
+}
+
+func testOpts(fs *errfs.MemFS) Options {
+	return Options{FS: fs, ChunkBytes: 1 << 10, SegmentBytes: 16 << 10, Keep: 2}
+}
+
+func randImage(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// mutate flips a few chunks of the image in place, returning a copy.
+func mutate(rng *rand.Rand, img []byte, chunkBytes, dirty int) []byte {
+	out := append([]byte(nil), img...)
+	chunks := (len(out) + chunkBytes - 1) / chunkBytes
+	for i := 0; i < dirty; i++ {
+		c := rng.Intn(chunks)
+		off := c * chunkBytes
+		out[off] ^= byte(1 + rng.Intn(255))
+	}
+	return out
+}
+
+func TestSaveCommitMaterialize(t *testing.T) {
+	fs := errfs.New()
+	s, err := Open("cs", testOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	img := randImage(rng, 10<<10)
+	r, err := s.PutTentative(0, trig(0, 1), time.Second, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chunks != 10 || r.NewChunks != 10 || r.DedupChunks != 0 {
+		t.Fatalf("first save receipt: %+v", r)
+	}
+	if r.LogicalBytes != 10<<10 || r.NewBytes <= r.LogicalBytes {
+		t.Fatalf("first save bytes: %+v", r)
+	}
+	if _, ok, _ := s.Materialize(0); ok {
+		t.Fatal("permanent payload before commit")
+	}
+	if err := s.CommitTentative(0, trig(0, 1), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Materialize(0)
+	if err != nil || !ok {
+		t.Fatalf("materialize: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("materialized image differs")
+	}
+	if err := s.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalDedup(t *testing.T) {
+	fs := errfs.New()
+	s, err := Open("cs", testOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	img := randImage(rng, 32<<10)
+	if _, err := s.PutTentative(0, trig(0, 1), 0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitTentative(0, trig(0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty 2 of 32 chunks: the second save must write ~2 chunks.
+	img2 := mutate(rng, img, 1<<10, 2)
+	r, err := s.PutTentative(0, trig(0, 2), 0, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NewChunks > 2 || r.DedupChunks < 30 {
+		t.Fatalf("incremental receipt: %+v", r)
+	}
+	if r.NewBytes >= uint64(len(img2))/4 {
+		t.Fatalf("incremental wrote %d bytes for a %d byte image", r.NewBytes, len(img2))
+	}
+	if err := s.CommitTentative(0, trig(0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Materialize(0)
+	if err != nil || !bytes.Equal(got, img2) {
+		t.Fatalf("materialize after incremental: %v", err)
+	}
+}
+
+func TestFullModeRewritesEverything(t *testing.T) {
+	fs := errfs.New()
+	opts := testOpts(fs)
+	opts.Mode = ModeFull
+	s, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := randImage(rand.New(rand.NewSource(3)), 8<<10)
+	for i := 1; i <= 2; i++ {
+		r, err := s.PutTentative(0, trig(0, i), 0, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NewChunks != 8 || r.DedupChunks != 0 {
+			t.Fatalf("full-mode save %d receipt: %+v", i, r)
+		}
+		if err := s.CommitTentative(0, trig(0, i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := s.Materialize(0)
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("full-mode materialize: %v", err)
+	}
+}
+
+func TestDeltaMode(t *testing.T) {
+	fs := errfs.New()
+	opts := testOpts(fs)
+	opts.Mode = ModeDelta
+	s, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	img := randImage(rng, 16<<10)
+	if _, err := s.PutTentative(0, trig(0, 1), 0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitTentative(0, trig(0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in each of 4 chunks: delta encodes a few bytes per
+	// chunk instead of 1 KiB.
+	img2 := append([]byte(nil), img...)
+	for c := 0; c < 4; c++ {
+		img2[c*(1<<10)+17] ^= 0xff
+	}
+	r, err := s.PutTentative(0, trig(0, 2), 0, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeltaChunks != 4 {
+		t.Fatalf("delta receipt: %+v", r)
+	}
+	if r.NewBytes > 2048 {
+		t.Fatalf("delta wrote %d bytes for 4 one-byte flips", r.NewBytes)
+	}
+	if err := s.CommitTentative(0, trig(0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Materialize(0)
+	if err != nil || !bytes.Equal(got, img2) {
+		t.Fatalf("delta materialize: %v", err)
+	}
+	if err := s.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropReleasesAndReopenAgrees(t *testing.T) {
+	fs := errfs.New()
+	s, err := Open("cs", testOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	img := randImage(rng, 8<<10)
+	if _, err := s.PutTentative(1, trig(1, 1), 0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitTentative(1, trig(1, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutTentative(1, trig(1, 2), 0, randImage(rng, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTentative(1, trig(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TentativeTriggers(1); len(got) != 0 {
+		t.Fatalf("tentatives after drop: %v", got)
+	}
+	st := s.Stats()
+	if st.GarbageBytes() <= 0 {
+		t.Fatalf("dropped chunks not garbage: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the dropped tentative must not resurface; the permanent
+	// must materialize.
+	s2, err := Open("cs", testOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.TentativeTriggers(1); len(got) != 0 {
+		t.Fatalf("tentatives after reopen: %v", got)
+	}
+	got, ok, err := s2.Materialize(1)
+	if err != nil || !ok || !bytes.Equal(got, img) {
+		t.Fatalf("reopen materialize: ok=%v err=%v", ok, err)
+	}
+	if err := s2.Verify(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionReclaimsGarbage(t *testing.T) {
+	fs := errfs.New()
+	opts := testOpts(fs)
+	opts.Keep = 1
+	s, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	img := randImage(rng, 16<<10)
+	for i := 1; i <= 8; i++ {
+		img = mutate(rng, img, 1<<10, 8) // half the chunks change each time
+		if _, err := s.PutTentative(0, trig(0, i), 0, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CommitTentative(0, trig(0, i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GarbageBytes() != 0 {
+		t.Fatalf("garbage after compaction: %+v", st)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no compaction counted")
+	}
+	got, _, err := s.Materialize(0)
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("materialize after compaction: %v", err)
+	}
+	// Reopen across the compaction boundary.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = s2.Materialize(0)
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("materialize after reopen over compaction: %v", err)
+	}
+	if err := s2.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionBoundsHistory(t *testing.T) {
+	fs := errfs.New()
+	opts := testOpts(fs)
+	opts.Keep = 2
+	s, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 1; i <= 5; i++ {
+		if _, err := s.PutTentative(0, trig(0, i), time.Duration(i), randImage(rng, 4<<10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CommitTentative(0, trig(0, i), time.Duration(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := s.History(0); len(h) != 2 {
+		t.Fatalf("retained %d manifests, want 2", len(h))
+	}
+	if m, ok := s.Permanent(0); !ok || m.Trigger != trig(0, 5) {
+		t.Fatalf("newest permanent: %+v ok=%v", m, ok)
+	}
+}
+
+func TestDeltaChainForbidden(t *testing.T) {
+	// Successive delta saves must always base on full chunks: materialize
+	// after several generations still round-trips.
+	fs := errfs.New()
+	opts := testOpts(fs)
+	opts.Mode = ModeDelta
+	opts.Keep = 1
+	s, err := Open("cs", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	img := randImage(rng, 8<<10)
+	for i := 1; i <= 6; i++ {
+		img = append([]byte(nil), img...)
+		img[(i%8)*(1<<10)+3] ^= 0x5a
+		if _, err := s.PutTentative(0, trig(0, i), time.Duration(i), img); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CommitTentative(0, trig(0, i), time.Duration(i)); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Materialize(0)
+		if err != nil || !bytes.Equal(got, img) {
+			t.Fatalf("gen %d materialize: %v", i, err)
+		}
+	}
+	if err := s.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4096)
+		base := randImage(rng, n)
+		next := append([]byte(nil), base...)
+		// Random edits, maybe grow or shrink.
+		for e := rng.Intn(8); e > 0; e-- {
+			next[rng.Intn(len(next))] ^= byte(1 + rng.Intn(255))
+		}
+		switch rng.Intn(3) {
+		case 1:
+			next = append(next, randImage(rng, rng.Intn(64))...)
+		case 2:
+			next = next[:rng.Intn(len(next)+1)]
+		}
+		patch := DiffChunk(base, next)
+		if patch == nil {
+			continue // not profitable, stored whole
+		}
+		got, err := ApplyPatch(base, patch)
+		if err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		if !bytes.Equal(got, next) {
+			t.Fatalf("trial %d: roundtrip mismatch (base=%d next=%d patch=%d)", trial, len(base), len(next), len(patch))
+		}
+	}
+}
+
+func TestStripeKillOneMSSRestores(t *testing.T) {
+	// Replication 2 across 3 members: wiping any single member must
+	// leave the newest committed line fully restorable.
+	fs := errfs.New()
+	dirs := StripeDirs("stripe", 3)
+	opts := Options{FS: fs, ChunkBytes: 1 << 10, SegmentBytes: 16 << 10, Keep: 1}
+	st, err := OpenStripe(dirs, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	images := map[protocol.ProcessID][]byte{}
+	for pid := protocol.ProcessID(0); pid < 4; pid++ {
+		img := randImage(rng, 12<<10)
+		images[pid] = img
+		if _, err := st.PutTentative(pid, trig(pid, 1), 0, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CommitTentative(pid, trig(pid, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for victim := 0; victim < 3; victim++ {
+		// Wipe one member's directory: remove all of its segment files.
+		names, err := fs.ReadDir(dirs[victim])
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := map[string][]byte{}
+		for _, name := range names {
+			path := dirs[victim] + "/" + name
+			if data, ok := fs.FileData(path); ok {
+				removed[path] = append([]byte(nil), data...)
+			}
+			if err := fs.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st2, err := OpenStripe(dirs, 2, opts)
+		if err != nil {
+			t.Fatalf("victim %d: reopen: %v", victim, err)
+		}
+		for pid, want := range images {
+			got, ok, err := st2.Materialize(pid)
+			if err != nil || !ok {
+				t.Fatalf("victim %d: P%d restore: ok=%v err=%v", victim, pid, ok, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("victim %d: P%d restored image differs", victim, pid)
+			}
+			if err := st2.Verify(pid); err != nil {
+				t.Fatalf("victim %d: P%d verify: %v", victim, pid, err)
+			}
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Put the victim's files back for the next scenario (clearing
+		// whatever the fresh open created first).
+		now, err := fs.ReadDir(dirs[victim])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range now {
+			if err := fs.Remove(dirs[victim] + "/" + name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for path, data := range removed {
+			f, err := fs.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(data); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.SyncDir(dirs[victim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package chunkstore
+
+// Compaction: the chunk store's garbage collector. The live set — every
+// chunk reachable from a retained permanent manifest or a pending
+// tentative — is rewritten into fresh segments (deltas materialized to
+// full chunks), followed by the manifests themselves, and finally a
+// wire.ChunkOpReset boundary record naming the first rewritten segment.
+// Only after the boundary is durable are the superseded segments
+// removed: a crash anywhere in between leaves either the old chain or a
+// complete new one, never a half state (recovery starts at the newest
+// *complete* boundary it can find).
+
+import (
+	"fmt"
+	"sort"
+
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+	"mutablecp/internal/wire"
+)
+
+// ctrlCompactBytes bounds control-record (manifest/commit/drop) log
+// growth between compactions: even a workload whose payload never
+// changes must not grow the segment chain without bound.
+const ctrlCompactFactor = 4
+
+// maybeCompactLocked runs compaction when unreachable payload bytes
+// exceed the configured fraction of the on-disk payload bytes, or when
+// control records alone have outgrown the chain.
+func (s *Store) maybeCompactLocked() error {
+	if s.opts.GarbageRatio < 0 {
+		return nil
+	}
+	garbage := s.diskBytes - s.liveBytes
+	if garbage > 0 && float64(garbage) >= s.opts.GarbageRatio*float64(s.diskBytes) {
+		return s.compactLocked()
+	}
+	if s.ctrlBytes > ctrlCompactFactor*s.opts.SegmentBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact forces a compaction cycle.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	startSeq := s.nextSeq
+	if err := s.roll(); err != nil {
+		return err
+	}
+
+	// Deterministic manifest order: procs ascending, permanents oldest
+	// first, then tentatives in trigger order.
+	procs := make([]protocol.ProcessID, 0, len(s.perm)+len(s.tent))
+	seen := make(map[protocol.ProcessID]bool)
+	for p := range s.perm {
+		if !seen[p] {
+			procs = append(procs, p)
+			seen[p] = true
+		}
+	}
+	for p := range s.tent {
+		if !seen[p] {
+			procs = append(procs, p)
+			seen[p] = true
+		}
+	}
+	sort.Ints(procs)
+
+	newIdx := make(map[wire.ChunkHash]*chunkInfo)
+	var newDisk int64
+	copyChunks := func(m *Manifest) error {
+		for _, h := range m.Hashes {
+			if newIdx[h] != nil {
+				continue
+			}
+			if s.chunks[h] == nil {
+				if s.opts.Partial {
+					continue // placed on another stripe member
+				}
+				return fmt.Errorf("chunkstore: compact: manifest P%d %+v references missing chunk %x", m.Proc, m.Trigger, h[:8])
+			}
+			data, err := s.readChunkLocked(h)
+			if err != nil {
+				return err
+			}
+			seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Hash: h, Payload: data}, false)
+			if err != nil {
+				return err
+			}
+			newIdx[h] = &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off}
+			newDisk += int64(len(data))
+		}
+		return nil
+	}
+	writeManifest := func(m *Manifest, status uint8) error {
+		return s.append(&wire.ChunkRecord{
+			Op: wire.ChunkOpManifest, Proc: m.Proc, Trigger: m.Trigger, At: m.At,
+			Status: status, ChunkBytes: m.ChunkBytes, Length: m.Length, Hashes: m.Hashes,
+		}, false)
+	}
+	for _, p := range procs {
+		for _, m := range s.perm[p] {
+			if err := copyChunks(m); err != nil {
+				return err
+			}
+			if err := writeManifest(m, statusPermanent); err != nil {
+				return err
+			}
+		}
+		for _, trig := range s.tentTriggersLocked(p) {
+			m := s.tent[p][trig]
+			if err := copyChunks(m); err != nil {
+				return err
+			}
+			if err := writeManifest(m, statusTentative); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Make the rewrite durable, then publish the boundary. Recovery only
+	// trusts a boundary whose record is intact, so a crash before this
+	// point leaves the old chain authoritative.
+	if err := s.syncActive(); err != nil {
+		return err
+	}
+	if err := s.roll(); err != nil {
+		return err
+	}
+	if err := s.append(&wire.ChunkRecord{Op: wire.ChunkOpReset, Length: int64(startSeq)}, true); err != nil {
+		return err
+	}
+
+	// Remove the superseded prefix (crash here leaves any subset behind;
+	// recovery ignores everything before the boundary's target).
+	var keep []string
+	for _, path := range s.segs {
+		seq, ok := chunkSegSeq(segBase(path))
+		if ok && seq < startSeq {
+			if err := s.fs.Remove(path); err != nil {
+				return s.poison(fmt.Errorf("chunkstore: compact remove %s: %w", path, err))
+			}
+			continue
+		}
+		keep = append(keep, path)
+	}
+	s.segs = keep
+	if s.opts.Sync != stable.SyncNever {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return s.poison(fmt.Errorf("chunkstore: sync dir %s: %w", s.dir, err))
+		}
+		s.stats.Syncs++
+	}
+
+	s.chunks = newIdx
+	s.diskBytes = newDisk
+	s.ctrlBytes = 0
+	if err := s.rebuildRefs(); err != nil {
+		return err
+	}
+	s.stats.Compactions++
+	return nil
+}

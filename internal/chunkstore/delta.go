@@ -1,0 +1,152 @@
+package chunkstore
+
+// Chunk delta encoding. A patch rewrites a base chunk into the new
+// chunk as a sparse list of differing runs:
+//
+//	uvarint outLen
+//	repeat: uvarint gap (bytes copied from base), uvarint runLen, runLen literal bytes
+//
+// Nearby differing runs are merged (a gap shorter than mergeGap costs
+// more to encode than to inline), and the patch is only used when it is
+// materially smaller than the chunk itself — otherwise the chunk is
+// stored whole. Bases are always full chunks: a delta never builds on
+// another delta, so materialization is one patch application.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// mergeGap is the run-merge threshold: two differing runs separated by
+// fewer than this many equal bytes are emitted as one run.
+const mergeGap = 8
+
+// deltaWorthNum/Den: a patch is used only if it is at most 3/4 of the
+// chunk size, so marginal patches don't trade read-path work for
+// nothing.
+const (
+	deltaWorthNum = 3
+	deltaWorthDen = 4
+)
+
+// DiffChunk computes a patch turning base into next, or nil when a patch
+// would not be materially smaller than storing next whole.
+func DiffChunk(base, next []byte) []byte {
+	limit := len(next) * deltaWorthNum / deltaWorthDen
+	patch := make([]byte, 0, limit+2*binary.MaxVarintLen64)
+	patch = binary.AppendUvarint(patch, uint64(len(next)))
+
+	n := len(next)
+	if len(base) < n {
+		n = len(base)
+	}
+	pos := 0 // next unemitted offset in next
+	i := 0
+	for i < n {
+		if next[i] == base[i] {
+			i++
+			continue
+		}
+		// Start of a differing run; extend it, merging across short gaps.
+		j := i + 1
+		eq := 0
+		for j < n {
+			if next[j] == base[j] {
+				eq++
+				if eq >= mergeGap {
+					// The last eq bytes are equal; end the run before them.
+					j -= eq - 1
+					break
+				}
+			} else {
+				eq = 0
+			}
+			j++
+		}
+		if j >= n && eq > 0 {
+			// Trailing equal bytes below the merge threshold: drop them
+			// from the run anyway, they cost literals for nothing.
+			j -= eq
+		}
+		patch = binary.AppendUvarint(patch, uint64(i-pos))
+		patch = binary.AppendUvarint(patch, uint64(j-i))
+		patch = append(patch, next[i:j]...)
+		pos = j
+		i = j
+		if len(patch) > limit {
+			return nil
+		}
+	}
+	if len(next) > n {
+		// next extends past base: the tail is one literal run.
+		patch = binary.AppendUvarint(patch, uint64(n-pos))
+		patch = binary.AppendUvarint(patch, uint64(len(next)-n))
+		patch = append(patch, next[n:]...)
+	}
+	if len(patch) > limit {
+		return nil
+	}
+	return patch
+}
+
+// ApplyPatch rebuilds the patched chunk from its base.
+func ApplyPatch(base, patch []byte) ([]byte, error) {
+	outLen, k := binary.Uvarint(patch)
+	if k <= 0 {
+		return nil, fmt.Errorf("chunkstore: patch header truncated")
+	}
+	if outLen > uint64(maxChunkBytes) {
+		return nil, fmt.Errorf("chunkstore: patch output %d exceeds chunk limit", outLen)
+	}
+	out := make([]byte, 0, outLen)
+	p := patch[k:]
+	pos := 0
+	for len(p) > 0 {
+		gap, k := binary.Uvarint(p)
+		if k <= 0 {
+			return nil, fmt.Errorf("chunkstore: patch gap truncated")
+		}
+		p = p[k:]
+		runLen, k := binary.Uvarint(p)
+		if k <= 0 {
+			return nil, fmt.Errorf("chunkstore: patch run length truncated")
+		}
+		p = p[k:]
+		if uint64(pos)+gap > uint64(len(base)) {
+			return nil, fmt.Errorf("chunkstore: patch gap past base end")
+		}
+		out = append(out, base[pos:pos+int(gap)]...)
+		pos += int(gap)
+		if runLen > uint64(len(p)) {
+			return nil, fmt.Errorf("chunkstore: patch literals truncated")
+		}
+		out = append(out, p[:runLen]...)
+		p = p[runLen:]
+		pos += int(runLen)
+		if uint64(len(out)) > outLen {
+			return nil, fmt.Errorf("chunkstore: patch output overruns declared length")
+		}
+	}
+	// Trailing bytes of base past the last run are implicitly copied.
+	if uint64(len(out)) < outLen {
+		need := int(outLen) - len(out)
+		if pos+need > len(base) {
+			return nil, fmt.Errorf("chunkstore: patch output short (%d of %d bytes)", len(out), outLen)
+		}
+		out = append(out, base[pos:pos+need]...)
+	}
+	return out, nil
+}
+
+// patchOutLen reads the declared output length of a patch (used by
+// replay to size index entries without materializing).
+func patchOutLen(patch []byte) (int, error) {
+	outLen, k := binary.Uvarint(patch)
+	if k <= 0 {
+		return 0, fmt.Errorf("chunkstore: patch header truncated")
+	}
+	if outLen > uint64(maxChunkBytes) {
+		return 0, fmt.Errorf("chunkstore: patch output %d exceeds chunk limit", outLen)
+	}
+	return int(outLen), nil
+}

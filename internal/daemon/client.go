@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/wire"
@@ -84,6 +85,21 @@ func (c *Client) Line() (protocol.State, error) {
 func (c *Client) Metrics() (Metrics, error) {
 	resp, err := c.do(Request{Op: OpMetrics}, DialTimeout)
 	return resp.Metrics, err
+}
+
+// Store fetches the daemon's payload chunk-store stats (and runs its
+// integrity audit daemon-side). ok is false when the daemon runs
+// without a payload plane.
+func (c *Client) Store() (stats chunkstore.Stats, ok bool, err error) {
+	resp, err := c.do(Request{Op: OpStore}, DialTimeout)
+	return resp.Payload, resp.HasPayload, err
+}
+
+// Resolve reports whether the checkpointing instance identified by trig
+// committed at this daemon (its permanent history retains the trigger).
+func (c *Client) Resolve(trig protocol.Trigger) (bool, error) {
+	resp, err := c.do(Request{Op: OpResolve, Trig: trig}, DialTimeout)
+	return resp.Resolved, err
 }
 
 // Rollback restores the daemon to its newest permanent checkpoint.

@@ -15,9 +15,11 @@ import (
 	"path/filepath"
 	"time"
 
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/harness"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/stable"
+	"mutablecp/internal/workload"
 )
 
 // Config describes a whole cluster; every daemon loads the same file and
@@ -36,6 +38,19 @@ type Config struct {
 	RequestTimeoutMS int `json:"request_timeout_ms,omitempty"`
 	// NoSync disables fsync on commit (tests and benchmarks only).
 	NoSync bool `json:"no_sync,omitempty"`
+	// PayloadBytes, when positive, attaches the checkpoint payload plane:
+	// each daemon carries a synthetic process image of this size, stored
+	// into a content-addressed chunk store under StoreDir/chunks with a
+	// lifecycle shadowing the control plane's tentative/permanent one.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// PayloadChunkBytes is the chunking granularity (default 4096).
+	PayloadChunkBytes int `json:"payload_chunk_bytes,omitempty"`
+	// PayloadProfile mutates the image between checkpoints: "uniform"
+	// (default), "skewed", or "append".
+	PayloadProfile string `json:"payload_profile,omitempty"`
+	// PayloadMode selects payload storage: "incremental" (default),
+	// "delta", or "full".
+	PayloadMode string `json:"payload_mode,omitempty"`
 	// Nodes lists every process. IDs must be exactly 0..len(Nodes)-1
 	// (the engines index peers densely), in any order.
 	Nodes []NodeConfig `json:"nodes"`
@@ -90,6 +105,23 @@ func (c *Config) StoreOptions() stable.Options {
 	return opts
 }
 
+// ChunkOptions returns the chunkstore.Options for the payload plane
+// (meaningful only when PayloadBytes > 0; Validate already vetted the
+// mode string).
+func (c *Config) ChunkOptions() chunkstore.Options {
+	mode, _ := chunkstore.ParseMode(c.PayloadMode)
+	opts := chunkstore.Options{
+		ChunkBytes: c.PayloadChunkBytes,
+		Mode:       mode,
+		Keep:       1,
+		Sync:       stable.SyncOnCommit,
+	}
+	if c.NoSync {
+		opts.Sync = stable.SyncNever
+	}
+	return opts
+}
+
 // Validate rejects configs a cluster cannot run on. It is deliberately
 // strict: a bad cluster file should fail every daemon at startup, not
 // wedge the protocol at the first checkpoint.
@@ -114,6 +146,14 @@ func (c *Config) Validate() error {
 	}
 	if _, err := harness.NewEngine(algo); err != nil {
 		return fmt.Errorf("daemon: %w", err)
+	}
+	if c.PayloadBytes > 0 {
+		if _, err := workload.ParseImageProfile(c.PayloadProfile); err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
+		if _, err := chunkstore.ParseMode(c.PayloadMode); err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
 	}
 	seen := make(map[int]bool, len(c.Nodes))
 	addrs := make(map[string]string, 2*len(c.Nodes))

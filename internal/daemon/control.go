@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/stable"
 	"mutablecp/internal/wire"
@@ -21,6 +22,8 @@ const (
 	OpSend       = "send"
 	OpLine       = "line"
 	OpMetrics    = "metrics"
+	OpStore      = "store"
+	OpResolve    = "resolve"
 	OpRollback   = "rollback"
 	OpShutdown   = "shutdown"
 )
@@ -28,9 +31,10 @@ const (
 // Request is one control call.
 type Request struct {
 	Op      string
-	To      int    // send: destination process
-	Payload []byte // send: application payload
-	WaitMS  int    // checkpoint: wait bound (0 = 2x request timeout)
+	To      int              // send: destination process
+	Payload []byte           // send: application payload
+	WaitMS  int              // checkpoint: wait bound (0 = 2x request timeout)
+	Trig    protocol.Trigger // resolve: the instance to look up
 }
 
 // Response is the answer to any Request; Err is empty on success and
@@ -56,6 +60,13 @@ type Response struct {
 
 	// metrics
 	Metrics Metrics
+
+	// store
+	HasPayload bool
+	Payload    chunkstore.Stats
+
+	// resolve
+	Resolved bool
 }
 
 // Metrics aggregates one daemon's counters for the control plane.
@@ -162,6 +173,38 @@ func (d *Daemon) handleControl(req Request) Response {
 			return fail(err)
 		}
 		resp.Metrics = m
+	case OpStore:
+		err := d.onLoop(func() {
+			if d.payload == nil {
+				return
+			}
+			resp.HasPayload = true
+			resp.Payload = d.payload.Stats()
+			// The audit doubles as a health probe: a store op from mcpctl
+			// should notice on-disk corruption, not just report counters.
+			if err := d.payload.Verify(d.ID()); err != nil {
+				resp.Err = err.Error()
+			}
+		})
+		if err != nil {
+			return fail(err)
+		}
+	case OpResolve:
+		// Did the instance req.Trig commit here? A restarting peer asks
+		// this to settle a tentative checkpoint it acked before crashing
+		// (2PC in-doubt resolution: the commit decision outlives the
+		// crash at the survivors' stores).
+		err := d.onLoop(func() {
+			for _, rec := range d.store.History() {
+				if rec.Trigger == req.Trig {
+					resp.Resolved = true
+					return
+				}
+			}
+		})
+		if err != nil {
+			return fail(err)
+		}
 	case OpRollback:
 		if err := d.Rollback(); err != nil {
 			return fail(err)

@@ -11,11 +11,13 @@ import (
 	"time"
 
 	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/harness"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/stable"
 	"mutablecp/internal/trace"
 	"mutablecp/internal/wire"
+	"mutablecp/internal/workload"
 )
 
 // mailbox is an unbounded FIFO queue feeding the daemon's event loop —
@@ -84,6 +86,15 @@ type Daemon struct {
 	store     *stable.Store
 	mutable   *checkpoint.MutableStore
 	mb        *mailbox
+
+	// Payload plane (nil/empty without Config.PayloadBytes). The chunk
+	// store holds the image bytes; images steps the synthetic process
+	// image; pendingImg holds images captured at mutable saves for later
+	// promotion. Loop-goroutine only, like the engine.
+	payload    *chunkstore.Store
+	pview      checkpoint.PayloadStore
+	images     *workload.Images
+	pendingImg map[protocol.Trigger][]byte
 
 	sessions []*peerSession // nil at d.id
 
@@ -165,20 +176,40 @@ func New(cfg *Config, id int) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: open store: %w", err)
 	}
+	if cfg.PayloadBytes > 0 {
+		d.payload, err = chunkstore.Open(chunkstore.Dir(dir), cfg.ChunkOptions())
+		if err != nil {
+			d.store.Close() //nolint:errcheck
+			return nil, fmt.Errorf("daemon: open payload store: %w", err)
+		}
+		d.pview = d.payload.Proc(d.ID())
+		profile, _ := workload.ParseImageProfile(cfg.PayloadProfile)
+		d.images = workload.NewImages(workload.ImagesConfig{
+			Procs:     1,
+			Bytes:     cfg.PayloadBytes,
+			PageBytes: cfg.PayloadChunkBytes,
+			Profile:   profile,
+			Seed:      uint64(id) + 1,
+		})
+	}
+	if err := d.resolveInDoubt(); err != nil {
+		d.closeStores()
+		return nil, err
+	}
 	if err := d.restoreFromStore(); err != nil {
-		d.store.Close() //nolint:errcheck
+		d.closeStores()
 		return nil, err
 	}
 
 	d.dataLn, err = net.Listen("tcp", nc.Addr)
 	if err != nil {
-		d.store.Close() //nolint:errcheck
+		d.closeStores()
 		return nil, fmt.Errorf("daemon: listen %s: %w", nc.Addr, err)
 	}
 	d.ctlLn, err = net.Listen("tcp", nc.CtlAddr)
 	if err != nil {
 		d.dataLn.Close() //nolint:errcheck
-		d.store.Close()  //nolint:errcheck
+		d.closeStores()
 		return nil, fmt.Errorf("daemon: listen %s: %w", nc.CtlAddr, err)
 	}
 
@@ -229,6 +260,69 @@ func (d *Daemon) dialPeers() {
 	}
 }
 
+// resolveInDoubt settles tentative checkpoints that survived a crash,
+// before restoreFromStore presumes abort and drops them. Presumed abort
+// is wrong in exactly one race: this daemon persisted and acked the
+// tentative, the initiator collected every ack and committed the
+// instance, and the crash landed before the commit broadcast was
+// processed here. The commit decision outlives the crash in the
+// survivors' stores, so ask them over the control plane: if any live
+// peer's permanent history retains the tentative's trigger, the
+// instance committed and the tentative is promoted here too. With no
+// reachable peer (cold cluster start) or no peer retaining the trigger,
+// the presumed-abort path stands and restoreFromStore drops it.
+func (d *Daemon) resolveInDoubt() error {
+	tents := d.store.TentativeTriggers()
+	if len(tents) == 0 {
+		return nil
+	}
+	committed := make(map[protocol.Trigger]bool, len(tents))
+	for _, nc := range d.cfg.Nodes {
+		if nc.ID == d.id {
+			continue
+		}
+		cl, err := Dial(nc.CtlAddr)
+		if err != nil {
+			continue // down or restarting too: it cannot vote
+		}
+		for _, trig := range tents {
+			if committed[trig] {
+				continue
+			}
+			if ok, rerr := cl.Resolve(trig); rerr == nil && ok {
+				committed[trig] = true
+			}
+		}
+		cl.Close() //nolint:errcheck
+	}
+	for _, trig := range tents {
+		if !committed[trig] {
+			continue
+		}
+		d.logf("promoting in-doubt tentative %+v: instance committed at a peer", trig)
+		if err := d.store.MakePermanent(trig, d.Now()); err != nil {
+			return fmt.Errorf("daemon: promote in-doubt tentative: %w", err)
+		}
+		if d.pview == nil {
+			continue
+		}
+		err := d.pview.CommitPayload(trig, d.Now())
+		if errors.Is(err, checkpoint.ErrNoPayload) {
+			// The crash landed between the control record and the payload
+			// save; store the current image so the promoted checkpoint
+			// stays restorable.
+			if _, serr := d.pview.SavePayload(trig, d.Now(), d.images.Image(0)); serr != nil {
+				return fmt.Errorf("daemon: re-save in-doubt payload: %w", serr)
+			}
+			err = d.pview.CommitPayload(trig, d.Now())
+		}
+		if err != nil {
+			return fmt.Errorf("daemon: promote in-doubt payload: %w", err)
+		}
+	}
+	return nil
+}
+
 // restoreFromStore aligns in-memory state with the on-disk store: stale
 // tentatives from a crashed instance are dropped (they never committed;
 // the initiator's §3.6 timeout aborted the instance for the survivors),
@@ -240,6 +334,20 @@ func (d *Daemon) restoreFromStore() error {
 		if err := d.store.DropTentative(trig); err != nil {
 			return fmt.Errorf("daemon: drop stale tentative: %w", err)
 		}
+	}
+	if d.payload != nil {
+		// The payload plane mirrors the discard: a tentative image whose
+		// instance died with the old incarnation will never commit.
+		for _, trig := range d.payload.TentativeTriggers(d.ID()) {
+			d.logger.Printf("dropping stale tentative payload %+v from before restart", trig)
+			if err := d.payload.DropTentative(d.ID(), trig); err != nil {
+				return fmt.Errorf("daemon: drop stale tentative payload: %w", err)
+			}
+		}
+		if err := d.payload.Verify(d.ID()); err != nil {
+			return fmt.Errorf("daemon: payload audit after restart: %w", err)
+		}
+		d.pendingImg = nil
 	}
 	perm := d.store.Permanent()
 	d.sentTo = append([]uint64(nil), protocol.PadCounters(perm.State.SentTo, d.n)...)
@@ -434,10 +542,21 @@ func (d *Daemon) Stop() {
 			}
 		}
 		d.wg.Wait()
-		if err := d.store.Close(); err != nil {
-			d.logf("store close: %v", err)
-		}
+		d.closeStores()
 	})
+}
+
+// closeStores closes the stable store and, when present, the payload
+// chunk store.
+func (d *Daemon) closeStores() {
+	if err := d.store.Close(); err != nil {
+		d.logf("store close: %v", err)
+	}
+	if d.payload != nil {
+		if err := d.payload.Close(); err != nil {
+			d.logf("payload store close: %v", err)
+		}
+	}
 }
 
 // --- operations (control plane entry points) ---
@@ -599,10 +718,20 @@ func (d *Daemon) CaptureState() protocol.State {
 	}
 }
 
+// savePayload stores the given image as trig's tentative payload.
+func (d *Daemon) savePayload(trig protocol.Trigger, img []byte) {
+	if _, err := d.pview.SavePayload(trig, d.Now(), img); err != nil {
+		panic(fmt.Sprintf("mcpd P%d: save payload: %v", d.id, err))
+	}
+}
+
 // SaveTentative implements protocol.Env.
 func (d *Daemon) SaveTentative(s protocol.State, trig protocol.Trigger) {
 	if err := d.store.SaveTentative(s, trig, d.Now()); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+	if d.pview != nil {
+		d.savePayload(trig, d.images.Image(0))
 	}
 }
 
@@ -610,6 +739,13 @@ func (d *Daemon) SaveTentative(s protocol.State, trig protocol.Trigger) {
 func (d *Daemon) SaveMutable(s protocol.State, trig protocol.Trigger) {
 	if err := d.mutable.Save(s, trig, d.Now()); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+	if d.pview != nil {
+		// Freeze the image now; a promotion transfers this snapshot.
+		if d.pendingImg == nil {
+			d.pendingImg = make(map[protocol.Trigger][]byte)
+		}
+		d.pendingImg[trig] = d.images.Image(0)
 	}
 }
 
@@ -622,6 +758,14 @@ func (d *Daemon) PromoteMutable(trig protocol.Trigger) {
 	if err := d.store.SaveTentative(rec.State, trig, d.Now()); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 	}
+	if d.pview != nil {
+		img, ok := d.pendingImg[trig]
+		delete(d.pendingImg, trig)
+		if !ok {
+			img = d.images.Image(0)
+		}
+		d.savePayload(trig, img)
+	}
 }
 
 // DiscardMutable implements protocol.Env.
@@ -629,6 +773,7 @@ func (d *Daemon) DiscardMutable(trig protocol.Trigger) {
 	if _, err := d.mutable.Take(trig); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 	}
+	delete(d.pendingImg, trig)
 }
 
 // MakePermanent implements protocol.Env.
@@ -636,12 +781,22 @@ func (d *Daemon) MakePermanent(trig protocol.Trigger) {
 	if err := d.store.MakePermanent(trig, d.Now()); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 	}
+	if d.pview != nil {
+		if err := d.pview.CommitPayload(trig, d.Now()); err != nil {
+			panic(fmt.Sprintf("mcpd P%d: commit payload: %v", d.id, err))
+		}
+	}
 }
 
 // DropTentative implements protocol.Env.
 func (d *Daemon) DropTentative(trig protocol.Trigger) {
 	if err := d.store.DropTentative(trig); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+	}
+	if d.pview != nil {
+		if err := d.pview.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+			panic(fmt.Sprintf("mcpd P%d: drop payload: %v", d.id, err))
+		}
 	}
 }
 

@@ -218,6 +218,10 @@ func TestClusterE2E(t *testing.T) {
 	} else if !committed {
 		t.Fatal("checkpoint 1 aborted on a healthy cluster")
 	}
+	// The initiator reports committed as soon as it decides; participants
+	// make their tentatives permanent when the commit broadcast reaches
+	// them. Quiesce before auditing so the line is fully persisted.
+	quiesce(t, cfg, 10*time.Second)
 	if _, err := daemon.AuditLine(cfg); err != nil {
 		t.Fatalf("live audit after commit: %v", err)
 	}
@@ -285,6 +289,7 @@ func TestClusterE2E(t *testing.T) {
 	} else if !committed {
 		t.Fatal("post-recovery checkpoint aborted")
 	}
+	quiesce(t, cfg, 10*time.Second) // let the commit broadcast persist everywhere
 	if _, err := daemon.AuditLine(cfg); err != nil {
 		t.Fatalf("live audit after recovery commit: %v", err)
 	}

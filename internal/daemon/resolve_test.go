@@ -1,0 +1,127 @@
+package daemon_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"mutablecp/internal/daemon"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/stable"
+)
+
+// seedStore writes a daemon's on-disk store as a crash would leave it:
+// instance {0,1} committed everywhere, and instance {0,2} either
+// committed (a survivor that processed the commit broadcast) or left
+// tentative (the victim, which persisted and acked the tentative but
+// died before the commit reached it).
+func seedStore(t *testing.T, cfg *daemon.Config, id int, secondCommitted bool) {
+	t.Helper()
+	dir := cfg.StoreDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, err := stable.Open(dir, protocol.ProcessID(id), cfg.N(), cfg.StoreOptions())
+	if err != nil {
+		t.Fatalf("seed P%d: %v", id, err)
+	}
+	defer st.Close() //nolint:errcheck
+	commit := func(inum int) {
+		trig := protocol.Trigger{Pid: 0, Inum: inum}
+		state := protocol.State{Proc: protocol.ProcessID(id), CSN: inum}
+		if err := st.SaveTentative(state, trig, 0); err != nil {
+			t.Fatalf("seed P%d tentative %d: %v", id, inum, err)
+		}
+		if err := st.MakePermanent(trig, 0); err != nil {
+			t.Fatalf("seed P%d permanent %d: %v", id, inum, err)
+		}
+	}
+	commit(1)
+	if secondCommitted {
+		commit(2)
+		return
+	}
+	trig := protocol.Trigger{Pid: 0, Inum: 2}
+	state := protocol.State{Proc: protocol.ProcessID(id), CSN: 2}
+	if err := st.SaveTentative(state, trig, 0); err != nil {
+		t.Fatalf("seed P%d in-doubt tentative: %v", id, err)
+	}
+}
+
+// startSeeded boots the cluster survivors-first (so the victim's in-doubt
+// resolution finds live peers to ask) and returns the victim's permanent
+// CSN after its restart recovery.
+func startSeeded(t *testing.T, cfg *daemon.Config) int {
+	t.Helper()
+	var daemons []*daemon.Daemon
+	t.Cleanup(func() {
+		for _, d := range daemons {
+			d.Stop()
+		}
+	})
+	for _, id := range []int{0, 2, 1} {
+		d, err := daemon.New(cfg, id)
+		if err != nil {
+			t.Fatalf("start P%d: %v", id, err)
+		}
+		daemons = append(daemons, d)
+	}
+	if err := daemon.WaitClusterReady(cfg, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ctlClient(t, cfg, 1).Line()
+	if err != nil {
+		t.Fatalf("P1 line: %v", err)
+	}
+	return st.CSN
+}
+
+// TestRestartPromotesInDoubtTentative pins the 2PC in-doubt resolution a
+// restarting daemon runs before presuming abort: its crash left a
+// tentative checkpoint that the survivors committed, so dropping it
+// would strand the daemon one line behind a committed instance (the
+// recovery audit would then reject the mixed line). The restart must ask
+// the peers and promote.
+func TestRestartPromotesInDoubtTentative(t *testing.T) {
+	cfg := newClusterConfig(t, 3, 2*time.Second)
+	seedStore(t, cfg, 0, true)  // survivor: {0,2} committed
+	seedStore(t, cfg, 2, true)  // survivor: {0,2} committed
+	seedStore(t, cfg, 1, false) // victim: {0,2} still tentative
+
+	if csn := startSeeded(t, cfg); csn != 2 {
+		t.Fatalf("victim restarted on csn %d; want the in-doubt tentative promoted to 2", csn)
+	}
+}
+
+// TestRestartDropsAbortedTentative is the presumed-abort complement: no
+// peer's history retains the tentative's instance (it aborted), so the
+// restarting daemon must drop it and stay on its last committed line.
+func TestRestartDropsAbortedTentative(t *testing.T) {
+	cfg := newClusterConfig(t, 3, 2*time.Second)
+	seedTwo := func(id int) {
+		t.Helper()
+		dir := cfg.StoreDir(id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		st, err := stable.Open(dir, protocol.ProcessID(id), cfg.N(), cfg.StoreOptions())
+		if err != nil {
+			t.Fatalf("seed P%d: %v", id, err)
+		}
+		defer st.Close() //nolint:errcheck
+		trig := protocol.Trigger{Pid: 0, Inum: 1}
+		if err := st.SaveTentative(protocol.State{Proc: protocol.ProcessID(id), CSN: 1}, trig, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MakePermanent(trig, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedTwo(0)
+	seedTwo(2)
+	seedStore(t, cfg, 1, false) // victim: tentative {0,2}, which no peer committed
+
+	if csn := startSeeded(t, cfg); csn != 1 {
+		t.Fatalf("victim restarted on csn %d; want the aborted tentative dropped (csn 1)", csn)
+	}
+}

@@ -21,10 +21,11 @@ import (
 func TraceFingerprint(cfg Config) (string, error) {
 	cfg = cfg.defaults()
 	tl := trace.New()
-	cluster, err := runCluster(cfg, tl)
+	cluster, pr, err := runCluster(cfg, tl)
 	if err != nil {
 		return "", err
 	}
+	defer pr.close()
 	h := fnv.New64a()
 	for _, ev := range tl.Events() {
 		io.WriteString(h, ev.String()) //nolint:errcheck
@@ -44,10 +45,11 @@ func TraceFingerprint(cfg Config) (string, error) {
 // reference run of the same configuration and seed.
 func StateFingerprint(cfg Config) (string, error) {
 	cfg = cfg.defaults()
-	cluster, err := runCluster(cfg, nil)
+	cluster, pr, err := runCluster(cfg, nil)
 	if err != nil {
 		return "", err
 	}
+	defer pr.close()
 	h := fnv.New64a()
 	digestCluster(h, cluster)
 	return fmt.Sprintf("%016x", h.Sum64()), nil

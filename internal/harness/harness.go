@@ -15,6 +15,7 @@ import (
 	"mutablecp/internal/algorithms/logbased"
 	"mutablecp/internal/algorithms/naive"
 	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/core"
 	"mutablecp/internal/protocol"
@@ -159,6 +160,33 @@ type Config struct {
 	// RunSeeds sweep without collisions. The directory must be private to
 	// this experiment.
 	StoreDir string
+
+	// PayloadBytes, when positive, attaches the checkpoint payload plane:
+	// each process carries a synthetic image of this size, stepped by
+	// PayloadProfile at every checkpoint and stored into a
+	// content-addressed chunk store whose save/commit/drop lifecycle
+	// shadows the control plane. The stable transfer is then charged the
+	// deduplicated incremental bytes instead of the fixed 512 KB.
+	// Single-kernel runs only (not with Cells > 1).
+	PayloadBytes int
+	// PayloadChunkBytes is the chunking granularity (default 4 KiB); it
+	// doubles as the image source's page size so dedup accounting is
+	// exact.
+	PayloadChunkBytes int
+	// PayloadProfile selects how images mutate between checkpoints
+	// (uniform, skewed-dirty-page, or append-only).
+	PayloadProfile workload.ImageProfile
+	// PayloadMode selects full, incremental, or delta payload storage.
+	PayloadMode chunkstore.Mode
+	// PayloadStripe, when > 1, stripes the payload across that many MSS
+	// chunk stores with PayloadReplicas copies of every chunk (default 2,
+	// so a crashed MSS never holds the only copy).
+	PayloadStripe   int
+	PayloadReplicas int
+	// PayloadDir, when non-empty, puts the chunk segments on the real
+	// filesystem under per-seed subdirectories; empty keeps them on an
+	// in-memory errfs.
+	PayloadDir string
 }
 
 func (c Config) defaults() Config {
@@ -191,6 +219,14 @@ func (c Config) defaults() Config {
 	}
 	if c.WarmupInitiations == 0 {
 		c.WarmupInitiations = 1
+	}
+	if c.PayloadBytes > 0 {
+		if c.PayloadChunkBytes == 0 {
+			c.PayloadChunkBytes = 4 << 10
+		}
+		if c.PayloadStripe > 1 && c.PayloadReplicas == 0 {
+			c.PayloadReplicas = 2
+		}
 	}
 	return c
 }
@@ -231,6 +267,21 @@ type Result struct {
 	// disagree with).
 	DiskLineOK  bool
 	DiskLineErr error
+
+	// Payload-plane results (Config.PayloadBytes > 0 only).
+	// PayloadRatio = new/logical bytes: what fraction of the naive full
+	// transfer the content-addressed store actually moved.
+	PayloadSaves        uint64
+	PayloadLogicalBytes uint64
+	PayloadNewBytes     uint64
+	PayloadRatio        float64
+	// PayloadVerifyOK is the end-of-run payload audit: every retained
+	// manifest resolves to intact chunks and the newest permanent image
+	// of every process materializes. True (vacuously) without a payload
+	// plane.
+	PayloadVerifyOK  bool
+	PayloadVerifyErr error
+	PayloadStats     chunkstore.Stats
 }
 
 // newGenerator builds the workload generator for one experiment config.
@@ -267,10 +318,10 @@ func newGenerator(cfg Config) (workload.Generator, error) {
 // structured trace attached), drives the workload over the horizon, and
 // drains it. Callers read metrics, state, or the trace off the returned
 // cluster.
-func runCluster(cfg Config, tl *trace.Log) (*simrt.Cluster, error) {
+func runCluster(cfg Config, tl *trace.Log) (*simrt.Cluster, *payloadRun, error) {
 	factory, err := NewEngine(cfg.Algorithm)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	simCfg := simrt.Config{
 		N:                   cfg.N,
@@ -291,14 +342,21 @@ func runCluster(cfg Config, tl *trace.Log) (*simrt.Cluster, error) {
 			return stable.Open(stable.ProcDir(dir, pid), pid, n, storeOpts)
 		}
 	}
+	pr, err := newPayloadRun(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr.wire(&simCfg, cfg)
 	cluster, err := simrt.New(simCfg)
 	if err != nil {
-		return nil, err
+		pr.close()
+		return nil, nil, err
 	}
 
 	gen, err := newGenerator(cfg)
 	if err != nil {
-		return nil, err
+		pr.close()
+		return nil, nil, err
 	}
 	gen.Install(cluster)
 	for i := cfg.N - cfg.DozeCount; cfg.DozeCount > 0 && i < cfg.N; i++ {
@@ -307,20 +365,22 @@ func runCluster(cfg Config, tl *trace.Log) (*simrt.Cluster, error) {
 	cluster.Start()
 
 	if err := cluster.Run(cfg.Horizon); err != nil {
-		return nil, fmt.Errorf("harness: run: %w", err)
+		pr.close()
+		return nil, nil, fmt.Errorf("harness: run: %w", err)
 	}
 	gen.Stop()
 	cluster.StopTimers()
 	if err := cluster.Drain(); err != nil {
-		return nil, fmt.Errorf("harness: drain: %w", err)
+		pr.close()
+		return nil, nil, fmt.Errorf("harness: drain: %w", err)
 	}
-	return cluster, nil
+	return cluster, pr, nil
 }
 
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.defaults()
-	cluster, err := runCluster(cfg, nil)
+	cluster, pr, err := runCluster(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +391,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Config:          cfg,
 		ConsistencyOK:   true,
+		PayloadVerifyOK: true,
 		ClusterErrors:   cluster.Errors(),
 		CompMsgs:        met.CompMsgs,
 		TotalSysMsgs:    met.SysMsgs,
@@ -372,6 +433,13 @@ func Run(cfg Config) (*Result, error) {
 		res.DiskLineErr = checkDiskLine(cluster, storeSeedDir(cfg.StoreDir, cfg.Seed), stable.Options{Keep: 1})
 		res.DiskLineOK = res.DiskLineErr == nil
 	}
+	res.PayloadSaves = met.PayloadSaves
+	res.PayloadLogicalBytes = met.PayloadLogicalBytes
+	res.PayloadNewBytes = met.PayloadNewBytes
+	if res.PayloadLogicalBytes > 0 {
+		res.PayloadRatio = float64(res.PayloadNewBytes) / float64(res.PayloadLogicalBytes)
+	}
+	pr.finish(res, cfg.N)
 	return res, nil
 }
 

@@ -155,6 +155,9 @@ func mergeSeedResults(seeds []uint64, results []*Result) *Result {
 		if res.DiskLineErr != nil {
 			res.DiskLineErr = fmt.Errorf("seed %d: %w", seed, res.DiskLineErr)
 		}
+		if res.PayloadVerifyErr != nil {
+			res.PayloadVerifyErr = fmt.Errorf("seed %d: %w", seed, res.PayloadVerifyErr)
+		}
 		for j, e := range res.ClusterErrors {
 			res.ClusterErrors[j] = fmt.Errorf("seed %d: %w", seed, e)
 		}
@@ -184,10 +187,20 @@ func mergeSeedResults(seeds []uint64, results []*Result) *Result {
 		if merged.DiskLineErr == nil {
 			merged.DiskLineErr = res.DiskLineErr
 		}
+		merged.PayloadSaves += res.PayloadSaves
+		merged.PayloadLogicalBytes += res.PayloadLogicalBytes
+		merged.PayloadNewBytes += res.PayloadNewBytes
+		merged.PayloadVerifyOK = merged.PayloadVerifyOK && res.PayloadVerifyOK
+		if merged.PayloadVerifyErr == nil {
+			merged.PayloadVerifyErr = res.PayloadVerifyErr
+		}
 		merged.ClusterErrors = append(merged.ClusterErrors, res.ClusterErrors...)
 	}
 	if merged.Tentative.Mean() > 0 {
 		merged.RedundantRatio = merged.Redundant.Mean() / merged.Tentative.Mean()
+	}
+	if merged.PayloadLogicalBytes > 0 {
+		merged.PayloadRatio = float64(merged.PayloadNewBytes) / float64(merged.PayloadLogicalBytes)
 	}
 	return merged
 }

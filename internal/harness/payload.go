@@ -1,0 +1,111 @@
+package harness
+
+// Payload-plane wiring for experiments: when Config.PayloadBytes is
+// positive the run attaches the content-addressed chunk store as the
+// checkpoint data plane — every stable checkpoint saves a synthetic
+// process image (stepped by the configured mutation profile), commits
+// and drops shadow the control plane, and the run's verdict includes a
+// full end-of-run payload audit (every retained manifest resolves to
+// intact chunks; the newest permanent image materializes).
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"mutablecp/internal/checkpoint"
+	"mutablecp/internal/chunkstore"
+	"mutablecp/internal/protocol"
+	"mutablecp/internal/recovery"
+	"mutablecp/internal/simrt"
+	"mutablecp/internal/stable/errfs"
+	"mutablecp/internal/workload"
+)
+
+// payloadRun owns one experiment's payload backend for the duration of
+// the run.
+type payloadRun struct {
+	sys chunkstore.System
+}
+
+// newPayloadRun builds the payload backend for cfg, or nil when the run
+// is control-plane only. With PayloadDir empty the chunk segments live
+// on an in-memory errfs (fast, hermetic); a directory makes them real
+// files, one tree per seed so sweep seeds never share a segment log.
+func newPayloadRun(cfg Config) (*payloadRun, error) {
+	if cfg.PayloadBytes <= 0 {
+		return nil, nil
+	}
+	opts := chunkstore.Options{
+		ChunkBytes: cfg.PayloadChunkBytes,
+		Mode:       cfg.PayloadMode,
+		Keep:       1,
+	}
+	root := "payload"
+	if cfg.PayloadDir != "" {
+		root = filepath.Join(cfg.PayloadDir, fmt.Sprintf("payload-seed-%d", cfg.Seed))
+	} else {
+		opts.FS = errfs.New()
+	}
+	if cfg.PayloadStripe > 1 {
+		sys, err := chunkstore.OpenStripe(
+			chunkstore.StripeDirs(root, cfg.PayloadStripe), cfg.PayloadReplicas, opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: open payload stripe: %w", err)
+		}
+		return &payloadRun{sys: sys}, nil
+	}
+	s, err := chunkstore.Open(chunkstore.Dir(root), opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open payload store: %w", err)
+	}
+	return &payloadRun{sys: s}, nil
+}
+
+// wire installs the payload factory and the image source into the
+// simulation config.
+func (pr *payloadRun) wire(simCfg *simrt.Config, cfg Config) {
+	if pr == nil {
+		return
+	}
+	images := workload.NewImages(workload.ImagesConfig{
+		Procs:     cfg.N,
+		Bytes:     cfg.PayloadBytes,
+		PageBytes: cfg.PayloadChunkBytes,
+		Profile:   cfg.PayloadProfile,
+		Seed:      cfg.Seed,
+	})
+	simCfg.Images = images.Image
+	sys := pr.sys
+	simCfg.NewPayload = func(pid protocol.ProcessID, n int) (checkpoint.PayloadStore, error) {
+		switch b := sys.(type) {
+		case *chunkstore.Store:
+			return b.Proc(pid), nil
+		case *chunkstore.Stripe:
+			return b.Proc(pid), nil
+		default:
+			return nil, fmt.Errorf("harness: unknown payload backend %T", sys)
+		}
+	}
+}
+
+// finish audits the payload plane into the result and closes the
+// backend.
+func (pr *payloadRun) finish(res *Result, n int) {
+	if pr == nil {
+		return
+	}
+	res.PayloadVerifyErr = recovery.VerifyPayloads(pr.sys, n)
+	res.PayloadVerifyOK = res.PayloadVerifyErr == nil
+	res.PayloadStats = pr.sys.Stats()
+	if err := pr.sys.Close(); err != nil && res.PayloadVerifyErr == nil {
+		res.PayloadVerifyErr = fmt.Errorf("harness: close payload store: %w", err)
+		res.PayloadVerifyOK = false
+	}
+}
+
+// close releases the backend on early-error paths.
+func (pr *payloadRun) close() {
+	if pr != nil {
+		pr.sys.Close() //nolint:errcheck
+	}
+}

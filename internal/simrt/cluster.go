@@ -45,6 +45,23 @@ type Config struct {
 	// Factory-built stores configure their own retention.
 	RetainPermanents int
 
+	// NewPayload, when non-nil, attaches a checkpoint payload store (the
+	// data plane: the process image itself, content-addressed and
+	// deduplicated — typically a chunkstore view) to every process. The
+	// payload lifecycle shadows the control plane exactly: SaveTentative
+	// also saves the image, MakePermanent commits it, DropTentative drops
+	// it, and the stable transfer is charged the save receipt's NewBytes
+	// instead of the fixed CheckpointBytes — the incremental-transfer
+	// saving the chunk store exists to measure. Requires Images.
+	NewPayload func(pid protocol.ProcessID, n int) (checkpoint.PayloadStore, error)
+	// Images supplies the process image a checkpoint taken now would
+	// transfer. It is called once per tentative save (and once per
+	// mutable save, whose captured image is the one a later promotion
+	// transfers — the mutable checkpoint froze the state at save time).
+	// A plain func, not an interface: workload imports simrt, so simrt
+	// cannot name workload's Images type. Required with NewPayload.
+	Images func(pid protocol.ProcessID) []byte
+
 	// CompMsgBytes is the computation message size. Paper: 1 KB (4 ms).
 	CompMsgBytes int
 	// SysMsgBytes is the system message size. Paper: 50 B (0.2 ms).
@@ -224,6 +241,15 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Trace != nil {
 			return nil, errors.New("simrt: Trace is not supported in cell mode (no global event order across shards)")
 		}
+		if cfg.NewPayload != nil {
+			// The payload plane is single-kernel for now: the image source
+			// and a shared chunk store would be touched from every shard,
+			// and neither claims cross-shard thread-safety.
+			return nil, errors.New("simrt: payload stores are not supported in cell mode")
+		}
+	}
+	if (cfg.NewPayload == nil) != (cfg.Images == nil) {
+		return nil, errors.New("simrt: NewPayload and Images must be set together")
 	}
 	c := &Cluster{
 		cfg:               cfg,
@@ -344,6 +370,15 @@ func (c *Cluster) newStore(pid protocol.ProcessID) (checkpoint.Store, error) {
 	return st, nil
 }
 
+// newPayload builds one process's payload store view (nil when the run
+// is control-plane only).
+func (c *Cluster) newPayload(pid protocol.ProcessID) (checkpoint.PayloadStore, error) {
+	if c.cfg.NewPayload == nil {
+		return nil, nil
+	}
+	return c.cfg.NewPayload(pid, c.cfg.N)
+}
+
 // RestartStores simulates a crash and restart of the MSS's stable
 // storage: every process's store is closed (if it is closeable) and
 // rebuilt through the factory. With a durable backend the rebuilt store
@@ -364,6 +399,16 @@ func (c *Cluster) RestartStores() error {
 			return fmt.Errorf("simrt: reopen P%d store: %w", p.id, err)
 		}
 		p.stable = st
+		if closer, ok := p.payload.(io.Closer); ok {
+			if err := closer.Close(); err != nil {
+				return fmt.Errorf("simrt: close P%d payload store: %w", p.id, err)
+			}
+		}
+		pay, err := c.newPayload(p.id)
+		if err != nil {
+			return fmt.Errorf("simrt: reopen P%d payload store: %w", p.id, err)
+		}
+		p.payload = pay
 	}
 	return nil
 }

@@ -59,6 +59,17 @@ type Metrics struct {
 	// TimeoutAborts counts §3.6 request timeouts that fired an abort.
 	TimeoutAborts uint64
 
+	// Payload-plane counters (zero in control-plane-only runs). The
+	// Logical/New pair is the paper-facing result: LogicalBytes is what a
+	// naive full-image transfer would have moved per stable checkpoint,
+	// NewBytes what the content-addressed store actually moved.
+	PayloadSaves        uint64
+	PayloadLogicalBytes uint64
+	PayloadNewBytes     uint64
+	PayloadNewChunks    uint64
+	PayloadDedupChunks  uint64
+	PayloadDeltaChunks  uint64
+
 	// Crash/recovery lifecycle counters.
 	Crashes          uint64 // fail-stop events
 	Restarts         uint64 // processes brought back to live
@@ -162,6 +173,12 @@ func mergeMetrics(cells []*Metrics) *Metrics {
 		merged.TotalDiscarded += cm.TotalDiscarded
 		merged.TotalPermanent += cm.TotalPermanent
 		merged.TimeoutAborts += cm.TimeoutAborts
+		merged.PayloadSaves += cm.PayloadSaves
+		merged.PayloadLogicalBytes += cm.PayloadLogicalBytes
+		merged.PayloadNewBytes += cm.PayloadNewBytes
+		merged.PayloadNewChunks += cm.PayloadNewChunks
+		merged.PayloadDedupChunks += cm.PayloadDedupChunks
+		merged.PayloadDeltaChunks += cm.PayloadDeltaChunks
 		merged.Crashes += cm.Crashes
 		merged.Restarts += cm.Restarts
 		merged.ReplayedMessages += cm.ReplayedMessages

@@ -1,6 +1,7 @@
 package simrt
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -58,6 +59,12 @@ type Proc struct {
 	engine  protocol.Engine
 	stable  checkpoint.Store
 	mutable *checkpoint.MutableStore
+	payload checkpoint.PayloadStore // nil: control-plane-only run
+
+	// pendingImg holds the process image captured at each mutable save:
+	// a promotion transfers the state as of the save, not as of the
+	// promotion. Volatile, like the mutable store it shadows.
+	pendingImg map[protocol.Trigger][]byte
 
 	sentTo   []uint64
 	recvFrom []uint64
@@ -100,10 +107,15 @@ func newProc(c *Cluster, id protocol.ProcessID) (*Proc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simrt: P%d store: %w", id, err)
 	}
+	pay, err := c.newPayload(id)
+	if err != nil {
+		return nil, fmt.Errorf("simrt: P%d payload store: %w", id, err)
+	}
 	return &Proc{
 		c:         c,
 		id:        id,
 		stable:    st,
+		payload:   pay,
 		mutable:   checkpoint.NewMutableStore(id),
 		downSince: -1,
 	}, nil
@@ -146,6 +158,10 @@ func (p *Proc) Stable() checkpoint.Store { return p.stable }
 
 // Mutable returns the process's mutable checkpoint store.
 func (p *Proc) Mutable() *checkpoint.MutableStore { return p.mutable }
+
+// Payload returns the process's checkpoint payload store (nil in a
+// control-plane-only run).
+func (p *Proc) Payload() checkpoint.PayloadStore { return p.payload }
 
 // Blocked reports whether the computation is currently blocked.
 func (p *Proc) Blocked() bool { return p.blocked }
@@ -435,8 +451,32 @@ func (p *Proc) CaptureState() protocol.State {
 	}
 }
 
+// savePayload stores img as trig's tentative payload and returns the
+// bytes the stable transfer must carry: the receipt's NewBytes — what
+// dedup and delta encoding left to actually move — or the configured
+// fixed CheckpointBytes when the run has no payload plane.
+func (p *Proc) savePayload(trig protocol.Trigger, img []byte) int {
+	if p.payload == nil {
+		return p.c.cfg.CheckpointBytes
+	}
+	rcpt, err := p.payload.SavePayload(trig, p.sim().Now(), img)
+	if err != nil {
+		p.c.fail(fmt.Errorf("P%d save payload: %w", p.id, err))
+		return p.c.cfg.CheckpointBytes
+	}
+	m := p.metrics()
+	m.PayloadSaves++
+	m.PayloadLogicalBytes += rcpt.LogicalBytes
+	m.PayloadNewBytes += rcpt.NewBytes
+	m.PayloadNewChunks += uint64(rcpt.NewChunks)
+	m.PayloadDedupChunks += uint64(rcpt.DedupChunks)
+	m.PayloadDeltaChunks += uint64(rcpt.DeltaChunks)
+	return int(rcpt.NewBytes)
+}
+
 // SaveTentative implements protocol.Env: a pre-copy pause plus the 512 KB
-// transfer to stable storage at the MSS.
+// transfer to stable storage at the MSS (or, with a payload store, the
+// deduplicated incremental bytes of the live process image).
 func (p *Proc) SaveTentative(s protocol.State, trig protocol.Trigger) {
 	if err := p.stable.SaveTentative(s, trig, p.sim().Now()); err != nil {
 		p.c.fail(fmt.Errorf("P%d save tentative: %w", p.id, err))
@@ -447,9 +487,13 @@ func (p *Proc) SaveTentative(s protocol.State, trig protocol.Trigger) {
 	if rec != nil {
 		rec.Tentative++
 	}
+	transfer := p.c.cfg.CheckpointBytes
+	if p.payload != nil {
+		transfer = p.savePayload(trig, p.c.cfg.Images(p.id))
+	}
 	p.busyUntil = p.sim().Now() + p.c.cfg.MutableSaveTime
 	if !p.disconnected {
-		p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+		p.c.transport.StableTransfer(p.id, transfer, nil)
 	}
 	if p.ticker != nil {
 		// §5.1: an early checkpoint pushes the next scheduled one out a
@@ -467,6 +511,14 @@ func (p *Proc) SaveMutable(s protocol.State, trig protocol.Trigger) {
 	p.metrics().TotalMutable++
 	if rec := p.recordFor(trig); rec != nil {
 		rec.Mutable++
+	}
+	if p.payload != nil {
+		// The mutable checkpoint freezes the state now; a later promotion
+		// transfers this image, not whatever the process mutated into.
+		if p.pendingImg == nil {
+			p.pendingImg = make(map[protocol.Trigger][]byte)
+		}
+		p.pendingImg[trig] = p.c.cfg.Images(p.id)
 	}
 	p.busyUntil = p.sim().Now() + p.c.cfg.MutableSaveTime
 }
@@ -488,8 +540,18 @@ func (p *Proc) PromoteMutable(trig protocol.Trigger) {
 		r.Tentative++
 		r.Promoted++
 	}
+	transfer := p.c.cfg.CheckpointBytes
+	if p.payload != nil {
+		img, ok := p.pendingImg[trig]
+		delete(p.pendingImg, trig)
+		if !ok {
+			// No captured image (e.g. a line-seeded mutable): snapshot now.
+			img = p.c.cfg.Images(p.id)
+		}
+		transfer = p.savePayload(trig, img)
+	}
 	if !p.disconnected {
-		p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+		p.c.transport.StableTransfer(p.id, transfer, nil)
 	}
 	if p.ticker != nil {
 		p.ticker.Reschedule()
@@ -506,6 +568,7 @@ func (p *Proc) DiscardMutable(trig protocol.Trigger) {
 	if rec := p.recordFor(trig); rec != nil {
 		rec.Discarded++
 	}
+	delete(p.pendingImg, trig)
 }
 
 // MakePermanent implements protocol.Env.
@@ -515,12 +578,25 @@ func (p *Proc) MakePermanent(trig protocol.Trigger) {
 		return
 	}
 	p.metrics().TotalPermanent++
+	if p.payload != nil {
+		if err := p.payload.CommitPayload(trig, p.sim().Now()); err != nil {
+			p.c.fail(fmt.Errorf("P%d commit payload: %w", p.id, err))
+		}
+	}
 }
 
 // DropTentative implements protocol.Env.
 func (p *Proc) DropTentative(trig protocol.Trigger) {
 	if err := p.stable.DropTentative(trig); err != nil {
 		p.c.fail(fmt.Errorf("P%d drop tentative: %w", p.id, err))
+	}
+	if p.payload != nil {
+		// The control plane may drop a tentative whose payload never made
+		// it (a crash between the two saves, or a line-seeded state with no
+		// image); an absent payload is not an error here.
+		if err := p.payload.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+			p.c.fail(fmt.Errorf("P%d drop payload: %w", p.id, err))
+		}
 	}
 }
 
@@ -623,6 +699,7 @@ func (p *Proc) Fail() {
 	p.downSince = p.sim().Now()
 	p.metrics().Crashes++
 	p.mutable.Clear()
+	p.pendingImg = nil
 	p.queue = nil
 	p.inbox = nil
 	if p.ticker != nil {

@@ -1,0 +1,159 @@
+package wire
+
+// Persisted chunk-store records: the frame format internal/chunkstore
+// appends to its content-addressed segment logs. Framing is identical to
+// the stable-store records in record.go —
+//
+//	[4-byte BE body length][4-byte BE CRC32C of body][gob body]
+//
+// — so the chunk store inherits the same torn-tail/corruption taxonomy
+// the power-failure gauntlet already exercises: a torn frame is legal
+// only at the tail of the newest segment, a checksum failure anywhere is
+// damage.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"mutablecp/internal/protocol"
+)
+
+// ChunkHash is a SHA-256 content address.
+type ChunkHash [32]byte
+
+// ChunkOp tags a persisted chunk-store record.
+type ChunkOp uint8
+
+// Chunk-store log operations. Put carries one content-addressed chunk;
+// Delta carries a patch against an already-stored base chunk; Manifest
+// lists the chunk hashes of one checkpoint payload; Commit and Drop are
+// markers resolving a tentative manifest; Reset is the compaction
+// boundary — replay starts at the newest segment that begins with one,
+// because everything live was rewritten after it (the chunk store's
+// analogue of the stable store's snapshot record).
+const (
+	ChunkOpReset ChunkOp = iota + 1
+	ChunkOpPut
+	ChunkOpDelta
+	ChunkOpManifest
+	ChunkOpCommit
+	ChunkOpDrop
+	chunkOpMax
+)
+
+var chunkOpNames = map[ChunkOp]string{
+	ChunkOpReset:    "reset",
+	ChunkOpPut:      "put",
+	ChunkOpDelta:    "delta",
+	ChunkOpManifest: "manifest",
+	ChunkOpCommit:   "commit",
+	ChunkOpDrop:     "drop",
+}
+
+// String returns the op name.
+func (op ChunkOp) String() string {
+	if s, ok := chunkOpNames[op]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// ChunkRecord is one persisted chunk-store log entry. Only the fields
+// relevant to Op are populated.
+type ChunkRecord struct {
+	Op ChunkOp
+
+	// Put / Delta. Hash addresses the decoded chunk content; Base is the
+	// delta's base chunk; Payload is the chunk bytes (Put) or the patch
+	// (Delta).
+	Hash    ChunkHash
+	Base    ChunkHash
+	Payload []byte
+
+	// Manifest / Commit / Drop. Status uses the checkpoint package's
+	// numbering (1 = tentative, 2 = permanent); permanent manifests are
+	// written only by compaction, which rewrites committed history.
+	Proc       protocol.ProcessID
+	Trigger    protocol.Trigger
+	At         time.Duration
+	Status     uint8
+	ChunkBytes int
+	Length     int64
+	Hashes     []ChunkHash
+}
+
+// AppendChunkRecord appends the framed record to dst and returns the
+// extended slice.
+func AppendChunkRecord(dst []byte, r *ChunkRecord) ([]byte, error) {
+	if r.Op == 0 || r.Op >= chunkOpMax {
+		return dst, fmt.Errorf("wire: encode chunk record: bad op %d", r.Op)
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(r); err != nil {
+		return dst, fmt.Errorf("wire: encode chunk record: %w", err)
+	}
+	if body.Len() > MaxFrame {
+		return dst, fmt.Errorf("wire: chunk record too large (%d bytes)", body.Len())
+	}
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body.Bytes(), castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body.Bytes()...), nil
+}
+
+// EncodeChunkRecord writes one framed record and returns the number of
+// bytes written. Like EncodeStableRecord it issues a single Write so a
+// filesystem seam can model it as one (possibly torn) disk operation.
+func EncodeChunkRecord(w io.Writer, r *ChunkRecord) (int, error) {
+	frame, err := AppendChunkRecord(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(frame)
+}
+
+// DecodeChunkRecord reads one framed record and reports how many bytes of
+// the stream it consumed. Errors follow DecodeStableRecord exactly:
+// io.EOF at a clean end, ErrTornRecord for a frame that stops mid-header
+// or mid-body, ErrCorruptRecord for checksum/gob failure or an absurd
+// length prefix.
+func DecodeChunkRecord(r io.Reader) (*ChunkRecord, int, error) {
+	var hdr [recordHeaderLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short header (%d bytes)", ErrTornRecord, n)
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[:4])
+	if bodyLen > MaxFrame {
+		return nil, n, fmt.Errorf("%w: length prefix %d exceeds MaxFrame", ErrCorruptRecord, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	m, err := io.ReadFull(r, body)
+	n += m
+	if err != nil {
+		return nil, n, fmt.Errorf("%w: short body (%d of %d bytes)", ErrTornRecord, m, bodyLen)
+	}
+	if got, want := crc32.Checksum(body, castagnoli), binary.BigEndian.Uint32(hdr[4:]); got != want {
+		return nil, n, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptRecord, got, want)
+	}
+	var rec ChunkRecord
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+		return nil, n, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	if rec.Op == 0 || rec.Op >= chunkOpMax {
+		return nil, n, fmt.Errorf("%w: bad op %d", ErrCorruptRecord, rec.Op)
+	}
+	if len(rec.Hashes) > MaxFrame/32 {
+		return nil, n, fmt.Errorf("%w: absurd manifest (%d hashes)", ErrCorruptRecord, len(rec.Hashes))
+	}
+	return &rec, n, nil
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"mutablecp/internal/protocol"
+)
+
+// sameChunks counts how many aligned pages two images share (over the
+// shorter image's pages) — the quantity chunk-level dedup exploits.
+func samePages(t *testing.T, a, b []byte, page int) (same, total int) {
+	t.Helper()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for off := 0; off < n; off += page {
+		end := off + page
+		if end > n {
+			end = n
+		}
+		total++
+		if string(a[off:end]) == string(b[off:end]) {
+			same++
+		}
+	}
+	return same, total
+}
+
+func TestImagesDeterministicAndIndependent(t *testing.T) {
+	cfg := ImagesConfig{Procs: 3, Bytes: 8 << 10, PageBytes: 256, Seed: 7}
+	a, b := NewImages(cfg), NewImages(cfg)
+	for step := 0; step < 5; step++ {
+		for p := 0; p < 3; p++ {
+			x, y := a.Image(protocol.ProcessID(p)), b.Image(protocol.ProcessID(p))
+			if string(x) != string(y) {
+				t.Fatalf("step %d P%d: same seed produced different images", step, p)
+			}
+		}
+	}
+	// Distinct processes must not share content (independent streams).
+	if string(a.Image(0)) == string(a.Image(1)) {
+		t.Fatal("P0 and P1 produced identical images")
+	}
+	// The returned image is a snapshot: mutating it must not corrupt the
+	// source's internal state.
+	img := a.Image(2)
+	for i := range img {
+		img[i] = 0
+	}
+	if next := a.Image(2); string(next) == string(img) {
+		t.Fatal("caller mutation leaked into the image source")
+	}
+}
+
+func TestImagesProfiles(t *testing.T) {
+	const (
+		bytes = 64 << 10
+		page  = 512
+	)
+	// stable measures the page-overlap between several successive images
+	// (averaged so one lucky step can't flip the comparison).
+	stable := func(profile ImageProfile) (frac float64, grew bool) {
+		im := NewImages(ImagesConfig{
+			Procs: 1, Bytes: bytes, PageBytes: page,
+			DirtyFraction: 0.10, HotFraction: 0.10,
+			Profile: profile, Seed: 11,
+		})
+		prev := im.Image(0)
+		var sum float64
+		const steps = 8
+		for i := 0; i < steps; i++ {
+			cur := im.Image(0)
+			same, total := samePages(t, prev, cur, page)
+			sum += float64(same) / float64(total)
+			grew = grew || len(cur) > len(prev)
+			prev = cur
+		}
+		return sum / steps, grew
+	}
+	uni, uniGrew := stable(ProfileUniform)
+	skw, _ := stable(ProfileSkewed)
+	app, appGrew := stable(ProfileAppend)
+	if uniGrew {
+		t.Error("uniform: image grew")
+	}
+	if !appGrew {
+		t.Error("append: image did not grow")
+	}
+	if app != 1.0 {
+		t.Errorf("append: prefix changed (%.0f%% of pages stable)", 100*app)
+	}
+	if uni == 1.0 {
+		t.Error("uniform: no page ever changed")
+	}
+	if uni < 0.80 {
+		t.Errorf("uniform: only %.0f%% of pages stable, dirtied too much", 100*uni)
+	}
+	// The point of the skew: most writes land in the hot set, so
+	// successive images overlap measurably more than under uniform.
+	if skw <= uni {
+		t.Errorf("skewed (%.1f%% stable) should beat uniform (%.1f%%)", 100*skw, 100*uni)
+	}
+}
+
+func TestParseImageProfile(t *testing.T) {
+	for in, want := range map[string]ImageProfile{
+		"": ProfileUniform, "uniform": ProfileUniform,
+		"skewed": ProfileSkewed, "append": ProfileAppend,
+	} {
+		got, err := ParseImageProfile(in)
+		if err != nil || got != want {
+			t.Errorf("ParseImageProfile(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseImageProfile("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
