@@ -38,8 +38,7 @@ func run(args []string) error {
 	filter := fs.String("bench", "", "only run suite benchmarks whose name contains this substring")
 	benchtime := fs.String("benchtime", "0.5s", "per-benchmark measuring time (testing -benchtime syntax, e.g. 1s or 100x)")
 	print := fs.Bool("print", false, "print the report table to stdout")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +46,7 @@ func run(args []string) error {
 		return err
 	}
 
-	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		return err
 	}
@@ -94,7 +93,7 @@ func validate(fs *flag.FlagSet, diff string, threshold float64) error {
 		return fmt.Errorf("-diff wants \"old.json\" or \"old.json,new.json\", got %q", diff)
 	}
 	if strings.Contains(diff, ",") {
-		for _, f := range []string{"bench", "benchtime", "out", "cpuprofile", "memprofile"} {
+		for _, f := range []string{"bench", "benchtime", "out", "cpuprofile", "memprofile", "mutexprofile", "blockprofile"} {
 			if set[f] {
 				return fmt.Errorf("-%s does not apply to a two-file -diff (no benchmarks run)", f)
 			}

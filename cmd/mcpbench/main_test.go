@@ -27,8 +27,16 @@ func TestFlagValidation(t *testing.T) {
 			"-cpuprofile does not apply to a two-file -diff"},
 		{"memprofile with two-file diff", []string{"-diff", "a.json,b.json", "-memprofile", "x.mem"},
 			"-memprofile does not apply to a two-file -diff"},
+		{"mutexprofile with two-file diff", []string{"-diff", "a.json,b.json", "-mutexprofile", "x.mutex"},
+			"-mutexprofile does not apply to a two-file -diff"},
+		{"blockprofile with two-file diff", []string{"-diff", "a.json,b.json", "-blockprofile", "x.block"},
+			"-blockprofile does not apply to a two-file -diff"},
 		{"bad cpuprofile path", []string{"-bench", "none", "-cpuprofile", "/nonexistent-dir/x.cpu"},
 			"-cpuprofile"},
+		{"bad mutexprofile path", []string{"-bench", "none", "-mutexprofile", "/nonexistent-dir/x.mutex"},
+			"-mutexprofile"},
+		{"bad blockprofile path", []string{"-bench", "none", "-blockprofile", "/nonexistent-dir/x.block"},
+			"-blockprofile"},
 		{"three-part diff", []string{"-diff", "a.json,b.json,c.json"}, "-diff wants"},
 	}
 	for _, tc := range cases {
@@ -44,8 +52,8 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
-// TestProfileFilesWritten runs the cheapest suite benchmark with both
-// profiling flags and checks that non-empty pprof files appear.
+// TestProfileFilesWritten runs the cheapest suite benchmark with all
+// four profiling flags and checks that non-empty pprof files appear.
 func TestProfileFilesWritten(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark run")
@@ -53,13 +61,16 @@ func TestProfileFilesWritten(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "bench.cpu")
 	mem := filepath.Join(dir, "bench.mem")
+	mutex := filepath.Join(dir, "bench.mutex")
+	block := filepath.Join(dir, "bench.block")
 	out := filepath.Join(dir, "bench.json")
 	args := []string{"-bench", "des/cancel", "-benchtime", "100x",
-		"-out", out, "-cpuprofile", cpu, "-memprofile", mem}
+		"-out", out, "-cpuprofile", cpu, "-memprofile", mem,
+		"-mutexprofile", mutex, "-blockprofile", block}
 	if err := run(args); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{cpu, mem, out} {
+	for _, p := range []string{cpu, mem, mutex, block, out} {
 		st, err := os.Stat(p)
 		if err != nil {
 			t.Fatal(err)

@@ -10,32 +10,57 @@
 // Start one mcpd per node row in the config, in any order; each daemon
 // keeps dialing its peers until the full mesh is up. SIGTERM (or
 // `mcpctl shutdown`) drains in-flight work and fsyncs the store shut.
+//
+// The standard profiling flags (-cpuprofile, -memprofile,
+// -mutexprofile, -blockprofile) snapshot the daemon's whole lifetime:
+// armed before the listeners come up, written after the drain — the
+// mutex and block profiles are how commit-tail contention in the
+// durability pipeline is diagnosed on a live cluster.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"mutablecp/internal/daemon"
+	"mutablecp/internal/profiling"
 )
+
+var errUsage = errors.New("mcpd: -config and -id are required")
 
 func main() {
 	if daemon.MaybeChild() {
 		return
 	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpd:", err)
+		if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
 	fs := flag.NewFlagSet("mcpd", flag.ContinueOnError)
 	config := fs.String("config", "", "cluster config file (JSON)")
 	id := fs.Int("id", -1, "this node's id in the config")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	prof := profiling.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 	if *config == "" || *id < 0 {
-		fmt.Fprintln(os.Stderr, "mcpd: -config and -id are required")
-		os.Exit(2)
+		return errUsage
 	}
-	if err := daemon.Run(*config, *id); err != nil {
-		fmt.Fprintln(os.Stderr, "mcpd:", err)
-		os.Exit(1)
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		return err
 	}
+	runErr := daemon.Run(*config, *id)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		return err
+	}
+	return runErr
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins mcpd's up-front checks: missing required
+// flags and unwritable profile paths fail before any listener binds or
+// store opens.
+func TestFlagValidation(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "absent-cluster.json")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no flags", nil, errUsage.Error()},
+		{"config without id", []string{"-config", cfg}, errUsage.Error()},
+		{"id without config", []string{"-id", "0"}, errUsage.Error()},
+		{"negative id", []string{"-config", cfg, "-id", "-1"}, errUsage.Error()},
+		{"bad cpuprofile path", []string{"-config", cfg, "-id", "0",
+			"-cpuprofile", "/nonexistent-dir/d.cpu"}, "-cpuprofile"},
+		{"bad memprofile path", []string{"-config", cfg, "-id", "0",
+			"-memprofile", "/nonexistent-dir/d.mem"}, "-memprofile"},
+		{"bad mutexprofile path", []string{"-config", cfg, "-id", "0",
+			"-mutexprofile", "/nonexistent-dir/d.mutex"}, "-mutexprofile"},
+		{"bad blockprofile path", []string{"-config", cfg, "-id", "0",
+			"-blockprofile", "/nonexistent-dir/d.block"}, "-blockprofile"},
+		{"unknown flag", []string{"-config", cfg, "-id", "0", "-no-such-flag"},
+			"flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want error containing %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestUsageErrorIsTyped: the usage error must stay distinguishable so
+// main can exit 2 (bad invocation) rather than 1 (runtime failure).
+func TestUsageErrorIsTyped(t *testing.T) {
+	if err := run(nil); !errors.Is(err, errUsage) {
+		t.Fatalf("run(nil) = %v, want errUsage", err)
+	}
+}

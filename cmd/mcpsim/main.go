@@ -274,8 +274,7 @@ func run(args []string) error {
 		"with -cells: worker pool size for the parallel kernel; 0 = all CPUs, 1 = sequential reference execution")
 	active := fs.Int("active", 0,
 		"p2p workload: only the first N processes generate load and schedule checkpoints (0 = all); the scale ladder's min-process regime")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	prof := profiling.AddFlags(fs)
 	ratio := fs.Float64("ratio", 1000, "group workload intra/inter rate ratio")
 	horizon := fs.Duration("horizon", 10*time.Hour, "simulated time to run")
 	seed := fs.Uint64("seed", 1, "random seed (first seed when -seeds > 1)")
@@ -360,7 +359,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		return err
 	}
@@ -499,6 +498,9 @@ func run(args []string) error {
 		fmt.Printf("payload transfer     %dKiB logical -> %dKiB after dedup (ratio %.3f over %d saves, mode %v)\n",
 			res.PayloadLogicalBytes>>10, res.PayloadNewBytes>>10,
 			res.PayloadRatio, res.PayloadSaves, cfg.PayloadMode)
+		fmt.Printf("payload dedup        %d chunks (%d self-process, %d cross-process), %d delta\n",
+			res.PayloadStats.DedupChunks, res.PayloadStats.SelfDedupChunks,
+			res.PayloadStats.CrossDedupChunks, res.PayloadStats.DeltaChunks)
 		if cfg.PayloadStripe > 1 {
 			fmt.Printf("payload stripe       %d stores, %d chunks live across members\n",
 				res.PayloadStats.Stores, res.PayloadStats.LiveChunks)

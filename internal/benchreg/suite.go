@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -82,6 +83,58 @@ func storeCommit(pol stable.SyncPolicy) func(b *testing.B) {
 			}
 		}
 		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "commits/sec")
+		}
+	}
+}
+
+// storeGroupCommit measures the same tentative→permanent cycle as
+// storeCommit but with `committers` concurrent goroutines sharing one
+// store: their commit fsyncs coalesce through the sync-ticket watermark
+// and the batch shares one compaction, so commits/sec should scale well
+// past the one-fsync-per-commit serial row.
+func storeGroupCommit(committers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mcpbench-stable-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := stable.Open(stable.ProcDir(dir, 0), 0, committers,
+			stable.Options{Sync: stable.SyncOnCommit, Keep: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errCh := make(chan error, committers)
+		for w := 0; w < committers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < b.N; i += committers {
+					trig := protocol.Trigger{Pid: protocol.ProcessID(w), Inum: i + 1}
+					state := protocol.State{CSN: i + 1, SentTo: make([]uint64, committers), RecvFrom: make([]uint64, committers)}
+					if err := st.SaveTentative(state, trig, 0); err != nil {
+						errCh <- err
+						return
+					}
+					if err := st.MakePermanent(trig, 0); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		select {
+		case err := <-errCh:
+			b.Fatal(err)
+		default:
+		}
 		if secs := b.Elapsed().Seconds(); secs > 0 {
 			b.ReportMetric(float64(b.N)/secs, "commits/sec")
 		}
@@ -322,6 +375,7 @@ func Suite() []Benchmark {
 			reportEventRate(b, sh.Executed())
 		}},
 		{Name: "stable/commit-sync", Run: storeCommit(stable.SyncOnCommit)},
+		{Name: "stable/commit-group-sync", Run: storeGroupCommit(8)},
 		{Name: "stable/commit-nosync", Run: storeCommit(stable.SyncNever)},
 		{Name: "stable/open-256", Run: storeOpen(256)},
 		{Name: "sim/p2p-rate0.05", Run: simBench(harness.Config{
@@ -355,6 +409,8 @@ func Suite() []Benchmark {
 		{Name: "stable/payload-dedup", Run: payloadDedup()},
 		{Name: "daemon/commit-3proc", Run: daemonCommit(3, 0)},
 		{Name: "daemon/commit-8proc", Run: daemonCommit(8, 0)},
+		{Name: "daemon/commit-16proc", Run: daemonCommit(16, 0)},
+		{Name: "daemon/commit-32proc", Run: daemonCommit(32, 0)},
 		{Name: "daemon/commit-payload-3proc", Run: daemonCommit(3, 256<<10)},
 	}
 }

@@ -45,6 +45,10 @@ type PayloadStore interface {
 	// PermanentPayload materializes the newest permanent payload image.
 	// ok is false when no payload has been committed yet.
 	PermanentPayload() (image []byte, ok bool, err error)
+	// RestorePayloadBytes prices a restore of the newest permanent
+	// payload: the deduped distinct-chunk bytes the wireless transfer
+	// must carry. ok is false when no payload has been committed yet.
+	RestorePayloadBytes() (bytes uint64, ok bool)
 	// VerifyPayload checks that every retained manifest resolves to
 	// intact, hash-verified chunks.
 	VerifyPayload() error

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mutablecp/internal/checkpoint"
@@ -109,6 +111,11 @@ type Options struct {
 	// reference chunks placed on other members, so open does not require
 	// local resolution and refcounts cover local chunks only.
 	Partial bool
+	// Workers bounds the SHA-256 fan-out on the save path. Hashing runs
+	// in parallel but the manifest and segment records are assembled in
+	// input order, so the on-disk bytes are identical for any worker
+	// count. 0 means GOMAXPROCS.
+	Workers int
 }
 
 const (
@@ -132,6 +139,9 @@ func (o Options) defaults() Options {
 	}
 	if o.Keep < 0 {
 		o.Keep = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -163,6 +173,10 @@ type chunkInfo struct {
 	off    int64  // frame start offset within seg
 	delta  bool
 	base   wire.ChunkHash
+	// owner is the process whose save first stored the chunk, persisted
+	// in the record's Proc field so the self/cross dedup split survives
+	// recovery. Records from before owner tagging replay as process 0.
+	owner protocol.ProcessID
 }
 
 // Stats is a point-in-time summary of the store, flat for the control
@@ -183,6 +197,11 @@ type Stats struct {
 	NewChunks    uint64
 	DedupChunks  uint64
 	DeltaChunks  uint64
+	// DedupChunks split by who stored the matching chunk first: a hit on
+	// the saving process's own earlier chunk (temporal locality) vs. a
+	// hit on another process's chunk (content shared across processes).
+	SelfDedupChunks  uint64
+	CrossDedupChunks uint64
 
 	Appends         uint64
 	Syncs           uint64
@@ -444,6 +463,7 @@ func (s *Store) apply(rec *wire.ChunkRecord, seg string, off int64) error {
 	case wire.ChunkOpPut:
 		s.indexChunk(rec.Hash, &chunkInfo{
 			size: len(rec.Payload), stored: len(rec.Payload), seg: seg, off: off,
+			owner: rec.Proc,
 		})
 		return nil
 	case wire.ChunkOpDelta:
@@ -453,7 +473,7 @@ func (s *Store) apply(rec *wire.ChunkRecord, seg string, off int64) error {
 		}
 		s.indexChunk(rec.Hash, &chunkInfo{
 			size: size, stored: len(rec.Payload), seg: seg, off: off,
-			delta: true, base: rec.Base,
+			delta: true, base: rec.Base, owner: rec.Proc,
 		})
 		return nil
 	case wire.ChunkOpManifest:
@@ -715,6 +735,39 @@ func (s *Store) appendAt(rec *wire.ChunkRecord, durable bool) (seg string, off i
 // HashChunk returns the content address of one chunk.
 func HashChunk(b []byte) wire.ChunkHash { return sha256.Sum256(b) }
 
+// hashChunks computes the content addresses of chunks over a bounded
+// worker pool. Every result lands at its input index, so the output —
+// and everything assembled from it — is independent of scheduling.
+func hashChunks(chunks [][]byte, workers int) []wire.ChunkHash {
+	hashes := make([]wire.ChunkHash, len(chunks))
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for i, data := range chunks {
+			hashes[i] = HashChunk(data)
+		}
+		return hashes
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				hashes[i] = HashChunk(chunks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return hashes
+}
+
 // SplitChunks cuts an image into fixed-size chunks (the last one may be
 // short). The sub-slices alias image.
 func SplitChunks(image []byte, chunkBytes int) [][]byte {
@@ -768,36 +821,63 @@ func (s *Store) unrefManifest(m *Manifest) {
 	}
 }
 
-// PutChunk stores one content-addressed chunk and returns the payload
-// bytes appended (0 when an identical chunk was already present and the
-// mode allows dedup). The caller must pass the chunk's true hash. The
-// reference count is not changed — references come from manifests.
-func (s *Store) PutChunk(h wire.ChunkHash, data []byte) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.putChunkLocked(h, data)
+// ChunkWrite is one entry in a batched chunk append: the content and
+// its already-computed address.
+type ChunkWrite struct {
+	Hash wire.ChunkHash
+	Data []byte
 }
 
-func (s *Store) putChunkLocked(h wire.ChunkHash, data []byte) (int, error) {
-	if _, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
-		return 0, nil
+// ChunkWriteResult reports what one entry of a batched append did.
+// Cross is meaningful only on a dedup hit (Bytes == 0): it reports that
+// the matching chunk was first stored by a different process.
+type ChunkWriteResult struct {
+	Bytes int
+	Cross bool
+}
+
+// PutChunks appends a batch of content-addressed chunks for proc, in
+// order, under one lock acquisition (the stripe issues one batch per
+// member so concurrent members never interleave within a log). The
+// caller must pass each chunk's true hash. Reference counts are not
+// changed — references come from manifests.
+func (s *Store) PutChunks(proc protocol.ProcessID, batch []ChunkWrite) ([]ChunkWriteResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return nil, err
 	}
-	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Hash: h, Payload: data}, false)
+	out := make([]ChunkWriteResult, len(batch))
+	for i, cw := range batch {
+		n, cross, err := s.putChunkLocked(proc, cw.Hash, cw.Data)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ChunkWriteResult{Bytes: n, Cross: cross}
+	}
+	return out, nil
+}
+
+func (s *Store) putChunkLocked(proc protocol.ProcessID, h wire.ChunkHash, data []byte) (int, bool, error) {
+	if info, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
+		return 0, info.owner != proc, nil
+	}
+	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Proc: proc, Hash: h, Payload: data}, false)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	s.indexChunk(h, &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off})
-	return len(data), nil
+	s.indexChunk(h, &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off, owner: proc})
+	return len(data), false, nil
 }
 
 // putDeltaLocked stores a chunk as a patch against base (which must be a
 // full indexed chunk) and returns the payload bytes appended.
-func (s *Store) putDeltaLocked(h, base wire.ChunkHash, patch []byte, size int) (int, error) {
-	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpDelta, Hash: h, Base: base, Payload: patch}, false)
+func (s *Store) putDeltaLocked(proc protocol.ProcessID, h, base wire.ChunkHash, patch []byte, size int) (int, error) {
+	seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpDelta, Proc: proc, Hash: h, Base: base, Payload: patch}, false)
 	if err != nil {
 		return 0, err
 	}
-	s.indexChunk(h, &chunkInfo{size: size, stored: len(patch), seg: seg, off: off, delta: true, base: base})
+	s.indexChunk(h, &chunkInfo{size: size, stored: len(patch), seg: seg, off: off, delta: true, base: base, owner: proc})
 	s.ref(s.chunks[base]) // the delta holds its base live
 	return len(patch), nil
 }
@@ -850,10 +930,29 @@ func (s *Store) PutTentativeManifest(m *Manifest) (int, error) {
 // PutTentative chunks a process image, stores the new chunks (dedup and
 // delta per the mode), and records the tentative manifest. It is the
 // single-store save path; a Stripe places chunks itself.
+//
+// SHA-256 hashing — the CPU-bound half of a save — runs outside the
+// lock over the worker pool; the index lookups and appends then run in
+// input order under one lock hold, so the segment and manifest bytes
+// are identical whatever Workers is set to.
 func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at time.Duration, image []byte) (checkpoint.PayloadReceipt, error) {
+	var r checkpoint.PayloadReceipt
+	s.mu.Lock()
+	if err := s.usable(); err != nil {
+		s.mu.Unlock()
+		return r, err
+	}
+	if s.tent[proc][trig] != nil {
+		s.mu.Unlock()
+		return r, checkpoint.ErrPayloadPending
+	}
+	s.mu.Unlock()
+
+	chunks := SplitChunks(image, s.opts.ChunkBytes)
+	hashes := hashChunks(chunks, s.opts.Workers)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var r checkpoint.PayloadReceipt
 	if err := s.usable(); err != nil {
 		return r, err
 	}
@@ -866,15 +965,18 @@ func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at 
 			base = ms[len(ms)-1]
 		}
 	}
-	chunks := SplitChunks(image, s.opts.ChunkBytes)
-	hashes := make([]wire.ChunkHash, len(chunks))
 	r.LogicalBytes = uint64(len(image))
 	r.Chunks = len(chunks)
+	var selfDedup, crossDedup uint64
 	for i, data := range chunks {
-		h := HashChunk(data)
-		hashes[i] = h
-		if _, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
+		h := hashes[i]
+		if info, ok := s.chunks[h]; ok && s.opts.Mode != ModeFull {
 			r.DedupChunks++
+			if info.owner == proc {
+				selfDedup++
+			} else {
+				crossDedup++
+			}
 			continue
 		}
 		if base != nil && i < len(base.Hashes) && base.Hashes[i] != h {
@@ -884,7 +986,7 @@ func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at 
 					return r, err
 				}
 				if patch := DiffChunk(bdata, data); patch != nil {
-					n, err := s.putDeltaLocked(h, base.Hashes[i], patch, len(data))
+					n, err := s.putDeltaLocked(proc, h, base.Hashes[i], patch, len(data))
 					if err != nil {
 						return r, err
 					}
@@ -895,7 +997,7 @@ func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at 
 				}
 			}
 		}
-		n, err := s.putChunkLocked(h, data)
+		n, _, err := s.putChunkLocked(proc, h, data)
 		if err != nil {
 			return r, err
 		}
@@ -934,6 +1036,8 @@ func (s *Store) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at 
 	s.stats.NewChunks += uint64(r.NewChunks)
 	s.stats.DedupChunks += uint64(r.DedupChunks)
 	s.stats.DeltaChunks += uint64(r.DeltaChunks)
+	s.stats.SelfDedupChunks += selfDedup
+	s.stats.CrossDedupChunks += crossDedup
 	return r, nil
 }
 
@@ -1094,10 +1198,46 @@ func (s *Store) tentTriggersLocked(proc protocol.ProcessID) []protocol.Trigger {
 	return out
 }
 
+// RestoreBytes is the wireless cost of restoring this manifest: every
+// distinct chunk crosses the medium once (a fresh host caches nothing,
+// but the MSS serves a chunk repeated within the image a single time).
+// Chunk sizes follow from the manifest alone — ChunkBytes each, with the
+// final chunk carrying the remainder — so the cost is computable without
+// touching the chunk index.
+func (m *Manifest) RestoreBytes() uint64 {
+	var total uint64
+	seen := make(map[wire.ChunkHash]bool, len(m.Hashes))
+	for i, h := range m.Hashes {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		size := int64(m.ChunkBytes)
+		if i == len(m.Hashes)-1 {
+			size = m.Length - int64(m.ChunkBytes)*int64(len(m.Hashes)-1)
+		}
+		total += uint64(size)
+	}
+	return total
+}
+
 func manifestCopy(m *Manifest) *Manifest {
 	cp := *m
 	cp.Hashes = append([]wire.ChunkHash(nil), m.Hashes...)
 	return &cp
+}
+
+// RestoreCost reports the deduped distinct-chunk bytes a restore of
+// proc's newest permanent payload pulls over the wireless medium. ok is
+// false when no permanent payload exists.
+func (s *Store) RestoreCost(proc protocol.ProcessID) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.perm[proc]
+	if len(ms) == 0 {
+		return 0, false
+	}
+	return ms[len(ms)-1].RestoreBytes(), true
 }
 
 // Materialize reassembles proc's newest permanent payload image. ok is

@@ -82,7 +82,8 @@ func (s *Store) compactLocked() error {
 			if newIdx[h] != nil {
 				continue
 			}
-			if s.chunks[h] == nil {
+			old := s.chunks[h]
+			if old == nil {
 				if s.opts.Partial {
 					continue // placed on another stripe member
 				}
@@ -92,11 +93,11 @@ func (s *Store) compactLocked() error {
 			if err != nil {
 				return err
 			}
-			seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Hash: h, Payload: data}, false)
+			seg, off, err := s.appendAt(&wire.ChunkRecord{Op: wire.ChunkOpPut, Proc: old.owner, Hash: h, Payload: data}, false)
 			if err != nil {
 				return err
 			}
-			newIdx[h] = &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off}
+			newIdx[h] = &chunkInfo{size: len(data), stored: len(data), seg: seg, off: off, owner: old.owner}
 			newDisk += int64(len(data))
 		}
 		return nil

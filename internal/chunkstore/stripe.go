@@ -106,43 +106,96 @@ func (st *Stripe) placement(h wire.ChunkHash) []int {
 // members, the manifest goes everywhere. The receipt counts the
 // wireless crossing once — NewBytes is what the primary had to store;
 // replica copies are MSS-to-MSS wired traffic.
+//
+// The save pipelines: hashing fans out over the worker pool, then each
+// member receives its placed chunks as one ordered batch and the
+// members write concurrently (their logs are independent; within a log
+// the batch keeps input order, so member bytes stay deterministic).
+// The first member error wins and the remaining members still finish
+// their batches before it is returned. Manifests fan out the same way
+// once every chunk is placed, preserving the serial path's invariant
+// that no manifest can land before the chunks it names.
 func (st *Stripe) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, at time.Duration, image []byte) (checkpoint.PayloadReceipt, error) {
 	var r checkpoint.PayloadReceipt
 	chunks := SplitChunks(image, st.opts.ChunkBytes)
-	hashes := make([]wire.ChunkHash, len(chunks))
+	hashes := hashChunks(chunks, st.opts.Workers)
 	r.LogicalBytes = uint64(len(image))
 	r.Chunks = len(chunks)
+
+	// Deterministic per-member batches in input order. primary[member][j]
+	// marks whether batch entry j is the primary replica of its chunk —
+	// the copy whose outcome the receipt charges to the wireless medium.
+	batches := make([][]ChunkWrite, len(st.stores))
+	primary := make([][]bool, len(st.stores))
 	for i, data := range chunks {
-		h := HashChunk(data)
-		hashes[i] = h
+		h := hashes[i]
 		for ri, member := range st.placement(h) {
-			n, err := st.stores[member].PutChunk(h, data)
-			if err != nil {
-				return r, err
+			batches[member] = append(batches[member], ChunkWrite{Hash: h, Data: data})
+			primary[member] = append(primary[member], ri == 0)
+		}
+	}
+
+	results := make([][]ChunkWriteResult, len(st.stores))
+	errs := make([]error, len(st.stores))
+	var wg sync.WaitGroup
+	for member := range st.stores {
+		if len(batches[member]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(member int) {
+			defer wg.Done()
+			results[member], errs[member] = st.stores[member].PutChunks(proc, batches[member])
+		}(member)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return r, err
+		}
+	}
+	// Receipt accounting from the primary entries, in member-then-batch
+	// order: deterministic because the batches are.
+	var selfDedup, crossDedup uint64
+	for member, res := range results {
+		for j, cw := range res {
+			if !primary[member][j] {
+				continue
 			}
-			if ri == 0 {
-				if n > 0 {
-					r.NewChunks++
-					r.NewBytes += uint64(n)
+			if cw.Bytes > 0 {
+				r.NewChunks++
+				r.NewBytes += uint64(cw.Bytes)
+			} else {
+				r.DedupChunks++
+				if cw.Cross {
+					crossDedup++
 				} else {
-					r.DedupChunks++
+					selfDedup++
 				}
 			}
 		}
 	}
+
 	m := &Manifest{
 		Proc: proc, Trigger: trig, At: at,
 		ChunkBytes: st.opts.ChunkBytes, Length: int64(len(image)), Hashes: hashes,
 	}
-	for i, s := range st.stores {
-		n, err := s.PutTentativeManifest(m)
+	frames := make([]int, len(st.stores))
+	for member := range st.stores {
+		wg.Add(1)
+		go func(member int) {
+			defer wg.Done()
+			frames[member], errs[member] = st.stores[member].PutTentativeManifest(m)
+		}(member)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return r, err
 		}
-		if i == 0 {
-			r.NewBytes += uint64(n)
-		}
 	}
+	r.NewBytes += uint64(frames[0])
+
 	st.mu.Lock()
 	st.save.Saves++
 	st.save.LogicalBytes += r.LogicalBytes
@@ -150,6 +203,8 @@ func (st *Stripe) PutTentative(proc protocol.ProcessID, trig protocol.Trigger, a
 	st.save.NewChunks += uint64(r.NewChunks)
 	st.save.DedupChunks += uint64(r.DedupChunks)
 	st.save.DeltaChunks += uint64(r.DeltaChunks)
+	st.save.SelfDedupChunks += selfDedup
+	st.save.CrossDedupChunks += crossDedup
 	st.mu.Unlock()
 	return r, nil
 }
@@ -221,6 +276,17 @@ func (st *Stripe) readChunkAny(h wire.ChunkHash) ([]byte, error) {
 		}
 	}
 	return nil, fmt.Errorf("chunkstore: no surviving replica of %x: %w", h[:8], firstErr)
+}
+
+// RestoreCost implements System: the deduped distinct-chunk bytes of
+// proc's newest permanent manifest (the manifest is replicated on every
+// member, so any member's copy prices the whole stripe's restore).
+func (st *Stripe) RestoreCost(proc protocol.ProcessID) (uint64, bool) {
+	m, ok := st.newestPermanent(proc)
+	if !ok {
+		return 0, false
+	}
+	return m.RestoreBytes(), true
 }
 
 // Materialize implements System: the newest permanent image, each chunk
@@ -322,6 +388,8 @@ func (st *Stripe) Stats() Stats {
 	agg.NewChunks = st.save.NewChunks
 	agg.DedupChunks = st.save.DedupChunks
 	agg.DeltaChunks = st.save.DeltaChunks
+	agg.SelfDedupChunks = st.save.SelfDedupChunks
+	agg.CrossDedupChunks = st.save.CrossDedupChunks
 	st.mu.Unlock()
 	return agg
 }

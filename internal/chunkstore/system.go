@@ -25,6 +25,9 @@ type System interface {
 	TentativeTriggers(proc protocol.ProcessID) []protocol.Trigger
 	// Materialize reassembles proc's newest permanent payload image.
 	Materialize(proc protocol.ProcessID) ([]byte, bool, error)
+	// RestoreCost reports the deduped distinct-chunk bytes a restore of
+	// proc's newest permanent payload transfers over the wireless medium.
+	RestoreCost(proc protocol.ProcessID) (uint64, bool)
 	// Verify checks every retained manifest of proc resolves to intact,
 	// hash-verified chunks.
 	Verify(proc protocol.ProcessID) error
@@ -70,6 +73,10 @@ func (v procView) DropPayload(trig protocol.Trigger) error {
 
 func (v procView) PermanentPayload() ([]byte, bool, error) {
 	return v.sys.Materialize(v.proc)
+}
+
+func (v procView) RestorePayloadBytes() (uint64, bool) {
+	return v.sys.RestoreCost(v.proc)
 }
 
 func (v procView) VerifyPayload() error {

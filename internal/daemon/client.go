@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -9,14 +10,21 @@ import (
 	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/consistency"
 	"mutablecp/internal/protocol"
-	"mutablecp/internal/wire"
 )
 
 // Client speaks the control RPC to one daemon. Not safe for concurrent
 // use; open one per goroutine (connections are cheap and the daemon
 // serves many).
+//
+// The RPC stream is one persistent gob session per direction: type
+// descriptors cross once at the first call, so steady-state requests
+// pay no codec construction. (The peer data plane cannot do this — its
+// frames must stay self-contained across reconnects — but a control
+// connection that breaks is simply re-dialed.)
 type Client struct {
 	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
 }
 
 // DialTimeout bounds control dials and per-call responses.
@@ -28,7 +36,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: dial control %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
 // Close releases the connection.
@@ -36,14 +44,14 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) do(req Request, respTimeout time.Duration) (Response, error) {
 	var resp Response
-	if err := wire.WriteValue(c.conn, &req); err != nil {
+	if err := c.enc.Encode(&req); err != nil {
 		return resp, fmt.Errorf("daemon: control write: %w", err)
 	}
 	if respTimeout > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(respTimeout)) //nolint:errcheck
 		defer c.conn.SetReadDeadline(time.Time{})           //nolint:errcheck
 	}
-	if err := wire.ReadValue(c.conn, &resp); err != nil {
+	if err := c.dec.Decode(&resp); err != nil {
 		return resp, fmt.Errorf("daemon: control read: %w", err)
 	}
 	if resp.Err != "" {

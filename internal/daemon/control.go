@@ -1,19 +1,19 @@
 package daemon
 
 import (
+	"encoding/gob"
 	"net"
 	"time"
 
 	"mutablecp/internal/chunkstore"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/stable"
-	"mutablecp/internal/wire"
 )
 
-// Control RPC: length-prefixed gob frames (the wire package's generic
-// value framing) over a dedicated TCP listener. One request, one
-// response, repeatable on the same connection — mcpctl and the e2e
-// harness drive the daemon entirely through this plane.
+// Control RPC: a persistent gob stream in each direction over a
+// dedicated TCP listener. One request, one response, repeatable on the
+// same connection — mcpctl and the e2e harness drive the daemon
+// entirely through this plane.
 
 // Control operations.
 const (
@@ -97,13 +97,17 @@ func (d *Daemon) acceptControl() {
 
 func (d *Daemon) serveControl(conn net.Conn) {
 	defer conn.Close() //nolint:errcheck
+	// One persistent gob session per direction, matching Client: type
+	// descriptors cross once per connection, not once per request.
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
 	for {
 		var req Request
-		if err := wire.ReadValue(conn, &req); err != nil {
+		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		resp := d.handleControl(req)
-		if err := wire.WriteValue(conn, &resp); err != nil {
+		if err := enc.Encode(&resp); err != nil {
 			return
 		}
 		if req.Op == OpShutdown && resp.Err == "" {
@@ -166,6 +170,7 @@ func (d *Daemon) handleControl(req Request) Response {
 			m.Backlog[s.peer] = s.backlog()
 		}
 		err := d.onLoop(func() {
+			d.drainPersister()
 			m.Commits, m.Aborts = d.commits, d.aborts
 			m.Store = d.store.Metrics()
 		})
@@ -178,6 +183,7 @@ func (d *Daemon) handleControl(req Request) Response {
 			if d.payload == nil {
 				return
 			}
+			d.drainPersister()
 			resp.HasPayload = true
 			resp.Payload = d.payload.Stats()
 			// The audit doubles as a health probe: a store op from mcpctl
@@ -195,6 +201,7 @@ func (d *Daemon) handleControl(req Request) Response {
 		// (2PC in-doubt resolution: the commit decision outlives the
 		// crash at the survivors' stores).
 		err := d.onLoop(func() {
+			d.drainPersister() // the asker's fate may ride on a commit still in flight
 			for _, rec := range d.store.History() {
 				if rec.Trigger == req.Trig {
 					resp.Resolved = true

@@ -114,6 +114,14 @@ type Daemon struct {
 	commits    uint64
 	aborts     uint64
 
+	// Durability pipeline (persist.go). persistSeq/persistAck/pendActs
+	// are loop-goroutine only; the channel feeds the persister goroutine.
+	persistCh  chan persistJob
+	persistWG  sync.WaitGroup
+	persistSeq uint64
+	persistAck uint64
+	pendActs   []pendingAction
+
 	logger *log.Logger
 
 	connsMu sync.Mutex
@@ -221,6 +229,7 @@ func New(cfg *Config, id int) (*Daemon, error) {
 		d.sessions[peer.ID] = newPeerSession(d, peer.ID, peer.Addr)
 	}
 
+	d.startPersister()
 	d.loopWG.Add(1)
 	go func() {
 		defer d.loopWG.Done()
@@ -431,7 +440,7 @@ func (d *Daemon) serveData(conn net.Conn) {
 	defer conn.Close()                                     //nolint:errcheck
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
 	var hello envelope
-	if err := wire.ReadValue(conn, &hello); err != nil {
+	if err := readEnvelope(conn, &hello); err != nil {
 		return
 	}
 	if hello.Kind != envHello || hello.Src < 0 || hello.Src >= d.n || hello.Src == d.id {
@@ -440,7 +449,7 @@ func (d *Daemon) serveData(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 	welcome := envelope{Kind: envHello, Src: d.id, Inc: d.inc}
-	if err := wire.WriteValue(conn, &welcome); err != nil {
+	if err := writeEnvelope(conn, &welcome); err != nil {
 		return
 	}
 	s := d.sessions[hello.Src]
@@ -456,7 +465,7 @@ func (d *Daemon) serveData(conn net.Conn) {
 	}
 	for {
 		var e envelope
-		if err := wire.ReadValue(conn, &e); err != nil {
+		if err := readEnvelope(conn, &e); err != nil {
 			return // connection broke; the peer re-dials
 		}
 		switch e.Kind {
@@ -535,7 +544,8 @@ func (d *Daemon) Stop() {
 			c.Close() //nolint:errcheck
 		}
 		d.mb.close()
-		d.loopWG.Wait() // loop drains queued events before exiting
+		d.loopWG.Wait()    // loop drains queued events before exiting
+		d.stopPersister()  // then the durability pipeline drains
 		for _, s := range d.sessions {
 			if s != nil {
 				s.close() // flushes the writer's queue
@@ -639,6 +649,7 @@ func (d *Daemon) SendApp(to protocol.ProcessID, payload []byte) error {
 func (d *Daemon) Rollback() error {
 	var rerr error
 	err := d.onLoop(func() {
+		d.drainPersister() // no write may land after the rewind reads the store
 		d.cancelRequestTimeout()
 		d.mutable.Clear()
 		rerr = d.restoreFromStore()
@@ -652,7 +663,10 @@ func (d *Daemon) Rollback() error {
 // PermanentState returns the newest permanent checkpoint's state.
 func (d *Daemon) PermanentState() (protocol.State, error) {
 	var st protocol.State
-	err := d.onLoop(func() { st = d.store.Permanent().State.Clone() })
+	err := d.onLoop(func() {
+		d.drainPersister()
+		st = d.store.Permanent().State.Clone()
+	})
 	return st, err
 }
 
@@ -678,7 +692,9 @@ func (d *Daemon) transmit(m *protocol.Message) {
 		d.logf("encode to P%d: %v", m.To, err)
 		return
 	}
-	s.sendFrame(frame)
+	// Ordered-ack invariant: a message produced after a persistence call
+	// must not reach the wire before that write is applied.
+	d.afterDurable(func() { s.sendFrame(frame) })
 }
 
 // --- protocol.Env (loop goroutine only) ---
@@ -719,20 +735,31 @@ func (d *Daemon) CaptureState() protocol.State {
 }
 
 // savePayload stores the given image as trig's tentative payload.
-func (d *Daemon) savePayload(trig protocol.Trigger, img []byte) {
-	if _, err := d.pview.SavePayload(trig, d.Now(), img); err != nil {
+// Persister goroutine only.
+func (d *Daemon) savePayload(trig protocol.Trigger, at time.Duration, img []byte) {
+	if _, err := d.pview.SavePayload(trig, at, img); err != nil {
 		panic(fmt.Sprintf("mcpd P%d: save payload: %v", d.id, err))
 	}
 }
 
-// SaveTentative implements protocol.Env.
+// SaveTentative implements protocol.Env. The write runs on the
+// persister; the image snapshot is captured here, on the loop, so the
+// checkpoint freezes the state at the protocol action (§ mutable
+// checkpoints fix their content at save time, not at flush time).
 func (d *Daemon) SaveTentative(s protocol.State, trig protocol.Trigger) {
-	if err := d.store.SaveTentative(s, trig, d.Now()); err != nil {
-		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
-	}
+	at := d.Now()
+	var img []byte
 	if d.pview != nil {
-		d.savePayload(trig, d.images.Image(0))
+		img = d.images.Image(0)
 	}
+	d.submitPersist(func() {
+		if err := d.store.SaveTentative(s, trig, at); err != nil {
+			panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+		}
+		if d.pview != nil {
+			d.savePayload(trig, at, img)
+		}
+	})
 }
 
 // SaveMutable implements protocol.Env.
@@ -749,23 +776,32 @@ func (d *Daemon) SaveMutable(s protocol.State, trig protocol.Trigger) {
 	}
 }
 
-// PromoteMutable implements protocol.Env.
+// PromoteMutable implements protocol.Env. The in-memory mutable record
+// moves out on the loop (engine-ordered); the stable write follows on
+// the persister.
 func (d *Daemon) PromoteMutable(trig protocol.Trigger) {
 	rec, err := d.mutable.Take(trig)
 	if err != nil {
 		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 	}
-	if err := d.store.SaveTentative(rec.State, trig, d.Now()); err != nil {
-		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
-	}
+	at := d.Now()
+	var img []byte
 	if d.pview != nil {
-		img, ok := d.pendingImg[trig]
+		var ok bool
+		img, ok = d.pendingImg[trig]
 		delete(d.pendingImg, trig)
 		if !ok {
 			img = d.images.Image(0)
 		}
-		d.savePayload(trig, img)
 	}
+	d.submitPersist(func() {
+		if err := d.store.SaveTentative(rec.State, trig, at); err != nil {
+			panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
+		}
+		if d.pview != nil {
+			d.savePayload(trig, at, img)
+		}
+	})
 }
 
 // DiscardMutable implements protocol.Env.
@@ -776,28 +812,36 @@ func (d *Daemon) DiscardMutable(trig protocol.Trigger) {
 	delete(d.pendingImg, trig)
 }
 
-// MakePermanent implements protocol.Env.
+// MakePermanent implements protocol.Env. The commit fsync runs on the
+// persister; everything the engine does next that depends on the commit
+// being durable (the commit broadcast, the client completion) is gated
+// behind it by afterDurable.
 func (d *Daemon) MakePermanent(trig protocol.Trigger) {
-	if err := d.store.MakePermanent(trig, d.Now()); err != nil {
-		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
-	}
-	if d.pview != nil {
-		if err := d.pview.CommitPayload(trig, d.Now()); err != nil {
-			panic(fmt.Sprintf("mcpd P%d: commit payload: %v", d.id, err))
+	at := d.Now()
+	d.submitPersist(func() {
+		if err := d.store.MakePermanent(trig, at); err != nil {
+			panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 		}
-	}
+		if d.pview != nil {
+			if err := d.pview.CommitPayload(trig, at); err != nil {
+				panic(fmt.Sprintf("mcpd P%d: commit payload: %v", d.id, err))
+			}
+		}
+	})
 }
 
 // DropTentative implements protocol.Env.
 func (d *Daemon) DropTentative(trig protocol.Trigger) {
-	if err := d.store.DropTentative(trig); err != nil {
-		panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
-	}
-	if d.pview != nil {
-		if err := d.pview.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
-			panic(fmt.Sprintf("mcpd P%d: drop payload: %v", d.id, err))
+	d.submitPersist(func() {
+		if err := d.store.DropTentative(trig); err != nil {
+			panic(fmt.Sprintf("mcpd P%d: %v", d.id, err))
 		}
-	}
+		if d.pview != nil {
+			if err := d.pview.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+				panic(fmt.Sprintf("mcpd P%d: drop payload: %v", d.id, err))
+			}
+		}
+	})
 }
 
 // DeliverApp implements protocol.Env.
@@ -821,7 +865,10 @@ func (d *Daemon) UnblockApp() {
 	}
 }
 
-// CheckpointingDone implements protocol.Env.
+// CheckpointingDone implements protocol.Env. The client-visible
+// completion is an action past the durability point: it is released
+// only once the instance's own commit (submitted just before this
+// callback) has been applied and fsynced.
 func (d *Daemon) CheckpointingDone(trig protocol.Trigger, committed bool) {
 	d.cancelRequestTimeout()
 	if committed {
@@ -829,6 +876,10 @@ func (d *Daemon) CheckpointingDone(trig protocol.Trigger, committed bool) {
 	} else {
 		d.aborts++
 	}
+	d.afterDurable(func() { d.notifyDone(committed) })
+}
+
+func (d *Daemon) notifyDone(committed bool) {
 	if d.doneCh != nil {
 		d.doneCh <- committed
 		d.doneCh = nil

@@ -166,6 +166,53 @@ func crossTraffic(t testing.TB, cfg *daemon.Config, rounds int) {
 	}
 }
 
+// TestCluster16ProcSmoke brings up a 16-daemon cluster in one process —
+// the shape the CI race smoke runs, so every cross-goroutine edge of
+// the durability pipeline (engine loop, persister, per-peer writers,
+// control plane) is exercised at the bench matrix's next scale tier.
+// Commits from both ends of the ID range must land, and the cluster
+// must audit a consistent line while all 16 engines share the runtime.
+func TestCluster16ProcSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-daemon cluster; skipped in -short")
+	}
+	const n = 16
+	cfg := newClusterConfig(t, n, 5*time.Second)
+	cfg.NoSync = true // the smoke targets the pipeline, not the disk
+	daemons := make([]*daemon.Daemon, n)
+	defer func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.Stop()
+			}
+		}
+	}()
+	for id := 0; id < n; id++ {
+		d, err := daemon.New(cfg, id)
+		if err != nil {
+			t.Fatalf("start P%d: %v", id, err)
+		}
+		daemons[id] = d
+	}
+	if err := daemon.WaitClusterReady(cfg, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	crossTraffic(t, cfg, 2)
+	quiesce(t, cfg, 20*time.Second)
+	for _, init := range []int{0, n - 1} {
+		if committed, err := ctlClient(t, cfg, init).Checkpoint(0); err != nil {
+			t.Fatalf("checkpoint from P%d: %v", init, err)
+		} else if !committed {
+			t.Fatalf("checkpoint from P%d aborted on a healthy cluster", init)
+		}
+		quiesce(t, cfg, 20*time.Second)
+	}
+	if _, err := daemon.AuditLine(cfg); err != nil {
+		t.Fatalf("live audit: %v", err)
+	}
+}
+
 // TestClusterE2E is the tentpole's acceptance test with real OS
 // processes: spawn a 3-daemon cluster by re-exec, converge the readiness
 // barrier, drive traffic and a committed checkpoint through the control

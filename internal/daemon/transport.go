@@ -1,7 +1,6 @@
 package daemon
 
 import (
-	"bytes"
 	"fmt"
 	"net"
 	"sync"
@@ -10,7 +9,6 @@ import (
 
 	"mutablecp/internal/livenet"
 	"mutablecp/internal/relnet"
-	"mutablecp/internal/wire"
 )
 
 // The data plane between daemons: every ordered pair of processes is one
@@ -36,10 +34,10 @@ const (
 	envAck              // Src, Gen, Cum
 )
 
-// envelope is the unit on a daemon-to-daemon connection, framed by
-// wire.AppendValue. Hello is written bare on every fresh connection
-// before any data; the receiver answers with its own hello (the
-// "welcome") so both sides learn both incarnations.
+// envelope is the unit on a daemon-to-daemon connection, framed by the
+// fixed-layout codec in codec.go. Hello is written bare on every fresh
+// connection before any data; the receiver answers with its own hello
+// (the "welcome") so both sides learn both incarnations.
 type envelope struct {
 	Kind int
 	Src  int
@@ -128,12 +126,12 @@ func newPeerSession(d *Daemon, peer int, addr string) *peerSession {
 // generation both incarnations agree on.
 func (s *peerSession) handshake(conn net.Conn) error {
 	hello := envelope{Kind: envHello, Src: s.d.id, Inc: s.d.inc}
-	if err := wire.WriteValue(conn, &hello); err != nil {
+	if err := writeEnvelope(conn, &hello); err != nil {
 		return fmt.Errorf("handshake write: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
 	var welcome envelope
-	if err := wire.ReadValue(conn, &welcome); err != nil {
+	if err := readEnvelope(conn, &welcome); err != nil {
 		return fmt.Errorf("handshake read: %w", err)
 	}
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
@@ -259,7 +257,7 @@ func (s *peerSession) retransmitTick() {
 // coalesced Send — under load, many envelopes per syscall.
 func (s *peerSession) writeLoop() {
 	defer s.wg.Done()
-	var buf bytes.Buffer
+	var buf []byte
 	for {
 		s.mu.Lock()
 		for len(s.sendQ) == 0 && !s.ackDirty && !s.closed {
@@ -269,16 +267,22 @@ func (s *peerSession) writeLoop() {
 			s.mu.Unlock()
 			return
 		}
-		buf.Reset()
-		count := 0
-		for i := range s.sendQ {
-			wire.WriteValue(&buf, &s.sendQ[i]) //nolint:errcheck
-			count++
+		buf = buf[:0]
+		// Drain up to the batch cap into one buffer: enough to amortize
+		// the syscall under load, bounded so a long queue cannot stall
+		// the envelopes behind one giant write. Leftovers go first on the
+		// next pass (they keep coalescing while Send is on the wire).
+		count := len(s.sendQ)
+		if max := s.d.cfg.WriterBatchSize(); count > max {
+			count = max
 		}
-		s.sendQ = s.sendQ[:0]
+		for i := 0; i < count; i++ {
+			buf = appendEnvelope(buf, &s.sendQ[i])
+		}
+		s.sendQ = append(s.sendQ[:0], s.sendQ[count:]...)
 		if s.ackDirty {
 			ack := envelope{Kind: envAck, Src: s.d.id, Gen: s.ackGen, Cum: s.ackCum}
-			wire.WriteValue(&buf, &ack) //nolint:errcheck
+			buf = appendEnvelope(buf, &ack)
 			s.ackDirty = false
 			count++
 		}
@@ -288,7 +292,7 @@ func (s *peerSession) writeLoop() {
 
 		// Outside the lock: Send re-dials with the link's persistent
 		// backoff; new envelopes coalesce behind it meanwhile.
-		if err := s.link.Send(buf.Bytes()); err != nil {
+		if err := s.link.Send(buf); err != nil {
 			// Unacked data frames stay in the outbox and the retransmit
 			// timer replays them; a lost ack is refreshed by the next one.
 			s.d.logf("P%d: send to P%d: %v", s.d.id, s.peer, err)

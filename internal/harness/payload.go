@@ -75,6 +75,7 @@ func (pr *payloadRun) wire(simCfg *simrt.Config, cfg Config) {
 		Seed:      cfg.Seed,
 	})
 	simCfg.Images = images.Image
+	simCfg.RestoreImage = images.Restore
 	sys := pr.sys
 	simCfg.NewPayload = func(pid protocol.ProcessID, n int) (checkpoint.PayloadStore, error) {
 		switch b := sys.(type) {

@@ -158,16 +158,33 @@ func (x *Executor) completeCommits() error {
 	}
 	now := x.cluster.VirtualNow()
 	for i := 0; i < n; i++ {
-		st := x.cluster.Proc(i).Stable()
+		p := x.cluster.Proc(i)
+		st := p.Stable()
+		pay := p.Payload()
 		for _, trig := range st.TentativeTriggers() {
 			if committed[trig] {
 				if err := st.MakePermanent(trig, now); err != nil {
 					return fmt.Errorf("recovery: complete commit P%d %+v: %w", i, trig, err)
 				}
+				// The payload plane shadows the promotion, or the restore
+				// below would materialize an image older than the line.
+				if pay != nil {
+					if err := pay.CommitPayload(trig, now); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+						return fmt.Errorf("recovery: complete payload commit P%d %+v: %w", i, trig, err)
+					}
+				}
 				continue
 			}
 			if err := st.DropTentative(trig); err != nil {
 				return fmt.Errorf("recovery: drop tentative P%d %+v: %w", i, trig, err)
+			}
+			// Shadow the drop too: a leftover tentative payload would
+			// collide (ErrPayloadPending) when the resumed execution
+			// reuses the trigger.
+			if pay != nil {
+				if err := pay.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+					return fmt.Errorf("recovery: drop tentative payload P%d %+v: %w", i, trig, err)
+				}
 			}
 		}
 	}

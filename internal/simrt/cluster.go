@@ -61,6 +61,12 @@ type Config struct {
 	// A plain func, not an interface: workload imports simrt, so simrt
 	// cannot name workload's Images type. Required with NewPayload.
 	Images func(pid protocol.ProcessID) []byte
+	// RestoreImage, when non-nil, hands a recovering process the payload
+	// image its restore materialized, overwriting the live image the
+	// mutation profile would otherwise keep stepping — after a rollback
+	// the process must resume from the checkpointed bytes, not from state
+	// the rollback discarded. Optional; meaningful only with NewPayload.
+	RestoreImage func(pid protocol.ProcessID, img []byte)
 
 	// CompMsgBytes is the computation message size. Paper: 1 KB (4 ms).
 	CompMsgBytes int

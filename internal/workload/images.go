@@ -134,6 +134,14 @@ func NewImages(cfg ImagesConfig) *Images {
 	return im
 }
 
+// Restore overwrites process pid's live image with a materialized
+// checkpoint payload: the recovery path resumes from exactly the
+// restored bytes, and later mutation steps diverge from there. It has
+// the signature simrt.Config.RestoreImage expects.
+func (im *Images) Restore(pid protocol.ProcessID, img []byte) {
+	im.imgs[int(pid)] = append([]byte(nil), img...)
+}
+
 // randBytes fills n bytes from the stream, 8 at a time.
 func randBytes(rng *xrand.Stream, n int) []byte {
 	b := make([]byte, n)
